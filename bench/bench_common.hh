@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses.
+ *
+ * Every bench accepts:
+ *   --mode fast|timing   execution mode (default fast)
+ *   --layers N           architectural depth (default 28)
+ *   --sampled N          simulated intermediate layers (default 4)
+ *   --scale X            workload scale factor (or SGCN_BENCH_SCALE)
+ *   --datasets CR,CS,... subset of datasets
+ */
+
+#ifndef SGCN_BENCH_BENCH_COMMON_HH
+#define SGCN_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/personalities.hh"
+#include "accel/runner.hh"
+#include "sim/cli.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+namespace sgcn::bench
+{
+
+/** Options shared by every harness. */
+struct BenchOptions
+{
+    RunOptions run;
+    NetworkSpec net;
+    double scale = 1.0;
+    std::vector<DatasetSpec> datasets;
+
+    static BenchOptions
+    fromCli(const Cli &cli)
+    {
+        BenchOptions options;
+        options.run.mode = cli.getString("mode", "fast") == "timing"
+                               ? ExecutionMode::Timing
+                               : ExecutionMode::Fast;
+        options.run.sampledIntermediateLayers =
+            static_cast<unsigned>(cli.getInt("sampled", 4));
+        options.net.layers =
+            static_cast<unsigned>(cli.getInt("layers", 28));
+        options.scale = cli.scale();
+
+        const std::string list = cli.getString("datasets", "");
+        if (list.empty()) {
+            options.datasets = datasetsBySparsity();
+        } else {
+            std::stringstream stream(list);
+            std::string abbrev;
+            while (std::getline(stream, abbrev, ','))
+                options.datasets.push_back(datasetByAbbrev(abbrev));
+        }
+        return options;
+    }
+};
+
+/** Print the standard harness banner. */
+inline void
+banner(const char *figure, const BenchOptions &options)
+{
+    std::printf("SGCN reproduction — %s\n", figure);
+    std::printf("mode=%s layers=%u sampled=%u scale=%.2f "
+                "(vertex cap %u)\n\n",
+                options.run.mode == ExecutionMode::Timing ? "timing"
+                                                          : "fast",
+                options.net.layers,
+                options.run.sampledIntermediateLayers, options.scale,
+                static_cast<unsigned>(
+                    static_cast<double>(kDatasetVertexCap) *
+                    options.scale));
+}
+
+/** Geomean over per-dataset speedups, ignoring non-positives. */
+inline double
+geomeanSpeedup(const std::vector<double> &speedups)
+{
+    return geomean(speedups);
+}
+
+} // namespace sgcn::bench
+
+#endif // SGCN_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 3: normalized off-chip memory accesses and speedup of the
+ * SGCN accelerator when the intermediate features use Dense, CSR,
+ * COO, BSR, Blocked Ellpack, BEICSR, and BEICSR+SAC, on the nine
+ * datasets (sorted by increasing sparsity).
+ *
+ * Paper anchors: CSR/COO/BSR/Ellpack give little or negative
+ * speedup vs Dense; BEICSR reduces accesses on every dataset and
+ * +SAC improves further. A split-bitmap BEICSR ablation shows the
+ * locality value of embedding the index (SV-A).
+ */
+
+#include "bench_common.hh"
+
+using namespace sgcn;
+using namespace sgcn::bench;
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    FormatKind format;
+    bool sac;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    BenchOptions options = BenchOptions::fromCli(cli);
+    banner("Fig. 3 — sparse format comparison", options);
+
+    const Variant variants[] = {
+        {"Dense", FormatKind::Dense, false},
+        {"CSR", FormatKind::Csr, false},
+        {"COO", FormatKind::Coo, false},
+        {"BSR", FormatKind::Bsr, false},
+        {"B-Ellpack", FormatKind::BlockedEllpack, false},
+        {"BEICSR-split", FormatKind::BeicsrSplitBitmap, false},
+        {"BEICSR", FormatKind::Beicsr, false},
+        {"BEICSR+SAC", FormatKind::Beicsr, true},
+    };
+
+    Table access("Fig. 3 (bars): off-chip accesses normalized to "
+                 "Dense");
+    Table speed("Fig. 3 (lines): speedup over Dense");
+    std::vector<std::string> header{"dataset"};
+    for (const auto &variant : variants)
+        header.push_back(variant.label);
+    access.header(header);
+    speed.header(header);
+
+    for (const auto &spec : options.datasets) {
+        const Dataset dataset = instantiateDataset(spec, options.scale);
+        std::vector<std::string> access_row{spec.abbrev};
+        std::vector<std::string> speed_row{spec.abbrev};
+        double dense_lines = 0.0;
+        Cycle dense_cycles = 0;
+        for (const auto &variant : variants) {
+            AccelConfig config = makeSgcn();
+            config.name = variant.label;
+            config.format = variant.format;
+            config.sac = variant.sac;
+            if (variant.format != FormatKind::Beicsr &&
+                variant.format != FormatKind::BeicsrSplitBitmap &&
+                variant.format != FormatKind::Dense) {
+                // Whole-row formats cannot use feature slicing.
+                config.sliceC = 0;
+            }
+            const RunResult run =
+                runNetwork(config, dataset, options.net, options.run);
+            const auto lines =
+                static_cast<double>(run.total.traffic.totalLines());
+            if (variant.format == FormatKind::Dense && !variant.sac) {
+                dense_lines = lines;
+                dense_cycles = run.total.cycles;
+            }
+            access_row.push_back(Table::num(lines / dense_lines, 2));
+            speed_row.push_back(Table::num(
+                static_cast<double>(dense_cycles) /
+                    static_cast<double>(run.total.cycles),
+                2));
+        }
+        access.row(access_row);
+        speed.row(speed_row);
+    }
+    access.print();
+    std::printf("\n");
+    speed.print();
+
+    std::printf("\npaper: CSR/COO increase accesses below ~50%% "
+                "sparsity; block formats degenerate;\n"
+                "       BEICSR cuts accesses on all nine datasets and "
+                "SAC adds further speedup.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 11: speedup of the six accelerators over GCNAX on the nine
+ * datasets, 28-layer residual GCN.
+ *
+ * Paper anchors: SGCN geomean 1.66x over GCNAX, 2.71x over HyGCN,
+ * 1.73x over AWB-GCN, 1.85x over EnGN; best datasets PubMed (1.91x)
+ * and NELL (1.99x); Cora/CiteSeer near the geomean.
+ */
+
+#include "bench_common.hh"
+
+using namespace sgcn;
+using namespace sgcn::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    BenchOptions options = BenchOptions::fromCli(cli);
+    banner("Fig. 11 — performance comparison", options);
+
+    const auto personalities = allPersonalities();
+
+    Table table("Fig. 11: speedup over GCNAX (28-layer residual GCN)");
+    std::vector<std::string> header{"dataset"};
+    for (const auto &config : personalities)
+        header.push_back(config.name);
+    table.header(header);
+
+    std::vector<std::vector<double>> speedups(personalities.size());
+    for (const auto &spec : options.datasets) {
+        const Dataset dataset = instantiateDataset(spec, options.scale);
+        const RunResult baseline = runNetwork(
+            personalityByName("GCNAX"), dataset, options.net,
+            options.run);
+
+        std::vector<std::string> row{spec.abbrev};
+        for (std::size_t p = 0; p < personalities.size(); ++p) {
+            const RunResult run = runNetwork(
+                personalities[p], dataset, options.net, options.run);
+            const double speedup = speedupOver(baseline, run);
+            speedups[p].push_back(speedup);
+            row.push_back(Table::num(speedup, 2));
+        }
+        table.row(row);
+    }
+
+    std::vector<std::string> geo_row{"Geomean"};
+    for (auto &series : speedups)
+        geo_row.push_back(Table::num(geomeanSpeedup(series), 2));
+    table.row(geo_row);
+    table.print();
+
+    std::printf("\npaper: SGCN geomean 1.66x over GCNAX, 2.71x over "
+                "HyGCN, 1.73x over AWB-GCN, 1.85x over EnGN;\n"
+                "       PubMed 1.91x, NELL 1.99x over GCNAX.\n");
+    return 0;
+}

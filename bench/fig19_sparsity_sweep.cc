@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 19: speedup over the dense format for synthetic intermediate
+ * feature sparsities from 5% to 95%, comparing Dense, CSR, and
+ * SGCN (BEICSR+SAC) on the SGCN accelerator substrate.
+ *
+ * Paper anchors: SGCN wins on almost the whole range; dense is
+ * better only below ~5% sparsity; CSR's break-even sits above 90%.
+ */
+
+#include "bench_common.hh"
+
+#include "accel/layer_engine.hh"
+#include "accel/workload.hh"
+#include "core/beicsr.hh"
+#include "gcn/sparsity_model.hh"
+
+using namespace sgcn;
+using namespace sgcn::bench;
+
+namespace
+{
+
+/**
+ * Run one synthetic intermediate layer at an exact target sparsity
+ * (the paper randomly generates activations per layer).
+ */
+LayerResult
+syntheticLayer(const AccelConfig &config, const Dataset &dataset,
+               double sparsity, ExecutionMode mode)
+{
+    NetworkSpec net;
+    LayerContext ctx;
+    ctx.graph = &dataset.graph;
+    ctx.isInputLayer = false;
+    ctx.residual = true;
+    ctx.edgeBytes = 8;
+    ctx.inWidth = net.hidden;
+    ctx.outWidth = net.hidden;
+    ctx.inSparsity = sparsity;
+    ctx.outSparsity = sparsity;
+    Rng in_rng(0xfeed + static_cast<std::uint64_t>(sparsity * 1000));
+    Rng out_rng(0xf00d + static_cast<std::uint64_t>(sparsity * 1000));
+    const VertexId n = dataset.graph.numVertices();
+    ctx.inMask = FeatureMask::random(n, ctx.inWidth, sparsity, in_rng);
+    ctx.outMask =
+        FeatureMask::random(n, ctx.outWidth, sparsity, out_rng);
+    ctx.inLayout = makeLayout(config.format, ctx.inWidth,
+                              config.sliceC);
+    ctx.outLayout = makeLayout(config.format, ctx.outWidth,
+                               config.sliceC);
+    ctx.inLayout->prepare(ctx.inMask, AddressMap::kFeatureInBase);
+    ctx.outLayout->prepare(ctx.outMask, AddressMap::kFeatureOutBase);
+
+    LayerEngine engine(config, ctx);
+    return engine.run(mode);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    BenchOptions options = BenchOptions::fromCli(cli);
+    banner("Fig. 19 — synthetic sparsity sweep", options);
+
+    // Geomean over a few structurally distinct datasets.
+    const char *abbrevs[] = {"CR", "PM", "GH"};
+
+    AccelConfig dense = makeSgcn();
+    dense.name = "Dense";
+    dense.format = FormatKind::Dense;
+    dense.sac = false;
+    AccelConfig csr = makeSgcn();
+    csr.name = "CSR";
+    csr.format = FormatKind::Csr;
+    csr.sliceC = 0;
+    csr.sac = false;
+    const AccelConfig sgcn = makeSgcn();
+
+    Table table("Fig. 19: speedup over Dense vs feature sparsity");
+    table.header({"sparsity", "Dense", "CSR", "SGCN"});
+
+    for (int pct = 5; pct <= 95; pct += 10) {
+        const double sparsity = pct / 100.0;
+        std::vector<double> csr_speedups, sgcn_speedups;
+        for (const char *abbrev : abbrevs) {
+            const Dataset dataset = instantiateDataset(
+                datasetByAbbrev(abbrev), options.scale);
+            const LayerResult base = syntheticLayer(
+                dense, dataset, sparsity, options.run.mode);
+            const LayerResult csr_run = syntheticLayer(
+                csr, dataset, sparsity, options.run.mode);
+            const LayerResult sgcn_run = syntheticLayer(
+                sgcn, dataset, sparsity, options.run.mode);
+            csr_speedups.push_back(static_cast<double>(base.cycles) /
+                                   csr_run.cycles);
+            sgcn_speedups.push_back(static_cast<double>(base.cycles) /
+                                    sgcn_run.cycles);
+        }
+        table.row({std::to_string(pct) + "%", "1.00",
+                   Table::num(geomean(csr_speedups), 2),
+                   Table::num(geomean(sgcn_speedups), 2)});
+    }
+    table.print();
+
+    std::printf("\npaper: SGCN is better on almost all sparsity "
+                "levels; dense wins only under ~5%%;\n"
+                "       CSR breaks even with SGCN only above ~90%% "
+                "sparsity.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks of the format machinery: BEICSR
+ * encode/decode throughput, access-plan generation, the prefix-sum
+ * unit, the sparse aggregator, and the compressor.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/beicsr.hh"
+#include "core/compressor.hh"
+#include "core/prefix_sum.hh"
+#include "core/sparse_aggregator.hh"
+#include "gcn/feature_matrix.hh"
+
+namespace
+{
+
+using namespace sgcn;
+
+void
+BM_BeicsrEncodeRow(benchmark::State &state)
+{
+    const auto sparsity = static_cast<double>(state.range(0)) / 100.0;
+    Rng rng(1);
+    DenseMatrix matrix = generateFeatures(1, 256, sparsity, rng);
+    for (auto _ : state) {
+        auto bytes = encodeBeicsrRow(matrix.row(0), 256, 96);
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256 * 4);
+}
+BENCHMARK(BM_BeicsrEncodeRow)->Arg(10)->Arg(50)->Arg(90);
+
+void
+BM_BeicsrDecodeRow(benchmark::State &state)
+{
+    Rng rng(2);
+    DenseMatrix matrix = generateFeatures(1, 256, 0.5, rng);
+    const auto bytes = encodeBeicsrRow(matrix.row(0), 256, 96);
+    for (auto _ : state) {
+        auto row = decodeBeicsrRow(bytes, 256, 96);
+        benchmark::DoNotOptimize(row);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256 * 4);
+}
+BENCHMARK(BM_BeicsrDecodeRow);
+
+void
+BM_PlanSliceRead(benchmark::State &state)
+{
+    Rng rng(3);
+    FeatureMask mask = FeatureMask::random(1024, 256, 0.5, rng);
+    BeicsrLayout layout(256, 96);
+    layout.prepare(mask, 0x4000'0000ULL);
+    VertexId v = 0;
+    for (auto _ : state) {
+        auto plan = layout.planSliceRead(v, v % 3);
+        benchmark::DoNotOptimize(plan);
+        v = (v + 1) % 1024;
+    }
+}
+BENCHMARK(BM_PlanSliceRead);
+
+void
+BM_PrefixSum96(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<std::uint8_t> bitmap(12);
+    for (auto &byte : bitmap)
+        byte = static_cast<std::uint8_t>(rng.uniformInt(256));
+    for (auto _ : state) {
+        auto idx = PrefixSumUnit::reversedIndices(bitmap.data(), 96);
+        benchmark::DoNotOptimize(idx);
+    }
+}
+BENCHMARK(BM_PrefixSum96);
+
+void
+BM_SparseAggregate(benchmark::State &state)
+{
+    Rng rng(5);
+    DenseMatrix matrix = generateFeatures(16, 256, 0.5, rng);
+    std::vector<std::vector<std::uint8_t>> rows;
+    for (std::uint32_t r = 0; r < 16; ++r)
+        rows.push_back(encodeBeicsrRow(matrix.row(r), 256, 96));
+    SparseAggregator agg(256, 96);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        agg.accumulate(rows[i % rows.size()], 0.5f);
+        ++i;
+    }
+    benchmark::DoNotOptimize(agg.result());
+}
+BENCHMARK(BM_SparseAggregate);
+
+void
+BM_CompressorRow(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<float> values(256);
+    for (auto &value : values)
+        value = static_cast<float>(rng.normal());
+    Compressor compressor(256, 96);
+    for (auto _ : state) {
+        compressor.reset();
+        for (float value : values)
+            compressor.push(value);
+        benchmark::DoNotOptimize(compressor.encodedRow());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256 * 4);
+}
+BENCHMARK(BM_CompressorRow);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks of the memory models: functional
+ * cache probe throughput, timing cache+DRAM event rate, and graph
+ * generation, so simulator performance regressions are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace sgcn;
+
+void
+BM_CacheFunctionalProbe(benchmark::State &state)
+{
+    EventQueue events;
+    Dram dram(DramConfig::hbm2(), events);
+    CacheConfig config;
+    Cache cache(config, dram, events);
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr line = rng.uniformInt(1 << 16) * kCachelineBytes;
+        benchmark::DoNotOptimize(cache.accessFunctional(
+            MemRequest{line, MemOp::Read, TrafficClass::FeatureIn}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheFunctionalProbe);
+
+void
+BM_TimingCacheMissStream(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue events;
+        Dram dram(DramConfig::hbm2(), events);
+        CacheConfig config;
+        Cache cache(config, dram, events);
+        Rng rng(2);
+        state.ResumeTiming();
+
+        unsigned outstanding = 0;
+        std::uint64_t issued = 0;
+        std::function<void()> pump = [&] {
+            while (outstanding < 64 && issued < 20000) {
+                const Addr line =
+                    rng.uniformInt(1 << 18) * kCachelineBytes;
+                ++issued;
+                ++outstanding;
+                cache.access(MemRequest{line, MemOp::Read,
+                                        TrafficClass::FeatureIn},
+                             [&] {
+                                 --outstanding;
+                                 pump();
+                             });
+            }
+        };
+        pump();
+        events.run();
+        benchmark::DoNotOptimize(events.executed());
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_TimingCacheMissStream)->Unit(benchmark::kMillisecond);
+
+void
+BM_ClusteredGraphGen(benchmark::State &state)
+{
+    ClusteredGraphParams params;
+    params.vertices = static_cast<VertexId>(state.range(0));
+    params.avgDegree = 10.0;
+    for (auto _ : state) {
+        params.seed++;
+        CsrGraph graph = clusteredGraph(params);
+        benchmark::DoNotOptimize(graph.numEdges());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(params.avgDegree *
+                                  params.vertices));
+}
+BENCHMARK(BM_ClusteredGraphGen)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+#include "accel/config.hh"
+
+#include <sstream>
+
+namespace sgcn
+{
+
+std::string
+AccelConfig::describe() const
+{
+    std::ostringstream os;
+    os << "accelerator " << name << "\n"
+       << "  order        : "
+       << (columnProduct ? "combination-first (column product)"
+           : aggregationFirst ? "aggregation-first (row product)"
+                              : "combination-first (row product)")
+       << "\n"
+       << "  feature fmt  : " << formatKindName(format);
+    if (format == FormatKind::Beicsr ||
+        format == FormatKind::BeicsrSplitBitmap) {
+        os << " (C=" << sliceC << ")";
+    }
+    os << "\n"
+       << "  tiling       : "
+       << (topologyTiling ? "2-D topology tiling" : "none")
+       << ", dst tile " << dstTileRows << "\n"
+       << "  sac          : " << (sac ? "on" : "off");
+    if (sac)
+        os << " (strip " << sacStripHeight << ")";
+    os << "\n"
+       << "  davc         : " << (davc ? "on" : "off") << "\n"
+       << "  reorder      : " << (islandReorder ? "islandization" : "none")
+       << "\n"
+       << "  agg engines  : " << aggEngines << " x " << simdLanes
+       << "-way SIMD\n"
+       << "  comb engines : " << combEngines << " x " << systolic.rows
+       << "x" << systolic.cols << " systolic\n"
+       << "  cache        : " << cache.sizeBytes / 1024 << " KB, "
+       << cache.ways << "-way, LRU\n"
+       << "  dram         : " << dram.name << ", "
+       << dram.peakBytesPerCycle() << " B/cycle peak, "
+       << dram.channels << " channels\n";
+    return os.str();
+}
+
+} // namespace sgcn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Accelerator personalities: the six designs compared in Fig. 11,
+ * each expressed as a configuration of the shared simulation
+ * substrate (Table I, SVI-B).
+ */
+
+#ifndef SGCN_ACCEL_PERSONALITIES_HH
+#define SGCN_ACCEL_PERSONALITIES_HH
+
+#include <vector>
+
+#include "accel/config.hh"
+
+namespace sgcn
+{
+
+/** SGCN: BEICSR + sliced dataflow + SAC, aggregation-first. */
+AccelConfig makeSgcn();
+
+/** GCNAX (HPCA'21): perfect 2-D tiling + feature slicing, dense
+ *  features. The Fig. 11/12 baseline. */
+AccelConfig makeGcnax();
+
+/** HyGCN (HPCA'20): row-product hybrid engines, no tiling, dense. */
+AccelConfig makeHygcn();
+
+/** AWB-GCN (MICRO'20): column-product, zero-skipping combination,
+ *  dense features, partial-sum traffic. */
+AccelConfig makeAwbGcn();
+
+/** EnGN (TC'20): vertex tiling + degree-aware vertex cache. */
+AccelConfig makeEngn();
+
+/** I-GCN (MICRO'21): BFS islandization reordering. */
+AccelConfig makeIgcn();
+
+/** All six in Fig. 11's legend order. */
+std::vector<AccelConfig> allPersonalities();
+
+/** Lookup by name; fatal on miss. */
+AccelConfig personalityByName(const std::string &name);
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_PERSONALITIES_HH

@@ -1,0 +1,86 @@
+#include "accel/report.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+std::string
+runResultCsvHeader()
+{
+    return "accel,dataset,cycles,agg_cycles,comb_cycles,"
+           "lines_total,lines_topology,lines_feature_in,"
+           "lines_feature_out,lines_weight,lines_partial_sum,"
+           "cache_accesses,cache_hits,macs,bw_util,"
+           "energy_compute_j,energy_cache_j,energy_dram_j,"
+           "tdp_w,area_mm2";
+}
+
+std::string
+runResultCsvRow(const RunResult &run)
+{
+    std::ostringstream os;
+    os << run.accelName << ',' << run.datasetAbbrev << ','
+       << run.total.cycles << ',' << run.total.aggCycles << ','
+       << run.total.combCycles << ','
+       << run.total.traffic.totalLines();
+    for (unsigned c = 0; c < kNumTrafficClasses; ++c) {
+        os << ','
+           << run.total.traffic.classLines(
+                  static_cast<TrafficClass>(c));
+    }
+    os << ',' << run.total.cacheAccesses << ',' << run.total.cacheHits
+       << ',' << run.total.macs << ',' << run.total.bwUtil << ','
+       << run.energy.computeJ << ',' << run.energy.cacheJ << ','
+       << run.energy.dramJ << ',' << run.tdpWatts << ','
+       << run.areaMm2;
+    return os.str();
+}
+
+void
+writeRunsCsv(const std::vector<RunResult> &runs,
+             const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write CSV: ", path);
+    out << runResultCsvHeader() << '\n';
+    for (const auto &run : runs)
+        out << runResultCsvRow(run) << '\n';
+}
+
+StatSet
+runResultStats(const RunResult &run)
+{
+    StatSet stats;
+    stats["cycles"] = static_cast<double>(run.total.cycles);
+    stats["cycles.aggregation"] =
+        static_cast<double>(run.total.aggCycles);
+    stats["cycles.combination"] =
+        static_cast<double>(run.total.combCycles);
+    stats["offchip.lines"] =
+        static_cast<double>(run.total.traffic.totalLines());
+    for (unsigned c = 0; c < kNumTrafficClasses; ++c) {
+        const auto cls = static_cast<TrafficClass>(c);
+        stats[std::string("offchip.lines.") + trafficClassName(cls)] =
+            static_cast<double>(run.total.traffic.classLines(cls));
+    }
+    stats["cache.accesses"] =
+        static_cast<double>(run.total.cacheAccesses);
+    stats["cache.hits"] = static_cast<double>(run.total.cacheHits);
+    stats["cache.hit_rate"] = run.cacheHitRate();
+    stats["compute.macs"] = static_cast<double>(run.total.macs);
+    stats["dram.bw_util"] = run.total.bwUtil;
+    stats["energy.compute_j"] = run.energy.computeJ;
+    stats["energy.cache_j"] = run.energy.cacheJ;
+    stats["energy.dram_j"] = run.energy.dramJ;
+    stats["energy.total_j"] = run.energy.total();
+    stats["power.tdp_w"] = run.tdpWatts;
+    stats["area.mm2"] = run.areaMm2;
+    return stats;
+}
+
+} // namespace sgcn

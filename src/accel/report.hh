@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Machine-readable result export: CSV rows and a gem5-style StatSet
+ * dump for RunResults, so harness outputs can be plotted or diffed
+ * without scraping the pretty tables.
+ */
+
+#ifndef SGCN_ACCEL_REPORT_HH
+#define SGCN_ACCEL_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/result.hh"
+#include "sim/stats.hh"
+
+namespace sgcn
+{
+
+/** CSV header matching runResultCsvRow(). */
+std::string runResultCsvHeader();
+
+/** One CSV row for a run. */
+std::string runResultCsvRow(const RunResult &run);
+
+/** Write runs as a CSV file (header + one row per run). */
+void writeRunsCsv(const std::vector<RunResult> &runs,
+                  const std::string &path);
+
+/** Flatten a run into named scalar statistics. */
+StatSet runResultStats(const RunResult &run);
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_REPORT_HH

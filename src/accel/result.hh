@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Result structures produced by the accelerator simulations.
+ */
+
+#ifndef SGCN_ACCEL_RESULT_HH
+#define SGCN_ACCEL_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hh"
+#include "mem/mem_request.hh"
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** Outcome of simulating one GCN layer on one accelerator. */
+struct LayerResult
+{
+    Cycle cycles = 0;
+    Cycle aggCycles = 0;
+    Cycle combCycles = 0;
+
+    /** Off-chip traffic (Fig. 14 classes). */
+    TrafficCounters traffic;
+
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t macs = 0;
+
+    /** Fraction of DRAM bandwidth used over the layer. */
+    double bwUtil = 0.0;
+
+    void
+    merge(const LayerResult &other)
+    {
+        cycles += other.cycles;
+        aggCycles += other.aggCycles;
+        combCycles += other.combCycles;
+        traffic.merge(other.traffic);
+        cacheAccesses += other.cacheAccesses;
+        cacheHits += other.cacheHits;
+        macs += other.macs;
+    }
+
+    /** Scale all additive quantities by @p factor. */
+    void
+    scale(double factor)
+    {
+        cycles = static_cast<Cycle>(static_cast<double>(cycles) *
+                                    factor);
+        aggCycles = static_cast<Cycle>(
+            static_cast<double>(aggCycles) * factor);
+        combCycles = static_cast<Cycle>(
+            static_cast<double>(combCycles) * factor);
+        for (unsigned i = 0; i < kNumTrafficClasses; ++i) {
+            traffic.readLines[i] = static_cast<std::uint64_t>(
+                static_cast<double>(traffic.readLines[i]) * factor);
+            traffic.writeLines[i] = static_cast<std::uint64_t>(
+                static_cast<double>(traffic.writeLines[i]) * factor);
+        }
+        cacheAccesses = static_cast<std::uint64_t>(
+            static_cast<double>(cacheAccesses) * factor);
+        cacheHits = static_cast<std::uint64_t>(
+            static_cast<double>(cacheHits) * factor);
+        macs = static_cast<std::uint64_t>(
+            static_cast<double>(macs) * factor);
+    }
+};
+
+/** Outcome of a whole-network simulation. */
+struct RunResult
+{
+    std::string accelName;
+    std::string datasetAbbrev;
+
+    /** Extrapolated full-network totals (DESIGN.md SS6). */
+    LayerResult total;
+
+    /** The simulated input layer (not extrapolated). */
+    LayerResult inputLayer;
+
+    /** The sampled intermediate layers as simulated. */
+    std::vector<LayerResult> sampledLayers;
+
+    /** Dynamic energy and peak power. */
+    EnergyBreakdown energy;
+    double tdpWatts = 0.0;
+    double areaMm2 = 0.0;
+
+    double
+    cacheHitRate() const
+    {
+        return total.cacheAccesses
+            ? static_cast<double>(total.cacheHits) /
+                  static_cast<double>(total.cacheAccesses)
+            : 0.0;
+    }
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_RESULT_HH

@@ -1,0 +1,103 @@
+#include "accel/runner.hh"
+
+#include <string>
+
+#include "accel/layer_engine.hh"
+#include "gcn/sparsity_model.hh"
+#include "graph/reorder.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+RunResult
+runNetwork(const AccelConfig &config, const Dataset &dataset,
+           const NetworkSpec &net, const RunOptions &opts)
+{
+    SGCN_ASSERT(net.layers >= 2, "need at least two layers");
+
+    RunResult run;
+    run.accelName = config.name;
+    run.datasetAbbrev = dataset.spec.abbrev;
+
+    // I-GCN preprocesses the topology with islandization.
+    CsrGraph reordered;
+    const CsrGraph *graph = &dataset.graph;
+    if (config.islandReorder) {
+        reordered =
+            dataset.graph.permuted(bfsIslandOrder(dataset.graph));
+        graph = &reordered;
+    }
+
+    if (opts.includeInputLayer) {
+        LayerContext ctx = makeInputLayer(dataset, *graph, config, net);
+        LayerEngine engine(config, ctx);
+        run.inputLayer = engine.run(opts.mode);
+        run.total.merge(run.inputLayer);
+    }
+
+    // Intermediate layers: X^l for l in 1..layers-1 feeds layer l+1.
+    const unsigned arch_intermediate = net.layers - 1;
+    const auto indices = sampleLayerIndices(
+        arch_intermediate, opts.sampledIntermediateLayers);
+    LayerResult sampled_sum;
+    for (unsigned idx : indices) {
+        const unsigned arch_layer = idx + 1;
+        LayerContext ctx = makeIntermediateLayer(dataset, *graph,
+                                                 config, net,
+                                                 arch_layer);
+        LayerEngine engine(config, ctx);
+        LayerResult layer = engine.run(opts.mode);
+        run.sampledLayers.push_back(layer);
+        sampled_sum.merge(layer);
+    }
+    if (!indices.empty()) {
+        sampled_sum.scale(static_cast<double>(arch_intermediate) /
+                          static_cast<double>(indices.size()));
+        run.total.merge(sampled_sum);
+    }
+
+    if (run.total.cycles > 0) {
+        run.total.bwUtil = std::min(
+            1.0, static_cast<double>(run.total.traffic.totalLines()) *
+                     config.dram.burstCycles /
+                     (static_cast<double>(config.dram.channels) *
+                      static_cast<double>(run.total.cycles)));
+    }
+
+    const bool hbm1 = std::string(config.dram.name) == "HBM1";
+    EnergyModel energy_model({}, hbm1);
+    RunCounts counts;
+    counts.macs = run.total.macs;
+    counts.cacheAccesses = run.total.cacheAccesses;
+    counts.dramLines = run.total.traffic.totalLines();
+    counts.cycles = run.total.cycles;
+    AccelDescriptor desc = config.energyDesc;
+    desc.cacheKb =
+        static_cast<double>(config.cache.sizeBytes) / 1024.0;
+    run.energy = energy_model.dynamicEnergy(counts, desc.cacheKb);
+    run.tdpWatts = energy_model.tdpWatts(desc);
+    run.areaMm2 = energy_model.areaMm2(desc);
+    return run;
+}
+
+std::vector<RunResult>
+runAll(const std::vector<AccelConfig> &configs, const Dataset &dataset,
+       const NetworkSpec &net, const RunOptions &opts)
+{
+    std::vector<RunResult> results;
+    results.reserve(configs.size());
+    for (const auto &config : configs)
+        results.push_back(runNetwork(config, dataset, net, opts));
+    return results;
+}
+
+double
+speedupOver(const RunResult &baseline, const RunResult &contender)
+{
+    SGCN_ASSERT(contender.total.cycles > 0);
+    return static_cast<double>(baseline.total.cycles) /
+           static_cast<double>(contender.total.cycles);
+}
+
+} // namespace sgcn

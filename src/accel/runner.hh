@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Whole-network simulation driver.
+ *
+ * Simulates the input layer once plus a sample of intermediate
+ * layers (midpoints of equal-depth strata of the architectural
+ * network), then extrapolates intermediate totals to the full depth
+ * (DESIGN.md SS6). The input layer is never extrapolated, so
+ * NELL-style first-layer effects amortize over the network exactly
+ * as in the paper (SVI-B).
+ */
+
+#ifndef SGCN_ACCEL_RUNNER_HH
+#define SGCN_ACCEL_RUNNER_HH
+
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/result.hh"
+#include "gcn/spec.hh"
+#include "graph/datasets.hh"
+
+namespace sgcn
+{
+
+/** Simulation options. */
+struct RunOptions
+{
+    ExecutionMode mode = ExecutionMode::Fast;
+
+    /** Intermediate layers actually simulated (sampled). */
+    unsigned sampledIntermediateLayers = 4;
+
+    /** Simulate the dataset-input layer. */
+    bool includeInputLayer = true;
+};
+
+/** Simulate @p net on @p dataset with accelerator @p config. */
+RunResult runNetwork(const AccelConfig &config, const Dataset &dataset,
+                     const NetworkSpec &net, const RunOptions &opts = {});
+
+/** Run several personalities on one dataset. */
+std::vector<RunResult> runAll(const std::vector<AccelConfig> &configs,
+                              const Dataset &dataset,
+                              const NetworkSpec &net,
+                              const RunOptions &opts = {});
+
+/** Speedup of @p contender over @p baseline (cycles ratio). */
+double speedupOver(const RunResult &baseline,
+                   const RunResult &contender);
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_RUNNER_HH

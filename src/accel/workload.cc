@@ -1,0 +1,136 @@
+#include "accel/workload.hh"
+
+#include "core/beicsr.hh"
+#include "formats/csr.hh"
+#include "formats/dense.hh"
+#include "gcn/sparsity_model.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+std::uint64_t
+maskSeed(const DatasetSpec &spec, unsigned arch_layer)
+{
+    std::uint64_t h = 0xfea7u;
+    for (const char *p = spec.abbrev; *p; ++p)
+        h = Rng::splitMix64(h) ^ static_cast<std::uint64_t>(*p);
+    h ^= static_cast<std::uint64_t>(arch_layer) * 0x9e3779b9ULL;
+    return Rng::splitMix64(h);
+}
+
+namespace
+{
+
+/** Fill the dataflow-independent parts of a context. */
+void
+fillCommon(LayerContext &ctx, const CsrGraph &graph,
+           const NetworkSpec &net)
+{
+    ctx.graph = &graph;
+    ctx.residual = net.residual;
+    ctx.edgeBytes = net.edgeBytes();
+    if (net.agg == AggKind::Sage) {
+        // GraphSAGE samples up to sageFanout neighbours per vertex;
+        // the fraction of edges actually walked shrinks accordingly.
+        double sampled = 0.0;
+        for (VertexId v = 0; v < graph.numVertices(); ++v) {
+            sampled += std::min<double>(graph.degree(v),
+                                        net.sageFanout);
+        }
+        ctx.edgeSampleFraction =
+            sampled / static_cast<double>(graph.numEdges());
+    }
+}
+
+} // namespace
+
+LayerContext
+makeIntermediateLayer(const Dataset &dataset, const CsrGraph &graph,
+                      const AccelConfig &config, const NetworkSpec &net,
+                      unsigned arch_layer)
+{
+    SGCN_ASSERT(arch_layer >= 1 && arch_layer < net.layers,
+                "intermediate layer index out of range: ", arch_layer);
+
+    LayerContext ctx;
+    fillCommon(ctx, graph, net);
+    ctx.isInputLayer = false;
+    ctx.inWidth = net.hidden;
+    ctx.outWidth = net.hidden;
+    ctx.inSparsity = modeledLayerSparsity(dataset.spec, arch_layer,
+                                          net.layers, net.residual);
+    const unsigned out_layer = std::min(arch_layer + 1, net.layers);
+    ctx.outSparsity = modeledLayerSparsity(dataset.spec, out_layer,
+                                           net.layers, net.residual);
+
+    Rng in_rng(maskSeed(dataset.spec, arch_layer));
+    Rng out_rng(maskSeed(dataset.spec, arch_layer + 1));
+    const VertexId n = graph.numVertices();
+    ctx.inMask = FeatureMask::random(n, ctx.inWidth, ctx.inSparsity,
+                                     in_rng);
+    ctx.outMask = FeatureMask::random(n, ctx.outWidth, ctx.outSparsity,
+                                      out_rng);
+
+    ctx.inLayout = makeLayout(config.format, ctx.inWidth,
+                              config.sliceC);
+    ctx.outLayout = makeLayout(config.format, ctx.outWidth,
+                               config.sliceC);
+    // Offline tile sizing assumes the trained network's *average*
+    // sparsity (SV-C); denser-than-average layers overflow, which is
+    // the working-set variability SAC absorbs.
+    const double expected_density =
+        1.0 - modeledAvgSparsity(dataset.spec, net.layers,
+                                 net.residual);
+    ctx.inLayout->setExpectedDensity(expected_density);
+    ctx.outLayout->setExpectedDensity(expected_density);
+    ctx.inLayout->prepare(ctx.inMask, AddressMap::kFeatureInBase);
+    ctx.outLayout->prepare(ctx.outMask, AddressMap::kFeatureOutBase);
+    return ctx;
+}
+
+LayerContext
+makeInputLayer(const Dataset &dataset, const CsrGraph &graph,
+               const AccelConfig &config, const NetworkSpec &net)
+{
+    LayerContext ctx;
+    fillCommon(ctx, graph, net);
+    ctx.isInputLayer = true;
+    ctx.inWidth = dataset.inputWidth;
+    ctx.outWidth = net.hidden;
+    ctx.inSparsity = dataset.spec.inputSparsity;
+    ctx.outSparsity = modeledLayerSparsity(dataset.spec, 1, net.layers,
+                                           net.residual);
+
+    Rng in_rng(maskSeed(dataset.spec, 0));
+    Rng out_rng(maskSeed(dataset.spec, 1));
+    const VertexId n = graph.numVertices();
+    if (dataset.spec.oneHotInput) {
+        ctx.inMask = FeatureMask::oneHot(n, ctx.inWidth, in_rng);
+        ctx.inSparsity = ctx.inMask.sparsity();
+    } else {
+        ctx.inMask = FeatureMask::random(n, ctx.inWidth,
+                                         ctx.inSparsity, in_rng);
+    }
+    ctx.outMask = FeatureMask::random(n, ctx.outWidth, ctx.outSparsity,
+                                      out_rng);
+
+    // Input features ship dense; SGCN may read them through CSR when
+    // they are ultra-sparse (SVII-B). The output is always the
+    // personality's intermediate format.
+    const bool sparse_input =
+        config.firstLayerSparseInput && ctx.inSparsity > 0.90;
+    if (sparse_input) {
+        ctx.inLayout = std::make_unique<CsrLayout>(ctx.inWidth);
+    } else {
+        ctx.inLayout =
+            std::make_unique<DenseLayout>(ctx.inWidth, config.sliceC);
+    }
+    ctx.outLayout = makeLayout(config.format, ctx.outWidth,
+                               config.sliceC);
+    ctx.inLayout->prepare(ctx.inMask, AddressMap::kFeatureInBase);
+    ctx.outLayout->prepare(ctx.outMask, AddressMap::kFeatureOutBase);
+    return ctx;
+}
+
+} // namespace sgcn

@@ -1,0 +1,369 @@
+#include "core/beicsr.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+// ---------------------------------------------------------------------
+// Sliced BEICSR
+// ---------------------------------------------------------------------
+
+BeicsrLayout::BeicsrLayout(std::uint32_t feature_width,
+                           std::uint32_t slice_width)
+    : FeatureLayout(feature_width, slice_width)
+{
+    // Reserved (in-place) stride per slice: bitmap plus a dense
+    // slice's worth of values, padded to the cacheline/burst
+    // boundary so every slice starts aligned (SV-B).
+    sliceOffset.assign(sliceCount + 1, 0);
+    for (unsigned s = 0; s < sliceCount; ++s) {
+        const std::uint32_t span = sliceEnd(s) - sliceBegin(s);
+        const std::uint64_t stride =
+            alignUp(beicsrBitmapBytes(span) +
+                        static_cast<std::uint64_t>(span) * kFeatureBytes,
+                    kCachelineBytes);
+        sliceOffset[s + 1] = sliceOffset[s] + stride;
+    }
+    rowStride = sliceOffset[sliceCount];
+}
+
+void
+BeicsrLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    FeatureLayout::prepare(mask, base);
+}
+
+Addr
+BeicsrLayout::sliceAddr(VertexId v, unsigned s) const
+{
+    return baseAddr + static_cast<Addr>(v) * rowStride + sliceOffset[s];
+}
+
+std::uint64_t
+BeicsrLayout::sliceStrideBytes(unsigned s) const
+{
+    return sliceOffset[s + 1] - sliceOffset[s];
+}
+
+std::uint64_t
+BeicsrLayout::sliceOccupiedBytes(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    const std::uint32_t span = sliceEnd(s) - sliceBegin(s);
+    const std::uint32_t nnz =
+        boundMask->rangeNnz(v, sliceBegin(s), sliceEnd(s));
+    return beicsrBitmapBytes(span) +
+           static_cast<std::uint64_t>(nnz) * kFeatureBytes;
+}
+
+AccessPlan
+BeicsrLayout::planSliceRead(VertexId v, unsigned s) const
+{
+    AccessPlan plan;
+    // The slice head (bitmap + leading values) is always fetched;
+    // the prefix-sum result tells the aggregator whether further
+    // lines hold non-zeros (SV-D step 5). Net effect: exactly the
+    // lines containing occupied bytes.
+    plan.addBytes(sliceAddr(v, s), sliceOccupiedBytes(v, s));
+    return plan;
+}
+
+AccessPlan
+BeicsrLayout::planRowRead(VertexId v) const
+{
+    AccessPlan plan;
+    for (unsigned s = 0; s < sliceCount; ++s)
+        plan.addBytes(sliceAddr(v, s), sliceOccupiedBytes(v, s));
+    return plan;
+}
+
+AccessPlan
+BeicsrLayout::planRowWrite(VertexId v) const
+{
+    // The compressor flushes each unit slice once it is full (SV-E
+    // step 5); only occupied lines are written.
+    return planRowRead(v);
+}
+
+std::uint32_t
+BeicsrLayout::sliceValues(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return boundMask->rangeNnz(v, sliceBegin(s), sliceEnd(s));
+}
+
+std::uint64_t
+BeicsrLayout::storageBytes() const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return static_cast<std::uint64_t>(boundMask->rows()) * rowStride;
+}
+
+double
+BeicsrLayout::staticSliceBytesEstimate() const
+{
+    // Offline estimate at the trained network's average density;
+    // denser-than-average layers overflow the tile sizing (SV-C).
+    return beicsrBitmapBytes(unitSlice) +
+           expectedDensity * static_cast<double>(unitSlice) *
+               kFeatureBytes;
+}
+
+// ---------------------------------------------------------------------
+// Non-sliced BEICSR
+// ---------------------------------------------------------------------
+
+BeicsrNonSlicedLayout::BeicsrNonSlicedLayout(std::uint32_t feature_width)
+    : FeatureLayout(feature_width, 0)
+{
+    bitmapBytes = beicsrBitmapBytes(width);
+    rowStride = alignUp(bitmapBytes +
+                            static_cast<std::uint64_t>(width) *
+                                kFeatureBytes,
+                        kCachelineBytes);
+}
+
+void
+BeicsrNonSlicedLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    FeatureLayout::prepare(mask, base);
+}
+
+AccessPlan
+BeicsrNonSlicedLayout::planSliceRead(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0, "non-sliced BEICSR has no unit slices");
+    return planRowRead(v);
+}
+
+AccessPlan
+BeicsrNonSlicedLayout::planRowRead(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    const std::uint64_t occupied =
+        bitmapBytes + static_cast<std::uint64_t>(boundMask->rowNnz(v)) *
+                          kFeatureBytes;
+    plan.addBytes(baseAddr + static_cast<Addr>(v) * rowStride,
+                  occupied);
+    return plan;
+}
+
+AccessPlan
+BeicsrNonSlicedLayout::planRowWrite(VertexId v) const
+{
+    return planRowRead(v);
+}
+
+std::uint32_t
+BeicsrNonSlicedLayout::sliceValues(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0 && boundMask != nullptr);
+    return boundMask->rowNnz(v);
+}
+
+std::uint64_t
+BeicsrNonSlicedLayout::storageBytes() const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return static_cast<std::uint64_t>(boundMask->rows()) * rowStride;
+}
+
+double
+BeicsrNonSlicedLayout::staticSliceBytesEstimate() const
+{
+    return static_cast<double>(bitmapBytes) +
+           expectedDensity * static_cast<double>(width) *
+               kFeatureBytes;
+}
+
+// ---------------------------------------------------------------------
+// Split-bitmap ablation variant
+// ---------------------------------------------------------------------
+
+BeicsrSplitBitmapLayout::BeicsrSplitBitmapLayout(
+    std::uint32_t feature_width, std::uint32_t slice_width)
+    : FeatureLayout(feature_width, slice_width)
+{
+    sliceBitmapBytes = beicsrBitmapBytes(unitSlice);
+    sliceOffset.assign(sliceCount + 1, 0);
+    for (unsigned s = 0; s < sliceCount; ++s) {
+        const std::uint32_t span = sliceEnd(s) - sliceBegin(s);
+        sliceOffset[s + 1] =
+            sliceOffset[s] +
+            alignUp(static_cast<std::uint64_t>(span) * kFeatureBytes,
+                    kCachelineBytes);
+    }
+    valueRowStride = sliceOffset[sliceCount];
+}
+
+void
+BeicsrSplitBitmapLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    FeatureLayout::prepare(mask, base);
+    // Bitmap array first (packed), then the value area.
+    const std::uint64_t bitmap_area =
+        static_cast<std::uint64_t>(mask.rows()) * sliceCount *
+        sliceBitmapBytes;
+    valueBase = alignUp(base + bitmap_area, kCachelineBytes);
+}
+
+AccessPlan
+BeicsrSplitBitmapLayout::planSliceRead(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    // Bitmap fetch from the separate index array: a whole line is
+    // transferred, but it only helps if neighbouring bitmaps get
+    // reused before eviction — exactly the locality argument for
+    // embedding (SV-A).
+    const Addr bitmap_addr =
+        baseAddr + (static_cast<Addr>(v) * sliceCount + s) *
+                       sliceBitmapBytes;
+    plan.addBytes(bitmap_addr, sliceBitmapBytes);
+    const std::uint32_t nnz =
+        boundMask->rangeNnz(v, sliceBegin(s), sliceEnd(s));
+    plan.addBytes(valueBase + static_cast<Addr>(v) * valueRowStride +
+                      sliceOffset[s],
+                  static_cast<std::uint64_t>(nnz) * kFeatureBytes);
+    return plan;
+}
+
+AccessPlan
+BeicsrSplitBitmapLayout::planRowRead(VertexId v) const
+{
+    AccessPlan plan;
+    for (unsigned s = 0; s < sliceCount; ++s) {
+        const AccessPlan slice = planSliceRead(v, s);
+        for (unsigned r = 0; r < slice.numRuns; ++r)
+            plan.addLines(slice.runs[r].addr, slice.runs[r].lines);
+    }
+    return plan;
+}
+
+AccessPlan
+BeicsrSplitBitmapLayout::planRowWrite(VertexId v) const
+{
+    return planRowRead(v);
+}
+
+std::uint32_t
+BeicsrSplitBitmapLayout::sliceValues(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return boundMask->rangeNnz(v, sliceBegin(s), sliceEnd(s));
+}
+
+std::uint64_t
+BeicsrSplitBitmapLayout::storageBytes() const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return (valueBase - baseAddr) +
+           static_cast<std::uint64_t>(boundMask->rows()) *
+               valueRowStride;
+}
+
+double
+BeicsrSplitBitmapLayout::staticSliceBytesEstimate() const
+{
+    return sliceBitmapBytes +
+           expectedDensity * static_cast<double>(unitSlice) *
+               kFeatureBytes;
+}
+
+// ---------------------------------------------------------------------
+// Byte-exact encode/decode
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeBeicsrRow(const float *row, std::uint32_t width,
+                std::uint32_t slice_width)
+{
+    if (slice_width == 0 || slice_width > width)
+        slice_width = width;
+    std::vector<std::uint8_t> bytes;
+    for (std::uint32_t begin = 0; begin < width; begin += slice_width) {
+        const std::uint32_t end = std::min(begin + slice_width, width);
+        const std::uint32_t span = end - begin;
+        const std::uint32_t bitmap_bytes = beicsrBitmapBytes(span);
+        const std::uint64_t stride =
+            alignUp(bitmap_bytes +
+                        static_cast<std::uint64_t>(span) * kFeatureBytes,
+                    kCachelineBytes);
+        const std::size_t slice_start = bytes.size();
+        bytes.resize(slice_start + stride, 0);
+
+        std::uint8_t *bitmap = bytes.data() + slice_start;
+        auto *values = bytes.data() + slice_start + bitmap_bytes;
+        std::uint32_t cursor = 0;
+        for (std::uint32_t c = begin; c < end; ++c) {
+            if (row[c] != 0.0f) {
+                const std::uint32_t bit = c - begin;
+                bitmap[bit / 8] |=
+                    static_cast<std::uint8_t>(1u << (bit % 8));
+                std::memcpy(values + cursor * kFeatureBytes, &row[c],
+                            kFeatureBytes);
+                ++cursor;
+            }
+        }
+    }
+    return bytes;
+}
+
+std::vector<float>
+decodeBeicsrRow(const std::vector<std::uint8_t> &bytes,
+                std::uint32_t width, std::uint32_t slice_width)
+{
+    if (slice_width == 0 || slice_width > width)
+        slice_width = width;
+    std::vector<float> row(width, 0.0f);
+    std::size_t offset = 0;
+    for (std::uint32_t begin = 0; begin < width; begin += slice_width) {
+        const std::uint32_t end = std::min(begin + slice_width, width);
+        const std::uint32_t span = end - begin;
+        const std::uint32_t bitmap_bytes = beicsrBitmapBytes(span);
+        const std::uint64_t stride =
+            alignUp(bitmap_bytes +
+                        static_cast<std::uint64_t>(span) * kFeatureBytes,
+                    kCachelineBytes);
+        SGCN_ASSERT(offset + stride <= bytes.size(),
+                    "BEICSR buffer too small");
+
+        const std::uint8_t *bitmap = bytes.data() + offset;
+        const std::uint8_t *values = bitmap + bitmap_bytes;
+        std::uint32_t cursor = 0;
+        for (std::uint32_t bit = 0; bit < span; ++bit) {
+            if (bitmap[bit / 8] & (1u << (bit % 8))) {
+                std::memcpy(&row[begin + bit],
+                            values + cursor * kFeatureBytes,
+                            kFeatureBytes);
+                ++cursor;
+            }
+        }
+        offset += stride;
+    }
+    return row;
+}
+
+std::unique_ptr<FeatureLayout>
+makeLayout(FormatKind kind, std::uint32_t feature_width,
+           std::uint32_t slice_width)
+{
+    switch (kind) {
+      case FormatKind::Beicsr:
+        return std::make_unique<BeicsrLayout>(feature_width,
+                                              slice_width);
+      case FormatKind::BeicsrNonSliced:
+        return std::make_unique<BeicsrNonSlicedLayout>(feature_width);
+      case FormatKind::BeicsrSplitBitmap:
+        return std::make_unique<BeicsrSplitBitmapLayout>(feature_width,
+                                                         slice_width);
+      default:
+        return makeBaselineLayout(kind, feature_width, slice_width);
+    }
+}
+
+} // namespace sgcn

@@ -1,0 +1,99 @@
+#include "core/compressor.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/beicsr.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+Compressor::Compressor(std::uint32_t width, std::uint32_t slice_width)
+    : width(width),
+      sliceWidth(slice_width == 0 || slice_width > width ? width
+                                                         : slice_width)
+{
+    reset();
+}
+
+void
+Compressor::reset()
+{
+    pushed = 0;
+    nnzCount = 0;
+    sliceFill = 0;
+    sliceCursor = 0;
+    sliceBitmap.assign(beicsrBitmapBytes(sliceWidth), 0);
+    sliceValues.assign(sliceWidth, 0.0f);
+    rowImage.clear();
+}
+
+void
+Compressor::push(float pre_activation)
+{
+    SGCN_ASSERT(pushed < width, "row already complete");
+
+    // Fig. 9 step 1: ReLU at the entry of the compressor.
+    const float value = std::max(pre_activation, 0.0f);
+
+    if (value != 0.0f) {
+        // Steps 3'/4: set the bitmap bit, store at the counter.
+        sliceBitmap[sliceFill / 8] |=
+            static_cast<std::uint8_t>(1u << (sliceFill % 8));
+        sliceValues[sliceCursor] = value;
+        ++sliceCursor;
+        ++nnzCount;
+    }
+    // Step 3 (zero): only the bitmap advances.
+    ++sliceFill;
+    ++pushed;
+
+    const std::uint32_t slice_span =
+        std::min(sliceWidth, width - (pushed - sliceFill));
+    if (sliceFill == slice_span)
+        flushSlice();
+}
+
+void
+Compressor::flushSlice()
+{
+    // Fig. 9 step 5: flush bitmap + packed values, padded to the
+    // in-place reserved stride, and re-initialize.
+    const std::uint32_t span = sliceFill;
+    const std::uint32_t bitmap_bytes = beicsrBitmapBytes(span);
+    const std::uint64_t stride =
+        alignUp(bitmap_bytes +
+                    static_cast<std::uint64_t>(span) * kFeatureBytes,
+                kCachelineBytes);
+
+    const std::size_t start = rowImage.size();
+    rowImage.resize(start + stride, 0);
+    std::memcpy(rowImage.data() + start, sliceBitmap.data(),
+                bitmap_bytes);
+    std::memcpy(rowImage.data() + start + bitmap_bytes,
+                sliceValues.data(),
+                static_cast<std::size_t>(sliceCursor) * kFeatureBytes);
+
+    sliceFill = 0;
+    sliceCursor = 0;
+    std::fill(sliceBitmap.begin(), sliceBitmap.end(), 0);
+}
+
+const std::vector<std::uint8_t> &
+Compressor::encodedRow() const
+{
+    SGCN_ASSERT(rowComplete(), "row not complete yet");
+    return rowImage;
+}
+
+std::vector<std::uint8_t>
+Compressor::takeRow()
+{
+    SGCN_ASSERT(rowComplete(), "row not complete yet");
+    std::vector<std::uint8_t> result = std::move(rowImage);
+    reset();
+    return result;
+}
+
+} // namespace sgcn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional model of the SGCN post-combination compressor
+ * (SV-E, Fig. 9).
+ *
+ * One compressor entry sits at each output row of the systolic
+ * array. Values stream in after residual addition; the entry applies
+ * ReLU, appends a bit to the slice bitmap, stores non-zeros at the
+ * position its counter points to, and flushes the buffer to DRAM
+ * whenever a unit slice completes — so compression costs no extra
+ * off-chip traffic.
+ */
+
+#ifndef SGCN_CORE_COMPRESSOR_HH
+#define SGCN_CORE_COMPRESSOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** One compressor entry (Fig. 9) producing BEICSR row bytes. */
+class Compressor
+{
+  public:
+    /**
+     * @param width output feature width
+     * @param slice_width BEICSR unit slice width (0 = non-sliced)
+     */
+    Compressor(std::uint32_t width, std::uint32_t slice_width);
+
+    /** Discard buffered state and start a new row. */
+    void reset();
+
+    /**
+     * Stream one pre-activation output value (post residual add).
+     * ReLU is applied internally (Fig. 9 step 1).
+     */
+    void push(float pre_activation);
+
+    /** True once width values have been pushed. */
+    bool rowComplete() const { return pushed == width; }
+
+    /** Number of values pushed so far. */
+    std::uint32_t pushedValues() const { return pushed; }
+
+    /** Non-zeros written for the current row so far. */
+    std::uint32_t rowNnz() const { return nnzCount; }
+
+    /**
+     * The encoded BEICSR row (valid when rowComplete()); identical
+     * bytes to encodeBeicsrRow applied to the ReLU'd row.
+     */
+    const std::vector<std::uint8_t> &encodedRow() const;
+
+    /** Move the finished row out and reset for the next one. */
+    std::vector<std::uint8_t> takeRow();
+
+  private:
+    /** Flush the current slice buffer into the row image. */
+    void flushSlice();
+
+    std::uint32_t width;
+    std::uint32_t sliceWidth;
+    std::uint32_t pushed = 0;
+    std::uint32_t nnzCount = 0;
+
+    // Current-slice state (Fig. 9's bitmap register + counter).
+    std::vector<std::uint8_t> sliceBitmap;
+    std::vector<float> sliceValues;
+    std::uint32_t sliceFill = 0;   //!< values pushed into this slice
+    std::uint32_t sliceCursor = 0; //!< non-zero counter ("Cnt")
+
+    std::vector<std::uint8_t> rowImage;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_CORE_COMPRESSOR_HH

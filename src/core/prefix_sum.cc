@@ -1,0 +1,31 @@
+#include "core/prefix_sum.hh"
+
+namespace sgcn
+{
+
+std::vector<std::uint32_t>
+PrefixSumUnit::reversedIndices(const std::uint8_t *bitmap,
+                               std::uint32_t bits)
+{
+    std::vector<std::uint32_t> indices(bits, 0);
+    std::uint32_t running = 0;
+    for (std::uint32_t i = 0; i < bits; ++i) {
+        indices[i] = running;
+        if (bitmap[i / 8] & (1u << (i % 8)))
+            ++running;
+    }
+    return indices;
+}
+
+std::uint32_t
+PrefixSumUnit::popcount(const std::uint8_t *bitmap, std::uint32_t bits)
+{
+    std::uint32_t count = 0;
+    for (std::uint32_t i = 0; i < bits; ++i) {
+        if (bitmap[i / 8] & (1u << (i % 8)))
+            ++count;
+    }
+    return count;
+}
+
+} // namespace sgcn

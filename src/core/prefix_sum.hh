@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Parallel prefix-sum unit (SV-D).
+ *
+ * The sparse aggregator feeds each fetched bitmap through this unit
+ * to turn set bits into reversed indices into the packed non-zero
+ * array (Fig. 8, step 2'). Functionally it is an exclusive prefix
+ * sum over the bitmap; the hardware is a log-depth Kogge-Stone
+ * network pipelined at one bitmap per cycle.
+ */
+
+#ifndef SGCN_CORE_PREFIX_SUM_HH
+#define SGCN_CORE_PREFIX_SUM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** Combinational prefix-sum model. */
+class PrefixSumUnit
+{
+  public:
+    /**
+     * Exclusive prefix sum of set bits: result[i] is the packed
+     * non-zero index of bit @p i (valid only where the bit is set).
+     *
+     * @param bitmap little-endian bitmap bytes
+     * @param bits number of bitmap positions to process
+     */
+    static std::vector<std::uint32_t>
+    reversedIndices(const std::uint8_t *bitmap, std::uint32_t bits);
+
+    /** Number of set bits among the first @p bits positions. */
+    static std::uint32_t popcount(const std::uint8_t *bitmap,
+                                  std::uint32_t bits);
+
+    /** Pipeline latency of a @p lanes-wide Kogge-Stone network. */
+    static constexpr unsigned
+    latencyCycles(unsigned lanes)
+    {
+        unsigned depth = 0;
+        unsigned span = 1;
+        while (span < lanes) {
+            span <<= 1;
+            ++depth;
+        }
+        return depth;
+    }
+};
+
+} // namespace sgcn
+
+#endif // SGCN_CORE_PREFIX_SUM_HH

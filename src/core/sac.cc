@@ -1,0 +1,53 @@
+#include "core/sac.hh"
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+std::vector<std::vector<VertexId>>
+scheduleEngines(VertexId begin, VertexId end, unsigned num_engines,
+                EngineScheduleKind kind, VertexId strip_height)
+{
+    SGCN_ASSERT(begin <= end && num_engines > 0);
+    std::vector<std::vector<VertexId>> schedule(num_engines);
+    const VertexId total = end - begin;
+    if (total == 0)
+        return schedule;
+
+    switch (kind) {
+      case EngineScheduleKind::Chunked: {
+        const VertexId chunk = static_cast<VertexId>(
+            divCeil(total, num_engines));
+        for (unsigned e = 0; e < num_engines; ++e) {
+            const VertexId lo = begin + e * chunk;
+            const VertexId hi =
+                std::min<VertexId>(lo + chunk, end);
+            for (VertexId v = lo; v < hi && v >= lo; ++v)
+                schedule[e].push_back(v);
+        }
+        break;
+      }
+
+      case EngineScheduleKind::SacStrips: {
+        SGCN_ASSERT(strip_height > 0);
+        // Strip k (vertices [begin + k*h, begin + (k+1)*h)) goes to
+        // engine k mod E: at any time the engines sweep E adjacent
+        // strips, and the sweep front advances together.
+        const auto strips = static_cast<VertexId>(
+            divCeil(total, strip_height));
+        for (VertexId k = 0; k < strips; ++k) {
+            const unsigned engine = k % num_engines;
+            const VertexId lo = begin + k * strip_height;
+            const VertexId hi =
+                std::min<VertexId>(lo + strip_height, end);
+            for (VertexId v = lo; v < hi; ++v)
+                schedule[engine].push_back(v);
+        }
+        break;
+      }
+    }
+    return schedule;
+}
+
+} // namespace sgcn

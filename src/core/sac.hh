@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sparsity-aware cooperation (SAC) engine scheduling (SV-C, Fig. 7).
+ *
+ * Conventional multi-engine execution splits a destination-vertex
+ * tile into large contiguous chunks, one per engine: the combined
+ * access pattern has a single working-set size, chosen offline,
+ * which overflows the cache whenever actual sparsity is lower than
+ * the static estimate. SAC instead deals small interleaved strips
+ * (height 32) to the engines, so at any instant the engines sweep
+ * adjacent strips: neighbour similarity and community clustering
+ * then create nested reuse windows, letting the cache capture a
+ * smaller window when the effective working set grows.
+ */
+
+#ifndef SGCN_CORE_SAC_HH
+#define SGCN_CORE_SAC_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** How a destination tile's vertices are dealt to engines. */
+enum class EngineScheduleKind
+{
+    /** Contiguous chunk per engine (Fig. 7a). */
+    Chunked,
+    /** Interleaved strips per engine (Fig. 7c, SAC). */
+    SacStrips,
+};
+
+/**
+ * Compute each engine's ordered destination-vertex list for the tile
+ * [begin, end).
+ *
+ * @param begin first destination vertex of the tile
+ * @param end one past the last destination vertex
+ * @param num_engines aggregation engine count (Table III: 8)
+ * @param kind chunked or SAC strips
+ * @param strip_height strip height for SAC (paper default: 32)
+ */
+std::vector<std::vector<VertexId>>
+scheduleEngines(VertexId begin, VertexId end, unsigned num_engines,
+                EngineScheduleKind kind, VertexId strip_height = 32);
+
+} // namespace sgcn
+
+#endif // SGCN_CORE_SAC_HH

@@ -1,0 +1,107 @@
+#include "core/sparse_aggregator.hh"
+
+#include <cstring>
+
+#include "core/beicsr.hh"
+#include "core/prefix_sum.hh"
+#include "gcn/fixed_point.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+SparseAggregator::SparseAggregator(std::uint32_t width,
+                                   std::uint32_t slice_width)
+    : width(width),
+      sliceWidth(slice_width == 0 || slice_width > width ? width
+                                                         : slice_width),
+      accum(width, 0.0f)
+{
+}
+
+void
+SparseAggregator::reset()
+{
+    std::fill(accum.begin(), accum.end(), 0.0f);
+}
+
+void
+SparseAggregator::accumulate(const std::vector<std::uint8_t> &beicsr_row,
+                             float edge_weight)
+{
+    std::size_t offset = 0;
+    for (std::uint32_t begin = 0; begin < width; begin += sliceWidth) {
+        const std::uint32_t end = std::min(begin + sliceWidth, width);
+        const std::uint32_t span = end - begin;
+        const std::uint32_t bitmap_bytes = beicsrBitmapBytes(span);
+        const std::uint64_t stride =
+            alignUp(bitmap_bytes +
+                        static_cast<std::uint64_t>(span) * kFeatureBytes,
+                    kCachelineBytes);
+        SGCN_ASSERT(offset + stride <= beicsr_row.size(),
+                    "BEICSR row buffer too small");
+
+        const std::uint8_t *bitmap = beicsr_row.data() + offset;
+        const std::uint8_t *values = bitmap + bitmap_bytes;
+
+        // Fig. 8: prefix sum converts set bits to packed indices;
+        // lanes multiply value * edge_weight and the accumulators at
+        // the bitmap positions load the products.
+        const std::vector<std::uint32_t> packed_idx =
+            PrefixSumUnit::reversedIndices(bitmap, span);
+        for (std::uint32_t bit = 0; bit < span; ++bit) {
+            if (bitmap[bit / 8] & (1u << (bit % 8))) {
+                float value;
+                std::memcpy(&value,
+                            values + static_cast<std::size_t>(
+                                         packed_idx[bit]) *
+                                         kFeatureBytes,
+                            kFeatureBytes);
+                accum[begin + bit] += edge_weight * value;
+            }
+        }
+        offset += stride;
+    }
+}
+
+void
+SparseAggregator::accumulateFixed(
+    const std::vector<std::uint8_t> &beicsr_row, float edge_weight)
+{
+    const Fixed32 weight = Fixed32::fromDouble(edge_weight);
+    std::size_t offset = 0;
+    for (std::uint32_t begin = 0; begin < width; begin += sliceWidth) {
+        const std::uint32_t end = std::min(begin + sliceWidth, width);
+        const std::uint32_t span = end - begin;
+        const std::uint32_t bitmap_bytes = beicsrBitmapBytes(span);
+        const std::uint64_t stride =
+            alignUp(bitmap_bytes +
+                        static_cast<std::uint64_t>(span) * kFeatureBytes,
+                    kCachelineBytes);
+        SGCN_ASSERT(offset + stride <= beicsr_row.size(),
+                    "BEICSR row buffer too small");
+
+        const std::uint8_t *bitmap = beicsr_row.data() + offset;
+        const std::uint8_t *values = bitmap + bitmap_bytes;
+        const std::vector<std::uint32_t> packed_idx =
+            PrefixSumUnit::reversedIndices(bitmap, span);
+        for (std::uint32_t bit = 0; bit < span; ++bit) {
+            if (bitmap[bit / 8] & (1u << (bit % 8))) {
+                float value;
+                std::memcpy(&value,
+                            values + static_cast<std::size_t>(
+                                         packed_idx[bit]) *
+                                         kFeatureBytes,
+                            kFeatureBytes);
+                const Fixed32 product =
+                    Fixed32::fromDouble(value) * weight;
+                const Fixed32 sum =
+                    Fixed32::fromDouble(accum[begin + bit]) + product;
+                accum[begin + bit] = static_cast<float>(sum.toDouble());
+            }
+        }
+        offset += stride;
+    }
+}
+
+} // namespace sgcn

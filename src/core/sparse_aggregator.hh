@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Functional model of the SGCN sparse aggregator unit (SV-D, Fig. 8).
+ *
+ * The unit consumes BEICSR-encoded feature rows directly: the
+ * embedded bitmap is run through the prefix-sum unit, the packed
+ * non-zero values are multiplied by the broadcast edge weight in the
+ * 16-lane SIMD multipliers, and the accumulation registers add the
+ * products at the positions the bitmap selects. The timing side is a
+ * pair of static cost functions used by the cycle model.
+ */
+
+#ifndef SGCN_CORE_SPARSE_AGGREGATOR_HH
+#define SGCN_CORE_SPARSE_AGGREGATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** One sparse aggregator engine (functional). */
+class SparseAggregator
+{
+  public:
+    /** SIMD multiplier lanes per engine (Table III: 16-way). */
+    static constexpr unsigned kLanes = 16;
+
+    /**
+     * @param width feature width of the rows being aggregated
+     * @param slice_width BEICSR unit slice width (0 = non-sliced)
+     */
+    SparseAggregator(std::uint32_t width, std::uint32_t slice_width);
+
+    /** Zero the accumulation registers. */
+    void reset();
+
+    /**
+     * Accumulate one neighbour contribution from its BEICSR row
+     * bytes (as produced by encodeBeicsrRow), scaled by the edge
+     * weight broadcast to all lanes.
+     */
+    void accumulate(const std::vector<std::uint8_t> &beicsr_row,
+                    float edge_weight);
+
+    /**
+     * Same accumulation through the Q16.16 datapath Table III
+     * specifies (32-bit fixed point for features and weights):
+     * values quantize on load, the multiply-accumulate saturates.
+     * Results land in the same registers (as floats) so result()
+     * reports what the fixed datapath produced.
+     */
+    void accumulateFixed(const std::vector<std::uint8_t> &beicsr_row,
+                         float edge_weight);
+
+    /** Current accumulation register contents. */
+    const std::vector<float> &result() const { return accum; }
+
+    /**
+     * Cycles to process one fetched slice holding @p nnz non-zero
+     * values: the multipliers handle kLanes values per cycle and the
+     * pipelined prefix sum hides behind them. A minimum of one cycle
+     * covers the bitmap-only (all-zero) case.
+     */
+    static Cycle
+    sliceCycles(std::uint32_t nnz)
+    {
+        return std::max<Cycle>(1, divCeil(nnz, kLanes));
+    }
+
+    /** Dense-engine equivalent: every element is processed. */
+    static Cycle
+    denseSliceCycles(std::uint32_t slice_width)
+    {
+        return std::max<Cycle>(1, divCeil(slice_width, kLanes));
+    }
+
+  private:
+    std::uint32_t width;
+    std::uint32_t sliceWidth;
+    std::vector<float> accum;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_CORE_SPARSE_AGGREGATOR_HH

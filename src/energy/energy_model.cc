@@ -1,0 +1,47 @@
+#include "energy/energy_model.hh"
+
+#include <cmath>
+
+namespace sgcn
+{
+
+EnergyBreakdown
+EnergyModel::dynamicEnergy(const RunCounts &counts,
+                           double cache_kb) const
+{
+    EnergyBreakdown result;
+    result.computeJ =
+        static_cast<double>(counts.macs) * k.macPj * 1e-12;
+
+    // CACTI-style sqrt(capacity) scaling of per-access energy.
+    const double cache_scale = std::sqrt(cache_kb / 512.0);
+    result.cacheJ = static_cast<double>(counts.cacheAccesses) *
+                    k.cacheLinePjAt512K * cache_scale * 1e-12;
+
+    const double line_pj =
+        useHbm1 ? k.dramLinePjHbm1 : k.dramLinePjHbm2;
+    result.dramJ =
+        static_cast<double>(counts.dramLines) * line_pj * 1e-12;
+    return result;
+}
+
+double
+EnergyModel::tdpWatts(const AccelDescriptor &desc) const
+{
+    const double logic = desc.logicAreaMm2 * k.logicWattsPerMm2;
+    const double sram =
+        (desc.privateBufferKb + desc.cacheKb) / 1024.0 *
+        k.sramWattsPerMb;
+    return logic + sram + k.dramInterfaceWatts;
+}
+
+double
+EnergyModel::areaMm2(const AccelDescriptor &desc) const
+{
+    // The paper's quoted areas already include the private buffers;
+    // only the shared global cache is added on top.
+    return desc.logicAreaMm2 +
+           desc.cacheKb / 1024.0 * k.sramMm2PerMb;
+}
+
+} // namespace sgcn

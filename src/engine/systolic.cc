@@ -1,0 +1,36 @@
+#include "engine/systolic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+GemmCost
+SystolicArray::gemm(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                    double skip_fraction) const
+{
+    SGCN_ASSERT(skip_fraction >= 0.0 && skip_fraction < 1.0);
+    GemmCost cost;
+    if (m == 0 || k == 0 || n == 0)
+        return cost;
+
+    const std::uint64_t tiles_m = divCeil(m, cfg.rows);
+    const std::uint64_t tiles_n = divCeil(n, cfg.cols);
+    cost.tiles = tiles_m * tiles_n;
+
+    // Zero skipping compresses the reduction dimension; the array
+    // still pays fill/drain skew per tile.
+    const auto effective_k = static_cast<std::uint64_t>(std::max(
+        1.0, std::ceil(static_cast<double>(k) *
+                       (1.0 - skip_fraction))));
+    const Cycle per_tile =
+        effective_k + cfg.rows + cfg.cols - 2;
+    cost.cycles = cost.tiles * per_tile;
+    cost.macs = m * n * effective_k;
+    return cost;
+}
+
+} // namespace sgcn

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Output-stationary systolic array timing model (SCALE-Sim style).
+ *
+ * The combination engine is a 32x32 output-stationary systolic array
+ * (Table III). For an M x K times K x N product, each
+ * (32 x 32)-output tile streams K partial products through the
+ * array after a skewed fill and before a skewed drain:
+ * K + 2*S - 2 cycles per tile, the standard SCALE-Sim OS formula.
+ * Residual addition initializes the output registers with S^l
+ * (SV-F), costing no extra cycles.
+ */
+
+#ifndef SGCN_ENGINE_SYSTOLIC_HH
+#define SGCN_ENGINE_SYSTOLIC_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** Systolic array geometry. */
+struct SystolicConfig
+{
+    unsigned rows = 32;
+    unsigned cols = 32;
+};
+
+/** Cycle/work accounting for one GEMM on the array. */
+struct GemmCost
+{
+    Cycle cycles = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t tiles = 0;
+};
+
+/** Output-stationary systolic array model. */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(const SystolicConfig &config) : cfg(config) {}
+
+    /**
+     * Cost of computing an (M x K) . (K x N) product.
+     * @param skip_fraction fraction of input elements that are zero
+     *        and skipped by a zero-skipping datapath (AWB-GCN's
+     *        combination); reduces effective K.
+     */
+    GemmCost gemm(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                  double skip_fraction = 0.0) const;
+
+    const SystolicConfig &config() const { return cfg; }
+
+  private:
+    SystolicConfig cfg;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ENGINE_SYSTOLIC_HH

@@ -1,0 +1,105 @@
+#include "formats/blocked_ellpack.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+BlockedEllpackLayout::BlockedEllpackLayout(std::uint32_t feature_width)
+    : FeatureLayout(feature_width, 0)
+{
+}
+
+void
+BlockedEllpackLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    FeatureLayout::prepare(mask, base);
+    const std::uint32_t n = mask.rows();
+    blockRows = static_cast<std::uint32_t>(divCeil(n, kBlock));
+    const auto block_cols =
+        static_cast<std::uint32_t>(divCeil(width, kBlock));
+
+    kMax = 0;
+    for (std::uint32_t br = 0; br < blockRows; ++br) {
+        std::uint32_t count = 0;
+        for (std::uint32_t bc = 0; bc < block_cols; ++bc) {
+            bool nonzero = false;
+            for (std::uint32_t dr = 0; dr < kBlock && !nonzero; ++dr) {
+                const std::uint32_t r = br * kBlock + dr;
+                if (r >= n)
+                    break;
+                for (std::uint32_t dc = 0; dc < kBlock; ++dc) {
+                    const std::uint32_t c = bc * kBlock + dc;
+                    if (c >= width)
+                        break;
+                    if (mask.test(r, c)) {
+                        nonzero = true;
+                        break;
+                    }
+                }
+            }
+            count += nonzero ? 1 : 0;
+        }
+        kMax = std::max(kMax, count);
+    }
+    rowStride = static_cast<std::uint64_t>(kMax) * kBlockBytes;
+}
+
+AccessPlan
+BlockedEllpackLayout::planSliceRead(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0, "Blocked Ellpack does not support slicing");
+    return planRowRead(v);
+}
+
+AccessPlan
+BlockedEllpackLayout::planRowRead(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    const std::uint32_t br = v / kBlock;
+    plan.addBytes(baseAddr + static_cast<Addr>(br) * rowStride,
+                  rowStride);
+    return plan;
+}
+
+AccessPlan
+BlockedEllpackLayout::planRowWrite(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    if (v % kBlock == 0) {
+        const std::uint32_t br = v / kBlock;
+        plan.addBytes(baseAddr + static_cast<Addr>(br) * rowStride,
+                      rowStride);
+    }
+    return plan;
+}
+
+std::uint32_t
+BlockedEllpackLayout::sliceValues(VertexId v, unsigned s) const
+{
+    (void)v;
+    SGCN_ASSERT(s == 0 && boundMask != nullptr);
+    return kMax * kBlock;
+}
+
+std::uint64_t
+BlockedEllpackLayout::storageBytes() const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return static_cast<std::uint64_t>(blockRows) * rowStride;
+}
+
+double
+BlockedEllpackLayout::staticSliceBytesEstimate() const
+{
+    const double p_nonzero = 1.0 - std::pow(0.5, 4);
+    return p_nonzero * static_cast<double>(unitSlice) / kBlock *
+           static_cast<double>(kBlockBytes) / kBlock;
+}
+
+} // namespace sgcn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Blocked Ellpack (2x2 blocks) feature layout.
+ *
+ * Every block row stores exactly K blocks, where K is the maximum
+ * non-zero block count over all block rows; shorter rows are padded
+ * with explicit zero blocks. With 40-70% element sparsity K
+ * saturates near the full block-column count, so Ellpack reads more
+ * than the dense layout — the paper's second block-format strawman
+ * (SII-B).
+ */
+
+#ifndef SGCN_FORMATS_BLOCKED_ELLPACK_HH
+#define SGCN_FORMATS_BLOCKED_ELLPACK_HH
+
+#include <vector>
+
+#include "formats/format.hh"
+
+namespace sgcn
+{
+
+/** 2x2-block Ellpack over the feature matrix (no slicing). */
+class BlockedEllpackLayout : public FeatureLayout
+{
+  public:
+    static constexpr std::uint32_t kBlock = 2;
+    static constexpr std::uint64_t kBlockBytes =
+        kBlock * kBlock * kFeatureBytes + 4;
+
+    explicit BlockedEllpackLayout(std::uint32_t feature_width);
+
+    FormatKind kind() const override
+    {
+        return FormatKind::BlockedEllpack;
+    }
+
+    void prepare(const FeatureMask &mask, Addr base) override;
+    AccessPlan planSliceRead(VertexId v, unsigned s) const override;
+    AccessPlan planRowRead(VertexId v) const override;
+    AccessPlan planRowWrite(VertexId v) const override;
+    std::uint32_t sliceValues(VertexId v, unsigned s) const override;
+    std::uint64_t storageBytes() const override;
+    double staticSliceBytesEstimate() const override;
+
+    /** The padded per-block-row block count K. */
+    std::uint32_t paddedBlockCount() const { return kMax; }
+
+  private:
+    std::uint32_t kMax = 0;
+    std::uint64_t rowStride = 0;
+    std::uint32_t blockRows = 0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_FORMATS_BLOCKED_ELLPACK_HH

@@ -1,0 +1,114 @@
+#include "formats/bsr.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+BsrLayout::BsrLayout(std::uint32_t feature_width)
+    : FeatureLayout(feature_width, 0)
+{
+}
+
+void
+BsrLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    FeatureLayout::prepare(mask, base);
+    const std::uint32_t n = mask.rows();
+    const auto block_rows =
+        static_cast<std::uint32_t>(divCeil(n, kBlock));
+    const auto block_cols =
+        static_cast<std::uint32_t>(divCeil(width, kBlock));
+
+    blockCount.assign(block_rows, 0);
+    for (std::uint32_t br = 0; br < block_rows; ++br) {
+        for (std::uint32_t bc = 0; bc < block_cols; ++bc) {
+            bool nonzero = false;
+            for (std::uint32_t dr = 0; dr < kBlock && !nonzero; ++dr) {
+                const std::uint32_t r = br * kBlock + dr;
+                if (r >= n)
+                    break;
+                for (std::uint32_t dc = 0; dc < kBlock; ++dc) {
+                    const std::uint32_t c = bc * kBlock + dc;
+                    if (c >= width)
+                        break;
+                    if (mask.test(r, c)) {
+                        nonzero = true;
+                        break;
+                    }
+                }
+            }
+            blockCount[br] += nonzero ? 1 : 0;
+        }
+    }
+
+    rowOffset.assign(block_rows + 1, 0);
+    for (std::uint32_t br = 0; br < block_rows; ++br) {
+        rowOffset[br + 1] =
+            rowOffset[br] + blockCount[br] * kBlockBytes;
+    }
+    dataBase = alignUp(base + static_cast<Addr>(block_rows + 1) * 4,
+                       kCachelineBytes);
+}
+
+AccessPlan
+BsrLayout::planSliceRead(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0, "BSR layout does not support slicing");
+    return planRowRead(v);
+}
+
+AccessPlan
+BsrLayout::planRowRead(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    const std::uint32_t br = v / kBlock;
+    plan.addBytes(baseAddr + static_cast<Addr>(br) * 4, 8);
+    plan.addBytes(dataBase + rowOffset[br],
+                  rowOffset[br + 1] - rowOffset[br]);
+    return plan;
+}
+
+AccessPlan
+BsrLayout::planRowWrite(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    const std::uint32_t br = v / kBlock;
+    // Both vertices of the block row share the stored blocks; charge
+    // the write once, on the even vertex.
+    if (v % kBlock == 0) {
+        plan.addBytes(dataBase + rowOffset[br],
+                      rowOffset[br + 1] - rowOffset[br]);
+    }
+    return plan;
+}
+
+std::uint32_t
+BsrLayout::sliceValues(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0 && boundMask != nullptr);
+    // The aggregator sees kBlock lanes of every fetched block.
+    return blockCount[v / kBlock] * kBlock;
+}
+
+std::uint64_t
+BsrLayout::storageBytes() const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return (dataBase - baseAddr) + rowOffset.back();
+}
+
+double
+BsrLayout::staticSliceBytesEstimate() const
+{
+    // P(2x2 block non-empty) at nominal 50% element density.
+    const double p_nonzero = 1.0 - std::pow(0.5, 4);
+    return p_nonzero * static_cast<double>(unitSlice) / kBlock *
+           static_cast<double>(kBlockBytes) / kBlock + 8.0;
+}
+
+} // namespace sgcn

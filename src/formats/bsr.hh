@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Block compressed sparse row (2x2 blocks) feature layout.
+ *
+ * A block is stored (16B of values + 4B block-column index) only if
+ * any of its four elements is non-zero. At the 40-70% element
+ * sparsity of GCN intermediate features almost every 2x2 block has a
+ * non-zero, so BSR degenerates to dense-plus-overhead — the paper's
+ * argument for why block formats do not fit (SII-B).
+ */
+
+#ifndef SGCN_FORMATS_BSR_HH
+#define SGCN_FORMATS_BSR_HH
+
+#include <vector>
+
+#include "formats/format.hh"
+
+namespace sgcn
+{
+
+/** 2x2-block BSR over the feature matrix (no slicing support). */
+class BsrLayout : public FeatureLayout
+{
+  public:
+    static constexpr std::uint32_t kBlock = 2;
+
+    /** Bytes per stored block: 4 values + block column index. */
+    static constexpr std::uint64_t kBlockBytes =
+        kBlock * kBlock * kFeatureBytes + 4;
+
+    explicit BsrLayout(std::uint32_t feature_width);
+
+    bool supportsParallelWrite() const override
+    {
+        return false; // packed rows: offsets depend on
+                      // every previous row's length
+    }
+
+    FormatKind kind() const override { return FormatKind::Bsr; }
+
+    void prepare(const FeatureMask &mask, Addr base) override;
+    AccessPlan planSliceRead(VertexId v, unsigned s) const override;
+    AccessPlan planRowRead(VertexId v) const override;
+    AccessPlan planRowWrite(VertexId v) const override;
+    std::uint32_t sliceValues(VertexId v, unsigned s) const override;
+    std::uint64_t storageBytes() const override;
+    double staticSliceBytesEstimate() const override;
+
+    /** Non-zero blocks in block row @p br (for tests). */
+    std::uint32_t blockRowCount(std::uint32_t br) const
+    {
+        return blockCount[br];
+    }
+
+  private:
+    std::vector<std::uint32_t> blockCount;
+    std::vector<std::uint64_t> rowOffset;
+    Addr dataBase = 0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_FORMATS_BSR_HH

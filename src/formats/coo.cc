@@ -1,0 +1,109 @@
+#include "formats/coo.hh"
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+namespace
+{
+/** Bytes per COO non-zero: row + col + value. */
+constexpr std::uint64_t kCooNnzBytes = 12;
+} // namespace
+
+CooLayout::CooLayout(std::uint32_t feature_width)
+    : FeatureLayout(feature_width, 0)
+{
+}
+
+void
+CooLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    FeatureLayout::prepare(mask, base);
+    const std::uint32_t n = mask.rows();
+    rowOffset.assign(n + 1, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        rowOffset[v + 1] =
+            rowOffset[v] + mask.rowNnz(v) * kCooNnzBytes;
+    }
+    dataBase = alignUp(base + static_cast<Addr>(n + 1) * 4,
+                       kCachelineBytes);
+}
+
+AccessPlan
+CooLayout::planSliceRead(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0, "COO layout does not support slicing");
+    return planRowRead(v);
+}
+
+AccessPlan
+CooLayout::planRowRead(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    plan.addBytes(baseAddr + static_cast<Addr>(v) * 4, 8);
+    plan.addBytes(dataBase + rowOffset[v],
+                  rowOffset[v + 1] - rowOffset[v]);
+    return plan;
+}
+
+AccessPlan
+CooLayout::planRowWrite(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    plan.addBytes(dataBase + rowOffset[v],
+                  rowOffset[v + 1] - rowOffset[v]);
+    return plan;
+}
+
+std::uint32_t
+CooLayout::sliceValues(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0 && boundMask != nullptr);
+    return boundMask->rowNnz(v);
+}
+
+std::uint64_t
+CooLayout::storageBytes() const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return (dataBase - baseAddr) + rowOffset.back();
+}
+
+double
+CooLayout::staticSliceBytesEstimate() const
+{
+    return expectedDensity * static_cast<double>(unitSlice) *
+               kCooNnzBytes + 8.0;
+}
+
+CooMatrix
+encodeCoo(const DenseMatrix &matrix)
+{
+    CooMatrix coo;
+    coo.rows = matrix.rows();
+    coo.cols = matrix.cols();
+    for (std::uint32_t r = 0; r < coo.rows; ++r) {
+        for (std::uint32_t c = 0; c < coo.cols; ++c) {
+            if (matrix.at(r, c) != 0.0f) {
+                coo.rowIdx.push_back(r);
+                coo.colIdx.push_back(c);
+                coo.values.push_back(matrix.at(r, c));
+            }
+        }
+    }
+    return coo;
+}
+
+DenseMatrix
+decodeCoo(const CooMatrix &coo)
+{
+    DenseMatrix matrix(coo.rows, coo.cols);
+    for (std::size_t i = 0; i < coo.values.size(); ++i)
+        matrix.at(coo.rowIdx[i], coo.colIdx[i]) = coo.values[i];
+    return matrix;
+}
+
+} // namespace sgcn

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Coordinate-list feature layout.
+ *
+ * Stores (row, col, value) triples — 12 bytes per non-zero, the
+ * heaviest index overhead of the Fig. 3 formats. Random per-vertex
+ * access additionally needs a row-extent array, modeled like CSR's
+ * row pointers.
+ */
+
+#ifndef SGCN_FORMATS_COO_HH
+#define SGCN_FORMATS_COO_HH
+
+#include <vector>
+
+#include "formats/format.hh"
+
+namespace sgcn
+{
+
+/** Packed COO over the feature matrix (no slicing support). */
+class CooLayout : public FeatureLayout
+{
+  public:
+    explicit CooLayout(std::uint32_t feature_width);
+
+    bool supportsParallelWrite() const override
+    {
+        return false; // packed rows: offsets depend on
+                      // every previous row's length
+    }
+
+    FormatKind kind() const override { return FormatKind::Coo; }
+
+    void prepare(const FeatureMask &mask, Addr base) override;
+    AccessPlan planSliceRead(VertexId v, unsigned s) const override;
+    AccessPlan planRowRead(VertexId v) const override;
+    AccessPlan planRowWrite(VertexId v) const override;
+    std::uint32_t sliceValues(VertexId v, unsigned s) const override;
+    std::uint64_t storageBytes() const override;
+    double staticSliceBytesEstimate() const override;
+
+  private:
+    std::vector<std::uint64_t> rowOffset;
+    Addr dataBase = 0;
+};
+
+/** Standalone COO encoding (for tests). */
+struct CooMatrix
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint32_t> rowIdx;
+    std::vector<std::uint32_t> colIdx;
+    std::vector<float> values;
+};
+
+/** Encode a dense matrix as COO triples in row-major order. */
+CooMatrix encodeCoo(const DenseMatrix &matrix);
+
+/** Decode COO back to dense. */
+DenseMatrix decodeCoo(const CooMatrix &coo);
+
+} // namespace sgcn
+
+#endif // SGCN_FORMATS_COO_HH

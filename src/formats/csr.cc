@@ -1,0 +1,119 @@
+#include "formats/csr.hh"
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+namespace
+{
+/** Bytes per CSR non-zero: 4B column index + 4B value. */
+constexpr std::uint64_t kCsrNnzBytes = 8;
+} // namespace
+
+CsrLayout::CsrLayout(std::uint32_t feature_width)
+    : FeatureLayout(feature_width, 0)
+{
+}
+
+void
+CsrLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    FeatureLayout::prepare(mask, base);
+    const std::uint32_t n = mask.rows();
+    rowOffset.assign(n + 1, 0);
+    for (std::uint32_t v = 0; v < n; ++v) {
+        rowOffset[v + 1] =
+            rowOffset[v] + mask.rowNnz(v) * kCsrNnzBytes;
+    }
+    // Row pointers (4B each) live at the base; packed data follows.
+    dataBase = alignUp(base + static_cast<Addr>(n + 1) * 4,
+                       kCachelineBytes);
+}
+
+AccessPlan
+CsrLayout::planSliceRead(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0, "CSR layout does not support slicing");
+    return planRowRead(v);
+}
+
+AccessPlan
+CsrLayout::planRowRead(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    // Row pointer pair (start, end) for the row: 8 bytes.
+    plan.addBytes(baseAddr + static_cast<Addr>(v) * 4, 8);
+    const std::uint64_t bytes = rowOffset[v + 1] - rowOffset[v];
+    plan.addBytes(dataBase + rowOffset[v], bytes);
+    return plan;
+}
+
+AccessPlan
+CsrLayout::planRowWrite(VertexId v) const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    AccessPlan plan;
+    const std::uint64_t bytes = rowOffset[v + 1] - rowOffset[v];
+    plan.addBytes(dataBase + rowOffset[v], bytes);
+    return plan;
+}
+
+std::uint32_t
+CsrLayout::sliceValues(VertexId v, unsigned s) const
+{
+    SGCN_ASSERT(s == 0 && boundMask != nullptr);
+    return boundMask->rowNnz(v);
+}
+
+std::uint64_t
+CsrLayout::storageBytes() const
+{
+    SGCN_ASSERT(boundMask != nullptr);
+    return (dataBase - baseAddr) + rowOffset.back();
+}
+
+double
+CsrLayout::staticSliceBytesEstimate() const
+{
+    // Expected density: that fraction of the slice at 8B per
+    // non-zero, plus amortized row-pointer bytes.
+    return expectedDensity * static_cast<double>(unitSlice) *
+               kCsrNnzBytes + 8.0;
+}
+
+CsrMatrix
+encodeCsr(const DenseMatrix &matrix)
+{
+    CsrMatrix csr;
+    csr.rows = matrix.rows();
+    csr.cols = matrix.cols();
+    csr.rowPtr.assign(csr.rows + 1, 0);
+    for (std::uint32_t r = 0; r < csr.rows; ++r) {
+        for (std::uint32_t c = 0; c < csr.cols; ++c) {
+            if (matrix.at(r, c) != 0.0f) {
+                csr.colIdx.push_back(c);
+                csr.values.push_back(matrix.at(r, c));
+            }
+        }
+        csr.rowPtr[r + 1] =
+            static_cast<std::uint32_t>(csr.colIdx.size());
+    }
+    return csr;
+}
+
+DenseMatrix
+decodeCsr(const CsrMatrix &csr)
+{
+    DenseMatrix matrix(csr.rows, csr.cols);
+    for (std::uint32_t r = 0; r < csr.rows; ++r) {
+        for (std::uint32_t i = csr.rowPtr[r]; i < csr.rowPtr[r + 1];
+             ++i) {
+            matrix.at(r, csr.colIdx[i]) = csr.values[i];
+        }
+    }
+    return matrix;
+}
+
+} // namespace sgcn

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dense (uncompressed) feature layout: the baseline representation
+ * existing GCN accelerators use for intermediate features (SI).
+ */
+
+#ifndef SGCN_FORMATS_DENSE_HH
+#define SGCN_FORMATS_DENSE_HH
+
+#include <vector>
+
+#include "formats/format.hh"
+
+namespace sgcn
+{
+
+/** Row-major dense layout; rows padded to cacheline multiples. */
+class DenseLayout : public FeatureLayout
+{
+  public:
+    DenseLayout(std::uint32_t feature_width, std::uint32_t slice_width);
+
+    FormatKind kind() const override { return FormatKind::Dense; }
+    bool supportsSlicing() const override { return true; }
+
+    void prepare(const FeatureMask &mask, Addr base) override;
+    AccessPlan planSliceRead(VertexId v, unsigned s) const override;
+    AccessPlan planRowRead(VertexId v) const override;
+    AccessPlan planRowWrite(VertexId v) const override;
+    std::uint32_t sliceValues(VertexId v, unsigned s) const override;
+    std::uint64_t storageBytes() const override;
+    double staticSliceBytesEstimate() const override;
+
+    /** Bytes reserved per row. */
+    std::uint64_t rowStrideBytes() const { return rowStride; }
+
+  private:
+    std::uint64_t rowStride = 0;
+};
+
+/** Serialize a dense matrix row-major with padded rows. */
+std::vector<std::uint8_t> encodeDense(const DenseMatrix &matrix);
+
+/** Inverse of encodeDense. */
+DenseMatrix decodeDense(const std::vector<std::uint8_t> &bytes,
+                        std::uint32_t rows, std::uint32_t cols);
+
+} // namespace sgcn
+
+#endif // SGCN_FORMATS_DENSE_HH

@@ -1,0 +1,127 @@
+#include "formats/format.hh"
+
+#include "formats/blocked_ellpack.hh"
+#include "formats/bsr.hh"
+#include "formats/coo.hh"
+#include "formats/csr.hh"
+#include "formats/dense.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+const char *
+formatKindName(FormatKind kind)
+{
+    switch (kind) {
+      case FormatKind::Dense: return "Dense";
+      case FormatKind::Csr: return "CSR";
+      case FormatKind::Coo: return "COO";
+      case FormatKind::Bsr: return "BSR";
+      case FormatKind::BlockedEllpack: return "BlockedEllpack";
+      case FormatKind::Beicsr: return "BEICSR";
+      case FormatKind::BeicsrNonSliced: return "BEICSR-nonsliced";
+      case FormatKind::BeicsrSplitBitmap: return "BEICSR-splitbitmap";
+      default: return "invalid";
+    }
+}
+
+void
+AccessPlan::addBytes(Addr addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const Addr first = alignDown(addr, kCachelineBytes);
+    addLines(first,
+             static_cast<std::uint32_t>(linesTouched(addr, bytes)));
+}
+
+void
+AccessPlan::addLines(Addr line_addr, std::uint32_t lines)
+{
+    if (lines == 0)
+        return;
+    SGCN_ASSERT(isAligned(line_addr, kCachelineBytes));
+    if (numRuns > 0) {
+        Run &last = runs[numRuns - 1];
+        const Addr last_end =
+            last.addr + static_cast<Addr>(last.lines) * kCachelineBytes;
+        if (last_end == line_addr) {
+            last.lines += lines;
+            return;
+        }
+    }
+    SGCN_ASSERT(numRuns < kMaxRuns, "access plan overflow");
+    runs[numRuns++] = Run{line_addr, lines};
+}
+
+std::uint64_t
+AccessPlan::totalLines() const
+{
+    std::uint64_t total = 0;
+    for (unsigned r = 0; r < numRuns; ++r)
+        total += runs[r].lines;
+    return total;
+}
+
+FeatureLayout::FeatureLayout(std::uint32_t feature_width,
+                             std::uint32_t slice_width)
+    : width(feature_width),
+      unitSlice(slice_width == 0 ? feature_width : slice_width)
+{
+    SGCN_ASSERT(width > 0);
+    unitSlice = std::min(unitSlice, width);
+    sliceCount = static_cast<unsigned>(divCeil(width, unitSlice));
+}
+
+void
+FeatureLayout::prepare(const FeatureMask &mask, Addr base)
+{
+    SGCN_ASSERT(mask.cols() == width,
+                "mask width ", mask.cols(),
+                " does not match layout width ", width);
+    SGCN_ASSERT(isAligned(base, kCachelineBytes));
+    boundMask = &mask;
+    baseAddr = base;
+    if (!supportsSlicing())
+        sliceCount = 1;
+}
+
+std::uint32_t
+FeatureLayout::sliceBegin(unsigned s) const
+{
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(s) * unitSlice,
+                                width));
+}
+
+std::uint32_t
+FeatureLayout::sliceEnd(unsigned s) const
+{
+    return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(s + 1) * unitSlice, width));
+}
+
+std::unique_ptr<FeatureLayout>
+makeBaselineLayout(FormatKind kind, std::uint32_t feature_width,
+                   std::uint32_t slice_width)
+{
+    switch (kind) {
+      case FormatKind::Dense:
+        return std::make_unique<DenseLayout>(feature_width,
+                                             slice_width);
+      case FormatKind::Csr:
+        return std::make_unique<CsrLayout>(feature_width);
+      case FormatKind::Coo:
+        return std::make_unique<CooLayout>(feature_width);
+      case FormatKind::Bsr:
+        return std::make_unique<BsrLayout>(feature_width);
+      case FormatKind::BlockedEllpack:
+        return std::make_unique<BlockedEllpackLayout>(feature_width);
+      default:
+        panic("makeBaselineLayout cannot build ",
+              formatKindName(kind), "; use sgcn_core's makeLayout");
+    }
+}
+
+} // namespace sgcn

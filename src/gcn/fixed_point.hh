@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Q16.16 signed fixed-point arithmetic.
+ *
+ * Table III specifies 32-bit fixed point for both features and
+ * weights; the functional pipeline tests use this type to confirm
+ * the datapath behaves sensibly under the quantized representation.
+ */
+
+#ifndef SGCN_GCN_FIXED_POINT_HH
+#define SGCN_GCN_FIXED_POINT_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sgcn
+{
+
+/** Signed Q16.16 fixed-point value with saturating arithmetic. */
+class Fixed32
+{
+  public:
+    static constexpr int kFracBits = 16;
+    static constexpr std::int64_t kOne = std::int64_t{1} << kFracBits;
+
+    constexpr Fixed32() = default;
+
+    /** Quantize a double (round to nearest, saturate). */
+    static constexpr Fixed32
+    fromDouble(double value)
+    {
+        const double scaled = value * static_cast<double>(kOne);
+        const double rounded =
+            scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+        return Fixed32(saturate(static_cast<std::int64_t>(rounded)));
+    }
+
+    /** Raw fixed-point bits. */
+    static constexpr Fixed32
+    fromRaw(std::int32_t bits)
+    {
+        Fixed32 result;
+        result.value = bits;
+        return result;
+    }
+
+    constexpr double
+    toDouble() const
+    {
+        return static_cast<double>(value) / static_cast<double>(kOne);
+    }
+
+    constexpr std::int32_t raw() const { return value; }
+
+    constexpr Fixed32
+    operator+(Fixed32 other) const
+    {
+        return Fixed32(saturate(static_cast<std::int64_t>(value) +
+                                other.value));
+    }
+
+    constexpr Fixed32
+    operator-(Fixed32 other) const
+    {
+        return Fixed32(saturate(static_cast<std::int64_t>(value) -
+                                other.value));
+    }
+
+    constexpr Fixed32
+    operator*(Fixed32 other) const
+    {
+        const std::int64_t product =
+            static_cast<std::int64_t>(value) * other.value;
+        return Fixed32(saturate(product >> kFracBits));
+    }
+
+    constexpr bool operator==(const Fixed32 &) const = default;
+
+    constexpr bool isZero() const { return value == 0; }
+
+    /** ReLU: max(x, 0). */
+    constexpr Fixed32
+    relu() const
+    {
+        return value > 0 ? *this : Fixed32();
+    }
+
+  private:
+    explicit constexpr Fixed32(std::int64_t saturated)
+        : value(static_cast<std::int32_t>(saturated))
+    {
+    }
+
+    static constexpr std::int64_t
+    saturate(std::int64_t wide)
+    {
+        constexpr std::int64_t lo =
+            std::numeric_limits<std::int32_t>::min();
+        constexpr std::int64_t hi =
+            std::numeric_limits<std::int32_t>::max();
+        return wide < lo ? lo : (wide > hi ? hi : wide);
+    }
+
+    std::int32_t value = 0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_GCN_FIXED_POINT_HH

@@ -1,0 +1,123 @@
+#include "gcn/sparsity_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace sgcn
+{
+
+namespace
+{
+
+/** Deterministic per-(dataset,layer) wiggle in [-1, 1]. */
+double
+wiggle(const DatasetSpec &dataset, unsigned layer)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const char *p = dataset.abbrev; *p; ++p)
+        h = Rng::splitMix64(h) ^ static_cast<std::uint64_t>(*p);
+    h ^= layer * 0x100000001b3ULL;
+    const std::uint64_t z = Rng::splitMix64(h);
+    return (static_cast<double>(z >> 11) * 0x1.0p-53) * 2.0 - 1.0;
+}
+
+/** Clamp into the observed intermediate-sparsity band (SVII-A). */
+double
+clampResidual(double s)
+{
+    return std::clamp(s, 0.40, 0.82);
+}
+
+} // namespace
+
+double
+modeledAvgSparsity(const DatasetSpec &dataset, unsigned layers,
+                   bool residual)
+{
+    SGCN_ASSERT(layers >= 1);
+    if (!residual) {
+        // Traditional GCNs: 5-30% while they converge (<= ~5 layers);
+        // deeper ones stop learning (paper: "28-layer traditional GCN
+        // does not converge") and their activations stay mostly
+        // dense with a small ReLU-induced zero fraction.
+        if (layers <= 6) {
+            const double base =
+                0.05 + 0.04 * static_cast<double>(layers);
+            return std::clamp(
+                base + 0.03 * wiggle(dataset, 0), 0.03, 0.30);
+        }
+        return std::clamp(0.12 + 0.03 * wiggle(dataset, 0), 0.05,
+                          0.30);
+    }
+
+    // Residual networks: anchored at the dataset's measured 28-layer
+    // average, rising gently with log-depth (Fig. 1: ~+6% per decade
+    // of layers).
+    const double rise_per_decade = 0.06;
+    const double s = dataset.featureSparsity28 +
+                     rise_per_decade *
+                         std::log10(static_cast<double>(layers) / 28.0);
+    return clampResidual(s);
+}
+
+double
+modeledLayerSparsity(const DatasetSpec &dataset, unsigned layer,
+                     unsigned layers, bool residual)
+{
+    SGCN_ASSERT(layer >= 1 && layer <= layers);
+    const double avg = modeledAvgSparsity(dataset, layers, residual);
+    if (!residual)
+        return std::clamp(avg + 0.02 * wiggle(dataset, layer), 0.02,
+                          0.35);
+
+    // Fig. 2b: rising towards the output layer, ~0.16 span across
+    // the depth, with small per-layer wiggle.
+    const double position =
+        layers > 1 ? (static_cast<double>(layer - 1) /
+                      static_cast<double>(layers - 1)) -
+                         0.5
+                   : 0.0;
+    const double span = 0.16;
+    return clampResidual(avg + span * position +
+                         0.015 * wiggle(dataset, layer));
+}
+
+std::vector<double>
+sparsityProfile(const DatasetSpec &dataset, const NetworkSpec &net)
+{
+    SGCN_ASSERT(net.layers >= 2, "profile needs at least two layers");
+    std::vector<double> profile;
+    profile.reserve(net.layers - 1);
+    for (unsigned layer = 1; layer < net.layers; ++layer) {
+        profile.push_back(modeledLayerSparsity(dataset, layer,
+                                               net.layers,
+                                               net.residual));
+    }
+    return profile;
+}
+
+std::vector<unsigned>
+sampleLayerIndices(unsigned architectural, unsigned simulated)
+{
+    SGCN_ASSERT(architectural >= 1 && simulated >= 1);
+    simulated = std::min(simulated, architectural);
+    std::vector<unsigned> indices;
+    indices.reserve(simulated);
+    for (unsigned i = 0; i < simulated; ++i) {
+        // Midpoint sampling of equal-width strata keeps the sampled
+        // mean close to the full-profile mean.
+        const double fraction =
+            (static_cast<double>(i) + 0.5) /
+            static_cast<double>(simulated);
+        auto idx = static_cast<unsigned>(
+            fraction * static_cast<double>(architectural));
+        idx = std::min(idx, architectural - 1);
+        indices.push_back(idx);
+    }
+    return indices;
+}
+
+} // namespace sgcn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Network architecture specification.
+ *
+ * Modern residual GCNs (Eq. 2) keep a uniform hidden width across
+ * tens to hundreds of layers; the evaluation default is the paper's
+ * 28-layer, 256-wide DeeperGCN-style network. GINConv and GraphSAGE
+ * cover the Fig. 16 aggregation variants.
+ */
+
+#ifndef SGCN_GCN_SPEC_HH
+#define SGCN_GCN_SPEC_HH
+
+namespace sgcn
+{
+
+/** Aggregation variant (Fig. 16). */
+enum class AggKind
+{
+    /** Vanilla GCN: weighted sum with normalized edge weights. */
+    Gcn,
+    /** GINConv: unweighted neighbour sum plus (1+eps) self term;
+     *  the topology carries no edge weights (4B/edge, not 8B). */
+    Gin,
+    /** GraphSAGE: mean over a sampled neighbour subset. */
+    Sage,
+};
+
+/** Human-readable aggregation name. */
+constexpr const char *
+aggKindName(AggKind kind)
+{
+    switch (kind) {
+      case AggKind::Gcn: return "GCN";
+      case AggKind::Gin: return "GINConv";
+      case AggKind::Sage: return "GraphSAGE";
+      default: return "invalid";
+    }
+}
+
+/** A deep GCN configuration. */
+struct NetworkSpec
+{
+    /** Number of graph convolution layers. */
+    unsigned layers = 28;
+
+    /** Uniform hidden feature width (Table II setup: 256). */
+    unsigned hidden = 256;
+
+    /** Residual connections (Eq. 2); modern GCNs have them. */
+    bool residual = true;
+
+    /** Aggregation variant. */
+    AggKind agg = AggKind::Gcn;
+
+    /** GraphSAGE neighbour sample size. */
+    unsigned sageFanout = 25;
+
+    /** Bytes per topology edge entry (col index + optional weight). */
+    unsigned
+    edgeBytes() const
+    {
+        return agg == AggKind::Gin ? 4 : 8;
+    }
+};
+
+} // namespace sgcn
+
+#endif // SGCN_GCN_SPEC_HH

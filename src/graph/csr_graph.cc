@@ -1,0 +1,140 @@
+#include "graph/csr_graph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+CsrGraph::CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
+                   bool undirected, bool self_loops)
+    : n(num_vertices)
+{
+    SGCN_ASSERT(n > 0, "graph needs at least one vertex");
+
+    if (undirected) {
+        const std::size_t original = edges.size();
+        edges.reserve(original * 2);
+        for (std::size_t i = 0; i < original; ++i) {
+            if (edges[i].first != edges[i].second)
+                edges.emplace_back(edges[i].second, edges[i].first);
+        }
+    }
+
+    // Drop existing self loops; they are re-added uniformly below so
+    // the normalization always sees exactly one per vertex.
+    std::erase_if(edges, [](const EdgePair &e) {
+        return e.first == e.second;
+    });
+
+    if (self_loops) {
+        for (VertexId v = 0; v < n; ++v)
+            edges.emplace_back(v, v);
+        selfLoops = n;
+    }
+
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    for (const auto &[src, dst] : edges) {
+        SGCN_ASSERT(src < n && dst < n, "edge endpoint out of range");
+    }
+
+    rowPtr.assign(n + 1, 0);
+    for (const auto &[src, dst] : edges)
+        ++rowPtr[src + 1];
+    for (VertexId v = 0; v < n; ++v)
+        rowPtr[v + 1] += rowPtr[v];
+
+    colIdx.resize(edges.size());
+    {
+        std::vector<EdgeId> cursor(rowPtr.begin(), rowPtr.end() - 1);
+        for (const auto &[src, dst] : edges)
+            colIdx[cursor[src]++] = dst;
+    }
+
+    // Symmetric normalization with self loops:
+    // w(u, v) = 1 / sqrt((deg(u)) * (deg(v))) where deg counts the
+    // self loop, matching GCN's D^-1/2 (A + I) D^-1/2.
+    edgeWeight.resize(colIdx.size());
+    std::vector<double> inv_sqrt_deg(n);
+    for (VertexId v = 0; v < n; ++v) {
+        const double deg =
+            static_cast<double>(rowPtr[v + 1] - rowPtr[v]);
+        inv_sqrt_deg[v] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+        for (EdgeId e = rowPtr[v]; e < rowPtr[v + 1]; ++e) {
+            edgeWeight[e] = static_cast<float>(
+                inv_sqrt_deg[v] * inv_sqrt_deg[colIdx[e]]);
+        }
+    }
+}
+
+double
+CsrGraph::avgDegree() const
+{
+    return static_cast<double>(numEdges()) / static_cast<double>(n);
+}
+
+VertexId
+CsrGraph::maxDegree() const
+{
+    VertexId result = 0;
+    for (VertexId v = 0; v < n; ++v)
+        result = std::max(result, degree(v));
+    return result;
+}
+
+double
+CsrGraph::localityScore(VertexId window) const
+{
+    if (numEdgesNoSelfLoops() == 0)
+        return 0.0;
+    EdgeId close = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        for (VertexId u : neighbors(v)) {
+            if (u == v)
+                continue;
+            const VertexId distance = u > v ? u - v : v - u;
+            if (distance <= window)
+                ++close;
+        }
+    }
+    return static_cast<double>(close) /
+           static_cast<double>(numEdgesNoSelfLoops());
+}
+
+CsrGraph
+CsrGraph::permuted(const std::vector<VertexId> &perm) const
+{
+    SGCN_ASSERT(perm.size() == n, "permutation size mismatch");
+    std::vector<EdgePair> edges;
+    edges.reserve(colIdx.size());
+    for (VertexId v = 0; v < n; ++v) {
+        for (VertexId u : neighbors(v)) {
+            if (u != v)
+                edges.emplace_back(perm[v], perm[u]);
+        }
+    }
+    // Edges already contain both directions; rebuild as directed to
+    // avoid doubling, then re-add self loops.
+    return CsrGraph(n, std::move(edges), false, selfLoops > 0);
+}
+
+std::vector<VertexId>
+CsrGraph::verticesByDegree() const
+{
+    std::vector<VertexId> order(n);
+    for (VertexId v = 0; v < n; ++v)
+        order[v] = v;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](VertexId a, VertexId b) {
+                         return degree(a) > degree(b);
+                     });
+    return order;
+}
+
+} // namespace sgcn

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Compressed-sparse-row graph topology.
+ *
+ * The adjacency matrix A-tilde of Eq. (1)/(2) is stored in CSR with
+ * per-edge weights holding the symmetric normalization
+ * 1/sqrt((d_u+1)(d_v+1)) including self loops, exactly the form the
+ * accelerators consume (SIII-B: "the topology matrix is assumed to be
+ * in a CSR format").
+ */
+
+#ifndef SGCN_GRAPH_CSR_GRAPH_HH
+#define SGCN_GRAPH_CSR_GRAPH_HH
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** An undirected edge used during graph construction. */
+using EdgePair = std::pair<VertexId, VertexId>;
+
+/** Immutable CSR graph with optional normalized edge weights. */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /**
+     * Build from an edge list.
+     *
+     * @param num_vertices Number of vertices.
+     * @param edges Edge list; duplicates and self loops are dropped.
+     * @param undirected If true both directions are materialized.
+     * @param self_loops If true self loops are (re-)added, as GCN
+     *                   normalization requires.
+     */
+    CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
+             bool undirected = true, bool self_loops = true);
+
+    /** Number of vertices. */
+    VertexId numVertices() const { return n; }
+
+    /** Number of directed edges (CSR entries), self loops included. */
+    EdgeId numEdges() const { return static_cast<EdgeId>(colIdx.size()); }
+
+    /** Directed edge count excluding self loops. */
+    EdgeId numEdgesNoSelfLoops() const { return numEdges() - selfLoops; }
+
+    /** Out-degree of @p v (including its self loop if present). */
+    VertexId
+    degree(VertexId v) const
+    {
+        return static_cast<VertexId>(rowPtr[v + 1] - rowPtr[v]);
+    }
+
+    /** Neighbors of @p v in ascending order. */
+    std::span<const VertexId>
+    neighbors(VertexId v) const
+    {
+        return {colIdx.data() + rowPtr[v],
+                colIdx.data() + rowPtr[v + 1]};
+    }
+
+    /** Normalized weights parallel to neighbors(). */
+    std::span<const float>
+    weights(VertexId v) const
+    {
+        return {edgeWeight.data() + rowPtr[v],
+                edgeWeight.data() + rowPtr[v + 1]};
+    }
+
+    /** Raw row-pointer array (size numVertices()+1). */
+    const std::vector<EdgeId> &rowPointers() const { return rowPtr; }
+
+    /** Raw column-index array. */
+    const std::vector<VertexId> &columnIndices() const { return colIdx; }
+
+    /** Average degree (directed edges / vertices). */
+    double avgDegree() const;
+
+    /** Maximum degree over all vertices. */
+    VertexId maxDegree() const;
+
+    /**
+     * Locality score: fraction of edges whose endpoint distance
+     * |u - v| is at most @p window. Community-clustered graphs score
+     * high (Fig. 7b); used by tests and the SAC analysis.
+     */
+    double localityScore(VertexId window) const;
+
+    /** Relabel vertices: new_id = perm[old_id]. */
+    CsrGraph permuted(const std::vector<VertexId> &perm) const;
+
+    /** Vertices sorted by descending degree (for EnGN's DAVC). */
+    std::vector<VertexId> verticesByDegree() const;
+
+  private:
+    VertexId n = 0;
+    EdgeId selfLoops = 0;
+    std::vector<EdgeId> rowPtr{0};
+    std::vector<VertexId> colIdx;
+    std::vector<float> edgeWeight;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_GRAPH_CSR_GRAPH_HH

@@ -1,0 +1,160 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+namespace
+{
+
+/** Wrap a signed offset into [0, n). */
+VertexId
+wrapVertex(std::int64_t value, VertexId n)
+{
+    const auto m = static_cast<std::int64_t>(n);
+    std::int64_t r = value % m;
+    if (r < 0)
+        r += m;
+    return static_cast<VertexId>(r);
+}
+
+} // namespace
+
+CsrGraph
+clusteredGraph(const ClusteredGraphParams &params)
+{
+    SGCN_ASSERT(params.vertices > 1);
+    SGCN_ASSERT(params.avgDegree > 0.0);
+    Rng rng(params.seed);
+
+    const VertexId n = params.vertices;
+    // Undirected edges to draw: each materializes two CSR entries.
+    const auto target = static_cast<EdgeId>(
+        params.avgDegree * static_cast<double>(n) / 2.0);
+
+    const auto hub_count = std::max<VertexId>(
+        1, static_cast<VertexId>(params.hubSetFraction *
+                                 static_cast<double>(n)));
+    // Hubs at hashed (aperiodic) positions: real hubs are not
+    // evenly spaced, and periodic placement would alias with strip
+    // scheduling.
+    std::vector<VertexId> hubs(hub_count);
+    for (VertexId h = 0; h < hub_count; ++h) {
+        std::uint64_t key = params.seed ^ (0x9e3779b97f4a7c15ULL +
+                                           h * 0x100000001b3ULL);
+        hubs[h] = static_cast<VertexId>(Rng::splitMix64(key) % n);
+    }
+
+    std::vector<EdgePair> edges;
+    edges.reserve(target);
+    for (EdgeId i = 0; i < target; ++i) {
+        const auto src = static_cast<VertexId>(rng.uniformInt(n));
+        VertexId dst;
+        const double kind = rng.uniform();
+        if (kind < params.hubFraction) {
+            // Hub edge: attach to one of the designated hubs.
+            dst = hubs[rng.uniformInt(hub_count)];
+        } else if (kind < params.hubFraction + params.localityFraction) {
+            // Local edge: endpoint distance geometric around src.
+            const auto distance = static_cast<std::int64_t>(
+                rng.geometric(params.localityDistance)) + 1;
+            const bool negative = rng.bernoulli(0.5);
+            dst = wrapVertex(static_cast<std::int64_t>(src) +
+                             (negative ? -distance : distance), n);
+        } else {
+            dst = static_cast<VertexId>(rng.uniformInt(n));
+        }
+        if (dst != src)
+            edges.emplace_back(src, dst);
+    }
+    return CsrGraph(n, std::move(edges), true, true);
+}
+
+CsrGraph
+erdosRenyi(VertexId vertices, double avg_degree, std::uint64_t seed)
+{
+    SGCN_ASSERT(vertices > 1);
+    Rng rng(seed);
+    const auto target = static_cast<EdgeId>(
+        avg_degree * static_cast<double>(vertices) / 2.0);
+    std::vector<EdgePair> edges;
+    edges.reserve(target);
+    for (EdgeId i = 0; i < target; ++i) {
+        const auto src = static_cast<VertexId>(rng.uniformInt(vertices));
+        const auto dst = static_cast<VertexId>(rng.uniformInt(vertices));
+        if (src != dst)
+            edges.emplace_back(src, dst);
+    }
+    return CsrGraph(vertices, std::move(edges), true, true);
+}
+
+CsrGraph
+rmat(VertexId vertices, EdgeId undirected_edges, std::uint64_t seed,
+     double a, double b, double c)
+{
+    SGCN_ASSERT(vertices > 1 && isPowerOfTwo(vertices),
+                "R-MAT needs a power-of-two vertex count");
+    SGCN_ASSERT(a + b + c < 1.0, "R-MAT probabilities must sum < 1");
+    Rng rng(seed);
+    const unsigned levels = log2Floor(vertices);
+
+    std::vector<EdgePair> edges;
+    edges.reserve(undirected_edges);
+    for (EdgeId i = 0; i < undirected_edges; ++i) {
+        VertexId src = 0, dst = 0;
+        for (unsigned level = 0; level < levels; ++level) {
+            const double p = rng.uniform();
+            const bool right = (p >= a && p < a + b) || (p >= a + b + c);
+            const bool down = (p >= a + b);
+            src = (src << 1) | (down ? 1u : 0u);
+            dst = (dst << 1) | (right ? 1u : 0u);
+        }
+        if (src != dst)
+            edges.emplace_back(src, dst);
+    }
+    return CsrGraph(vertices, std::move(edges), true, true);
+}
+
+CsrGraph
+barabasiAlbert(VertexId vertices, unsigned edges_per_vertex,
+               std::uint64_t seed)
+{
+    SGCN_ASSERT(vertices > edges_per_vertex && edges_per_vertex > 0);
+    Rng rng(seed);
+
+    // Endpoint pool: each inserted endpoint biases future attachment
+    // proportionally to current degree.
+    std::vector<VertexId> pool;
+    pool.reserve(static_cast<std::size_t>(vertices) * edges_per_vertex *
+                 2);
+    std::vector<EdgePair> edges;
+    edges.reserve(static_cast<std::size_t>(vertices) * edges_per_vertex);
+
+    // Seed clique over the first edges_per_vertex + 1 vertices.
+    for (VertexId v = 0; v <= edges_per_vertex; ++v) {
+        for (VertexId u = 0; u < v; ++u) {
+            edges.emplace_back(v, u);
+            pool.push_back(v);
+            pool.push_back(u);
+        }
+    }
+
+    for (VertexId v = edges_per_vertex + 1; v < vertices; ++v) {
+        for (unsigned k = 0; k < edges_per_vertex; ++k) {
+            const VertexId u =
+                pool[rng.uniformInt(pool.size())];
+            if (u == v)
+                continue;
+            edges.emplace_back(v, u);
+            pool.push_back(v);
+            pool.push_back(u);
+        }
+    }
+    return CsrGraph(vertices, std::move(edges), true, true);
+}
+
+} // namespace sgcn

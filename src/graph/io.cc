@@ -1,0 +1,128 @@
+#include "graph/io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+CsrGraph
+loadEdgeList(const std::string &path, VertexId num_vertices,
+             bool undirected)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open edge list: ", path);
+
+    std::vector<EdgePair> edges;
+    VertexId max_id = 0;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream fields(line);
+        std::uint64_t src, dst;
+        if (!(fields >> src >> dst)) {
+            fatal("malformed edge at ", path, ":", line_no, ": '",
+                  line, "'");
+        }
+        edges.emplace_back(static_cast<VertexId>(src),
+                           static_cast<VertexId>(dst));
+        max_id = std::max(max_id, static_cast<VertexId>(src));
+        max_id = std::max(max_id, static_cast<VertexId>(dst));
+    }
+    const VertexId n =
+        num_vertices != 0 ? num_vertices : max_id + 1;
+    if (num_vertices != 0 && max_id >= num_vertices) {
+        fatal("edge list ", path, " references vertex ", max_id,
+              " >= declared count ", num_vertices);
+    }
+    return CsrGraph(n, std::move(edges), undirected, true);
+}
+
+void
+saveEdgeList(const CsrGraph &graph, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write edge list: ", path);
+    out << "# sgcn edge list: " << graph.numVertices() << " vertices, "
+        << graph.numEdgesNoSelfLoops() << " directed edges\n";
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        for (VertexId u : graph.neighbors(v)) {
+            if (u != v)
+                out << v << ' ' << u << '\n';
+        }
+    }
+}
+
+namespace
+{
+constexpr char kMagic[8] = {'S', 'G', 'C', 'N', 'C', 'S', 'R', '1'};
+} // namespace
+
+void
+saveCsrBinary(const CsrGraph &graph, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write CSR snapshot: ", path);
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint64_t n = graph.numVertices();
+    const std::uint64_t m = graph.numEdges();
+    out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char *>(&m), sizeof(m));
+    out.write(reinterpret_cast<const char *>(
+                  graph.rowPointers().data()),
+              static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+    out.write(reinterpret_cast<const char *>(
+                  graph.columnIndices().data()),
+              static_cast<std::streamsize>(m * sizeof(VertexId)));
+}
+
+CsrGraph
+loadCsrBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open CSR snapshot: ", path);
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0)
+        fatal("not an SGCN CSR snapshot: ", path);
+    std::uint64_t n = 0, m = 0;
+    in.read(reinterpret_cast<char *>(&n), sizeof(n));
+    in.read(reinterpret_cast<char *>(&m), sizeof(m));
+    if (!in || n == 0)
+        fatal("corrupt CSR snapshot header: ", path);
+    std::vector<EdgeId> row_ptr(n + 1);
+    std::vector<VertexId> col_idx(m);
+    in.read(reinterpret_cast<char *>(row_ptr.data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
+    in.read(reinterpret_cast<char *>(col_idx.data()),
+            static_cast<std::streamsize>(m * sizeof(VertexId)));
+    if (!in)
+        fatal("corrupt CSR snapshot body: ", path);
+
+    // Rebuild through the edge-list constructor so normalization and
+    // invariants are re-established.
+    std::vector<EdgePair> edges;
+    edges.reserve(m);
+    for (VertexId v = 0; v < n; ++v) {
+        for (EdgeId e = row_ptr[v]; e < row_ptr[v + 1]; ++e) {
+            if (col_idx[e] != v)
+                edges.emplace_back(v, col_idx[e]);
+        }
+    }
+    return CsrGraph(static_cast<VertexId>(n), std::move(edges), false,
+                    true);
+}
+
+} // namespace sgcn

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Graph file I/O: plain edge-list text files (one "src dst" pair per
+ * line, '#' comments) and a compact binary CSR snapshot format.
+ *
+ * The synthetic stand-ins (datasets.hh) drive the bundled
+ * experiments, but a user with the original Planetoid/SNAP/OGB
+ * files can export them to an edge list and run every harness on
+ * the real topology via loadEdgeList().
+ */
+
+#ifndef SGCN_GRAPH_IO_HH
+#define SGCN_GRAPH_IO_HH
+
+#include <string>
+
+#include "graph/csr_graph.hh"
+
+namespace sgcn
+{
+
+/**
+ * Load an edge-list text file.
+ *
+ * Lines: "src dst" (whitespace separated). Lines starting with '#'
+ * or '%' are comments. Vertex ids are zero-based; the vertex count
+ * is max id + 1 unless @p num_vertices overrides it.
+ * Fatal on unreadable files or malformed lines.
+ */
+CsrGraph loadEdgeList(const std::string &path,
+                      VertexId num_vertices = 0,
+                      bool undirected = true);
+
+/** Write a graph as an edge-list text file (self loops skipped). */
+void saveEdgeList(const CsrGraph &graph, const std::string &path);
+
+/**
+ * Save / load the compact binary CSR snapshot (magic "SGCNCSR1",
+ * then n, m, row pointers, column indices; weights are rebuilt from
+ * the normalization on load).
+ */
+void saveCsrBinary(const CsrGraph &graph, const std::string &path);
+CsrGraph loadCsrBinary(const std::string &path);
+
+} // namespace sgcn
+
+#endif // SGCN_GRAPH_IO_HH

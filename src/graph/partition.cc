@@ -1,0 +1,94 @@
+#include "graph/partition.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+TiledGraphView::TiledGraphView(const CsrGraph &graph,
+                               VertexId dst_tile_rows,
+                               VertexId src_tile_cols)
+    : topo(graph),
+      dstSpan(dst_tile_rows == 0 ? graph.numVertices() : dst_tile_rows),
+      srcSpan(src_tile_cols == 0 ? graph.numVertices() : src_tile_cols)
+{
+    const VertexId n = topo.numVertices();
+    dstTiles = static_cast<unsigned>(divCeil(n, dstSpan));
+    srcTiles = static_cast<unsigned>(divCeil(n, srcSpan));
+
+    // For every vertex, find where each src tile begins in its sorted
+    // neighbour list via a single sweep.
+    tileOffsets.resize(static_cast<std::size_t>(n) * (srcTiles + 1));
+    for (VertexId v = 0; v < n; ++v) {
+        const auto nbrs = topo.neighbors(v);
+        const EdgeId base = topo.rowPointers()[v];
+        std::size_t cursor = 0;
+        const std::size_t row =
+            static_cast<std::size_t>(v) * (srcTiles + 1);
+        for (unsigned t = 0; t < srcTiles; ++t) {
+            tileOffsets[row + t] = base + cursor;
+            const VertexId tile_end =
+                static_cast<VertexId>(std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(t + 1) * srcSpan, n));
+            while (cursor < nbrs.size() && nbrs[cursor] < tile_end)
+                ++cursor;
+        }
+        tileOffsets[row + srcTiles] = base + cursor;
+        SGCN_ASSERT(base + cursor == topo.rowPointers()[v + 1],
+                    "tile sweep must cover all edges");
+    }
+}
+
+VertexId
+TiledGraphView::dstTileBegin(unsigned t) const
+{
+    SGCN_ASSERT(t < dstTiles);
+    return static_cast<VertexId>(
+        static_cast<std::uint64_t>(t) * dstSpan);
+}
+
+VertexId
+TiledGraphView::dstTileEnd(unsigned t) const
+{
+    SGCN_ASSERT(t < dstTiles);
+    return static_cast<VertexId>(std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(t + 1) * dstSpan,
+        topo.numVertices()));
+}
+
+std::span<const VertexId>
+TiledGraphView::tileNeighbors(VertexId v, unsigned c) const
+{
+    const EdgeId begin = edgeBegin(v, c);
+    const EdgeId end = edgeBegin(v, c + 1);
+    return {topo.columnIndices().data() + begin,
+            topo.columnIndices().data() + end};
+}
+
+std::span<const float>
+TiledGraphView::tileWeights(VertexId v, unsigned c) const
+{
+    const EdgeId begin = edgeBegin(v, c);
+    const EdgeId end = edgeBegin(v, c + 1);
+    const auto all = topo.weights(v);
+    const EdgeId base = topo.rowPointers()[v];
+    return all.subspan(begin - base, end - begin);
+}
+
+VertexId
+chooseSrcTileSpan(std::uint64_t cache_bytes,
+                  double expected_bytes_per_vertex,
+                  VertexId num_vertices, double cache_fill_factor)
+{
+    SGCN_ASSERT(expected_bytes_per_vertex > 0.0);
+    const double budget =
+        static_cast<double>(cache_bytes) * cache_fill_factor;
+    auto span = static_cast<VertexId>(budget /
+                                      expected_bytes_per_vertex);
+    span = std::max<VertexId>(span, 64);
+    return std::min(span, num_vertices);
+}
+
+} // namespace sgcn

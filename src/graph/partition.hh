@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Two-dimensional topology tiling (SV-C, following GCNAX/SnF-style
+ * perfect tiling).
+ *
+ * A tile is a (dst-vertex range) x (src-vertex range) block of the
+ * adjacency matrix. The view precomputes, per destination vertex,
+ * where each source tile begins inside its sorted neighbour list, so
+ * engines can walk tile edges without materializing sub-graphs.
+ */
+
+#ifndef SGCN_GRAPH_PARTITION_HH
+#define SGCN_GRAPH_PARTITION_HH
+
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hh"
+
+namespace sgcn
+{
+
+/** Precomputed 2-D tile view over a CSR graph. */
+class TiledGraphView
+{
+  public:
+    /**
+     * @param graph the topology
+     * @param dst_tile_rows destination vertices per tile row;
+     *        0 means a single tile spanning all vertices
+     * @param src_tile_cols source vertices per tile column;
+     *        0 means a single tile spanning all vertices
+     */
+    TiledGraphView(const CsrGraph &graph, VertexId dst_tile_rows,
+                   VertexId src_tile_cols);
+
+    unsigned numDstTiles() const { return dstTiles; }
+    unsigned numSrcTiles() const { return srcTiles; }
+
+    /** First dst vertex of tile row @p t. */
+    VertexId dstTileBegin(unsigned t) const;
+
+    /** One past the last dst vertex of tile row @p t. */
+    VertexId dstTileEnd(unsigned t) const;
+
+    /** Neighbours of @p v restricted to src tile @p c. */
+    std::span<const VertexId> tileNeighbors(VertexId v,
+                                            unsigned c) const;
+
+    /** Weights parallel to tileNeighbors(). */
+    std::span<const float> tileWeights(VertexId v, unsigned c) const;
+
+    /** CSR edge index where tile @p c starts for vertex @p v. */
+    EdgeId edgeBegin(VertexId v, unsigned c) const
+    {
+        return tileOffsets[static_cast<std::size_t>(v) * (srcTiles + 1)
+                           + c];
+    }
+
+    /** The underlying graph. */
+    const CsrGraph &graph() const { return topo; }
+
+    /** Destination rows per tile. */
+    VertexId dstRows() const { return dstSpan; }
+
+    /** Source columns per tile. */
+    VertexId srcCols() const { return srcSpan; }
+
+  private:
+    const CsrGraph &topo;
+    VertexId dstSpan;
+    VertexId srcSpan;
+    unsigned dstTiles;
+    unsigned srcTiles;
+    /** (srcTiles+1) offsets per vertex into the CSR edge arrays. */
+    std::vector<EdgeId> tileOffsets;
+};
+
+/**
+ * Pick the source-tile span (in vertices) whose expected feature
+ * working set fits the cache, assuming the given expected bytes per
+ * vertex slice. This is the offline, static estimate GCNAX-style
+ * accelerators make (SV-C): when real sparsity is lower than
+ * expected, the true working set exceeds the cache.
+ */
+VertexId chooseSrcTileSpan(std::uint64_t cache_bytes,
+                           double expected_bytes_per_vertex,
+                           VertexId num_vertices,
+                           double cache_fill_factor = 0.95);
+
+} // namespace sgcn
+
+#endif // SGCN_GRAPH_PARTITION_HH

@@ -1,0 +1,75 @@
+#include "graph/reorder.hh"
+
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+std::vector<VertexId>
+bfsIslandOrder(const CsrGraph &graph)
+{
+    const VertexId n = graph.numVertices();
+    std::vector<VertexId> perm(n, n);
+    std::vector<bool> visited(n, false);
+    VertexId next_id = 0;
+
+    // Seed order: descending degree, so islands grow around hubs the
+    // way I-GCN's islandization does.
+    const std::vector<VertexId> seeds = graph.verticesByDegree();
+
+    std::deque<VertexId> frontier;
+    for (VertexId seed : seeds) {
+        if (visited[seed])
+            continue;
+        visited[seed] = true;
+        frontier.push_back(seed);
+        while (!frontier.empty()) {
+            const VertexId v = frontier.front();
+            frontier.pop_front();
+            perm[v] = next_id++;
+            for (VertexId u : graph.neighbors(v)) {
+                if (!visited[u]) {
+                    visited[u] = true;
+                    frontier.push_back(u);
+                }
+            }
+        }
+    }
+    SGCN_ASSERT(next_id == n, "BFS order must cover all vertices");
+    return perm;
+}
+
+std::vector<VertexId>
+degreeOrder(const CsrGraph &graph)
+{
+    const std::vector<VertexId> by_degree = graph.verticesByDegree();
+    std::vector<VertexId> perm(graph.numVertices());
+    for (VertexId rank = 0; rank < by_degree.size(); ++rank)
+        perm[by_degree[rank]] = rank;
+    return perm;
+}
+
+std::vector<VertexId>
+identityOrder(VertexId n)
+{
+    std::vector<VertexId> perm(n);
+    for (VertexId v = 0; v < n; ++v)
+        perm[v] = v;
+    return perm;
+}
+
+bool
+isPermutation(const std::vector<VertexId> &perm)
+{
+    std::vector<bool> seen(perm.size(), false);
+    for (VertexId v : perm) {
+        if (v >= perm.size() || seen[v])
+            return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+} // namespace sgcn

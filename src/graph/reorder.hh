@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Vertex reordering schemes.
+ *
+ * bfsIslandOrder models I-GCN's islandization (MICRO'21): a BFS from
+ * high-degree seeds clusters connected communities into contiguous
+ * id ranges, improving aggregation locality. degreeOrder supports
+ * EnGN's degree-aware vertex cache victim selection.
+ */
+
+#ifndef SGCN_GRAPH_REORDER_HH
+#define SGCN_GRAPH_REORDER_HH
+
+#include <vector>
+
+#include "graph/csr_graph.hh"
+
+namespace sgcn
+{
+
+/**
+ * BFS-based islandization order.
+ * @return permutation where perm[old_id] = new_id.
+ */
+std::vector<VertexId> bfsIslandOrder(const CsrGraph &graph);
+
+/** Descending-degree order as a permutation (perm[old] = new). */
+std::vector<VertexId> degreeOrder(const CsrGraph &graph);
+
+/** Identity permutation of size @p n. */
+std::vector<VertexId> identityOrder(VertexId n);
+
+/** Verify @p perm is a bijection on [0, n). */
+bool isPermutation(const std::vector<VertexId> &perm);
+
+} // namespace sgcn
+
+#endif // SGCN_GRAPH_REORDER_HH

@@ -1,0 +1,325 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+Cache::Cache(const CacheConfig &config, Dram &dram_module,
+             EventQueue &queue)
+    : cfg(config), dram(dram_module), events(queue)
+{
+    SGCN_ASSERT(cfg.ways > 0 && cfg.sizeBytes > 0);
+    const std::uint64_t num_sets = cfg.numSets();
+    SGCN_ASSERT(num_sets > 0 && isPowerOfTwo(num_sets),
+                "cache sets must be a power of two, got ", num_sets);
+    sets.assign(num_sets, std::vector<Line>(cfg.ways));
+}
+
+std::uint64_t
+Cache::setIndex(Addr line_addr) const
+{
+    return (line_addr / kCachelineBytes) % sets.size();
+}
+
+std::uint64_t
+Cache::tagOf(Addr line_addr) const
+{
+    return (line_addr / kCachelineBytes) / sets.size();
+}
+
+Cache::LookupResult
+Cache::probe(Addr line_addr)
+{
+    auto &set = sets[setIndex(line_addr)];
+    const std::uint64_t tag = tagOf(line_addr);
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            // FIFO keeps the fill timestamp; the others promote.
+            if (cfg.replacement != ReplacementPolicy::Fifo)
+                line.lastUse = ++useCounter;
+            line.rrpv = 0; // SRRIP: re-referenced -> near
+            return LookupResult{true, &line};
+        }
+    }
+    return LookupResult{false, nullptr};
+}
+
+Cache::Line *
+Cache::selectVictim(std::vector<Line> &set)
+{
+    switch (cfg.replacement) {
+      case ReplacementPolicy::Lru:
+      case ReplacementPolicy::Fifo: {
+        Line *victim = nullptr;
+        for (auto &line : set) {
+            if (line.pinned)
+                continue;
+            if (victim == nullptr || line.lastUse < victim->lastUse)
+                victim = &line;
+        }
+        return victim;
+      }
+      case ReplacementPolicy::Random: {
+        // Deterministic xorshift over unpinned ways.
+        std::vector<Line *> candidates;
+        candidates.reserve(set.size());
+        for (auto &line : set) {
+            if (!line.pinned)
+                candidates.push_back(&line);
+        }
+        if (candidates.empty())
+            return nullptr;
+        victimSeed ^= victimSeed << 13;
+        victimSeed ^= victimSeed >> 7;
+        victimSeed ^= victimSeed << 17;
+        return candidates[victimSeed % candidates.size()];
+      }
+      case ReplacementPolicy::Srrip: {
+        // Evict a line with maximal RRPV (3); age everyone until one
+        // appears.
+        while (true) {
+            for (auto &line : set) {
+                if (!line.pinned && line.rrpv >= 3)
+                    return &line;
+            }
+            bool aged = false;
+            for (auto &line : set) {
+                if (!line.pinned && line.rrpv < 3) {
+                    ++line.rrpv;
+                    aged = true;
+                }
+            }
+            if (!aged)
+                return nullptr;
+        }
+      }
+    }
+    return nullptr;
+}
+
+Cache::Line &
+Cache::fill(Addr line_addr, bool timing, TrafficClass cls)
+{
+    auto &set = sets[setIndex(line_addr)];
+
+    // Invalid lines win outright; otherwise the policy picks among
+    // unpinned lines. Fully pinned sets fall back to plain LRU so
+    // pinning can never deadlock the cache.
+    Line *victim = nullptr;
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        victim = selectVictim(set);
+        if (victim == nullptr) {
+            for (auto &line : set) {
+                if (victim == nullptr || line.lastUse < victim->lastUse)
+                    victim = &line;
+            }
+        }
+        ++statCounters.evictions;
+        if (victim->dirty) {
+            ++statCounters.writebacks;
+            // Reconstruct the victim's address for the writeback.
+            const Addr victim_addr =
+                (victim->tag * sets.size() + setIndex(line_addr)) *
+                kCachelineBytes;
+            // Victim classes are not tracked per line; dirty victims
+            // are always output features in the modeled dataflows.
+            MemRequest writeback{victim_addr, MemOp::Write,
+                                 TrafficClass::FeatureOut};
+            if (timing)
+                dram.access(writeback, nullptr);
+            else
+                functionalTraffic.add(MemOp::Write,
+                                      TrafficClass::FeatureOut);
+            (void)cls;
+        }
+    }
+
+    victim->tag = tagOf(line_addr);
+    victim->valid = true;
+    victim->dirty = false;
+    victim->pinned = false;
+    victim->lastUse = ++useCounter;
+    // SRRIP inserts at a distant re-reference prediction: a line
+    // must prove reuse before it may displace proven lines.
+    victim->rrpv = 2;
+    return *victim;
+}
+
+void
+Cache::access(const MemRequest &request, MemCallback done)
+{
+    SGCN_ASSERT(isAligned(request.lineAddr, kCachelineBytes),
+                "cache request not line-aligned: ", request.lineAddr);
+
+    LookupResult result = probe(request.lineAddr);
+    if (result.hit) {
+        ++statCounters.hits;
+        if (request.op == MemOp::Write)
+            result.line->dirty = true;
+        if (done)
+            events.scheduleAfter(cfg.hitLatency, std::move(done));
+        return;
+    }
+
+    ++statCounters.misses;
+
+    auto mshr_it = mshrMap.find(request.lineAddr);
+    if (mshr_it != mshrMap.end()) {
+        ++statCounters.mshrCoalesced;
+        mshr_it->second.anyWrite |= (request.op == MemOp::Write);
+        if (done)
+            mshr_it->second.targets.push_back(std::move(done));
+        return;
+    }
+
+    if (mshrMap.size() >= cfg.mshrs) {
+        pendingQueue.emplace_back(request, std::move(done));
+        return;
+    }
+
+    startMiss(request, std::move(done));
+}
+
+void
+Cache::startMiss(const MemRequest &request, MemCallback done)
+{
+    Mshr &mshr = mshrMap[request.lineAddr];
+    mshr.request = request;
+    mshr.anyWrite = (request.op == MemOp::Write);
+    if (done)
+        mshr.targets.push_back(std::move(done));
+
+    // Write-allocate: fetch the line before merging the write. The
+    // fetch is tagged with the requester's traffic class so the
+    // off-chip breakdown attributes it correctly.
+    MemRequest fetch{request.lineAddr, MemOp::Read, request.cls};
+    const Addr line_addr = request.lineAddr;
+    dram.access(fetch, [this, line_addr] { finishMiss(line_addr); });
+}
+
+void
+Cache::finishMiss(Addr line_addr)
+{
+    auto it = mshrMap.find(line_addr);
+    SGCN_ASSERT(it != mshrMap.end(), "fill for unknown MSHR");
+
+    Mshr mshr = std::move(it->second);
+    mshrMap.erase(it);
+
+    Line &line = fill(line_addr, true, mshr.request.cls);
+    line.dirty = mshr.anyWrite;
+
+    for (auto &target : mshr.targets) {
+        if (target)
+            events.scheduleAfter(cfg.hitLatency, std::move(target));
+    }
+
+    drainPendingQueue();
+}
+
+void
+Cache::drainPendingQueue()
+{
+    while (!pendingQueue.empty() && mshrMap.size() < cfg.mshrs) {
+        auto [request, done] = std::move(pendingQueue.front());
+        pendingQueue.pop_front();
+
+        // Re-check the tag array: an earlier fill may have satisfied
+        // this line already.
+        LookupResult result = probe(request.lineAddr);
+        if (result.hit) {
+            ++statCounters.hits;
+            if (request.op == MemOp::Write)
+                result.line->dirty = true;
+            if (done)
+                events.scheduleAfter(cfg.hitLatency, std::move(done));
+            continue;
+        }
+        auto mshr_it = mshrMap.find(request.lineAddr);
+        if (mshr_it != mshrMap.end()) {
+            ++statCounters.mshrCoalesced;
+            mshr_it->second.anyWrite |= (request.op == MemOp::Write);
+            if (done)
+                mshr_it->second.targets.push_back(std::move(done));
+            continue;
+        }
+        startMiss(request, std::move(done));
+    }
+}
+
+bool
+Cache::accessFunctional(const MemRequest &request)
+{
+    SGCN_ASSERT(isAligned(request.lineAddr, kCachelineBytes));
+    LookupResult result = probe(request.lineAddr);
+    if (result.hit) {
+        ++statCounters.hits;
+        if (request.op == MemOp::Write)
+            result.line->dirty = true;
+        return true;
+    }
+    ++statCounters.misses;
+    functionalTraffic.add(MemOp::Read, request.cls);
+    Line &line = fill(request.lineAddr, false, request.cls);
+    line.dirty = (request.op == MemOp::Write);
+    return false;
+}
+
+bool
+Cache::pin(Addr line_addr, TrafficClass cls)
+{
+    auto &set = sets[setIndex(line_addr)];
+    unsigned pinned = 0;
+    for (const auto &line : set)
+        pinned += line.pinned ? 1 : 0;
+    // Leave at least half the ways unpinned so the set stays usable.
+    if (pinned >= cfg.ways / 2)
+        return false;
+
+    LookupResult result = probe(line_addr);
+    if (!result.hit) {
+        functionalTraffic.add(MemOp::Read, cls);
+        result.line = &fill(line_addr, false, cls);
+    }
+    result.line->pinned = true;
+    return true;
+}
+
+void
+Cache::unpinAll()
+{
+    for (auto &set : sets)
+        for (auto &line : set)
+            line.pinned = false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &set : sets) {
+        for (auto &line : set) {
+            if (line.valid && line.dirty) {
+                ++statCounters.writebacks;
+                functionalTraffic.add(MemOp::Write,
+                                      TrafficClass::FeatureOut);
+            }
+            line = Line{};
+        }
+    }
+}
+
+void
+Cache::resetStats()
+{
+    statCounters = CacheStats{};
+    functionalTraffic = TrafficCounters{};
+}
+
+} // namespace sgcn

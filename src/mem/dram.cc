@@ -1,0 +1,288 @@
+#include "mem/dram.hh"
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+DramConfig
+DramConfig::hbm2()
+{
+    DramConfig config;
+    config.name = "HBM2";
+    config.burstCycles = 2;
+    return config;
+}
+
+DramConfig
+DramConfig::hbm1()
+{
+    DramConfig config;
+    config.name = "HBM1";
+    // Half the per-channel bandwidth of HBM2: 128 GB/s peak.
+    config.burstCycles = 4;
+    return config;
+}
+
+Dram::Dram(const DramConfig &config, EventQueue &queue)
+    : cfg(config), events(queue)
+{
+    SGCN_ASSERT(cfg.channels > 0 && cfg.banksPerChannel > 0);
+    SGCN_ASSERT(isPowerOfTwo(cfg.interleaveBytes) &&
+                cfg.interleaveBytes >= kCachelineBytes);
+    SGCN_ASSERT(isPowerOfTwo(cfg.rowBytes) &&
+                cfg.rowBytes >= cfg.interleaveBytes);
+    channelState.resize(cfg.channels);
+    for (auto &channel : channelState)
+        channel.banks.resize(cfg.banksPerChannel);
+}
+
+void
+Dram::decode(Addr line_addr, unsigned &channel, unsigned &bank,
+             std::uint64_t &row) const
+{
+    // Stripe addresses across channels at interleaveBytes, then lay
+    // rows of rowBytes across banks within the channel. This keeps
+    // consecutive slices of one vertex in the same row while spreading
+    // independent vertices over channels (the in-place layout's
+    // row-buffer-locality claim, SV-A).
+    const std::uint64_t stripe = line_addr / cfg.interleaveBytes;
+    channel = static_cast<unsigned>(stripe % cfg.channels);
+    const std::uint64_t local =
+        (stripe / cfg.channels) * cfg.interleaveBytes +
+        (line_addr % cfg.interleaveBytes);
+    const std::uint64_t row_global = local / cfg.rowBytes;
+    bank = static_cast<unsigned>(row_global % cfg.banksPerChannel);
+    row = row_global / cfg.banksPerChannel;
+}
+
+void
+Dram::access(const MemRequest &request, MemCallback done)
+{
+    SGCN_ASSERT(isAligned(request.lineAddr, kCachelineBytes),
+                "DRAM request not line-aligned: ", request.lineAddr);
+    unsigned channel_idx, bank_idx;
+    std::uint64_t row;
+    decode(request.lineAddr, channel_idx, bank_idx, row);
+    counters.add(request.op, request.cls);
+    ++outstanding;
+    channelState[channel_idx].queue.push_back(
+        Pending{request, std::move(done), events.now()});
+    activateScheduler(channel_idx);
+}
+
+void
+Dram::activateScheduler(unsigned channel_idx)
+{
+    Channel &channel = channelState[channel_idx];
+    if (channel.schedulerActive || channel.queue.empty())
+        return;
+    channel.schedulerActive = true;
+    events.schedule(events.now(),
+                    [this, channel_idx] { dispatch(channel_idx); });
+}
+
+void
+Dram::dispatch(unsigned channel_idx)
+{
+    Channel &channel = channelState[channel_idx];
+    channel.schedulerActive = false;
+    if (channel.queue.empty())
+        return;
+
+    const Cycle now = events.now();
+
+    // FR-FCFS over *ready* requests: a request can issue only when
+    // its bank has finished its previous row cycle. Within the scan
+    // window, prefer the oldest ready row-buffer hit, then the
+    // oldest ready request of any kind. If nothing is ready, sleep
+    // until the earliest bank frees up.
+    const std::size_t window =
+        std::min<std::size_t>(channel.queue.size(), cfg.schedWindow);
+    const Cycle faw_ready = fawReadyAt(channel);
+    std::size_t pick = window; // invalid
+    bool pick_is_hit = false;
+    Cycle earliest_ready = std::numeric_limits<Cycle>::max();
+    for (std::size_t i = 0; i < window; ++i) {
+        unsigned req_channel, bank_idx;
+        std::uint64_t row;
+        decode(channel.queue[i].request.lineAddr, req_channel,
+               bank_idx, row);
+        const Bank &bank = channel.banks[bank_idx];
+        const bool hit = bank.rowOpen && bank.openRow == row;
+        // A miss needs an activate slot (tFAW) on top of the bank.
+        const Cycle ready_at =
+            hit ? bank.readyAt : std::max(bank.readyAt, faw_ready);
+        earliest_ready = std::min(earliest_ready, ready_at);
+        if (ready_at > now)
+            continue;
+        if (hit) {
+            pick = i;
+            pick_is_hit = true;
+            break;
+        }
+        if (pick == window)
+            pick = i;
+    }
+
+    if (pick == window) {
+        // No bank ready: retry when the earliest one frees.
+        channel.schedulerActive = true;
+        events.schedule(std::max(earliest_ready, now + 1),
+                        [this, channel_idx] { dispatch(channel_idx); });
+        return;
+    }
+
+    issueRequest(channel, pick);
+
+    // The command bus can carry an activate alongside the column
+    // command: open the row for the oldest miss to another ready
+    // bank so row transitions overlap with ongoing bursts — but
+    // never close a row that still has visible pending hits, and
+    // only within the activate budget (tFAW).
+    if (pick_is_hit && fawReadyAt(channel) <= now) {
+        const std::size_t window2 =
+            std::min<std::size_t>(channel.queue.size(),
+                                  cfg.schedWindow);
+        std::size_t candidate = window2;
+        unsigned candidate_bank = 0;
+        std::uint64_t candidate_row = 0;
+        for (std::size_t i = 0; i < window2 && candidate == window2;
+             ++i) {
+            unsigned req_channel, bank_idx;
+            std::uint64_t row;
+            decode(channel.queue[i].request.lineAddr, req_channel,
+                   bank_idx, row);
+            Bank &bank = channel.banks[bank_idx];
+            if (bank.readyAt > now)
+                continue;
+            if (bank.rowOpen && bank.openRow == row)
+                continue; // a hit; the CAS path will take it
+            candidate = i;
+            candidate_bank = bank_idx;
+            candidate_row = row;
+        }
+        if (candidate != window2) {
+            Bank &bank = channel.banks[candidate_bank];
+            bool open_row_still_wanted = false;
+            if (bank.rowOpen) {
+                for (std::size_t i = 0; i < window2; ++i) {
+                    unsigned req_channel, bank_idx;
+                    std::uint64_t row;
+                    decode(channel.queue[i].request.lineAddr,
+                           req_channel, bank_idx, row);
+                    if (bank_idx == candidate_bank &&
+                        row == bank.openRow) {
+                        open_row_still_wanted = true;
+                        break;
+                    }
+                }
+            }
+            if (!open_row_still_wanted) {
+                const Cycle activate_done =
+                    (bank.rowOpen ? cfg.tRp : 0) + cfg.tRcd;
+                bank.rowOpen = true;
+                bank.openRow = candidate_row;
+                bank.readyAt = now + activate_done;
+                recordActivate(channel, now);
+            }
+        }
+    }
+
+    if (!channel.queue.empty()) {
+        channel.schedulerActive = true;
+        const unsigned channel_idx2 = static_cast<unsigned>(
+            &channel - channelState.data());
+        events.schedule(now + 1, [this, channel_idx2] {
+            dispatch(channel_idx2);
+        });
+    }
+}
+
+void
+Dram::issueRequest(Channel &channel, std::size_t pick)
+{
+    const Cycle now = events.now();
+    Pending pending = std::move(channel.queue[pick]);
+    channel.queue.erase(channel.queue.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+
+    unsigned req_channel, bank_idx;
+    std::uint64_t row;
+    decode(pending.request.lineAddr, req_channel, bank_idx, row);
+    Bank &bank = channel.banks[bank_idx];
+
+    Cycle access_latency;
+    if (bank.rowOpen && bank.openRow == row) {
+        ++rowHitCount;
+        access_latency = cfg.tCl;
+        // Back-to-back CAS to the open row pipelines at burst rate.
+        bank.readyAt = now + cfg.burstCycles;
+    } else {
+        ++rowMissCount;
+        const Cycle activate_done =
+            (bank.rowOpen ? cfg.tRp : 0) + cfg.tRcd;
+        access_latency = activate_done + cfg.tCl;
+        bank.rowOpen = true;
+        bank.openRow = row;
+        // Further CAS to the newly opened row can issue once the
+        // activate completes; they need not wait for this access's
+        // data.
+        bank.readyAt = now + activate_done;
+        recordActivate(channel, now);
+    }
+
+    // Banks work in parallel; only data bursts serialize on the
+    // channel's data bus.
+    const Cycle data_start =
+        std::max(now + access_latency, channel.busFreeAt);
+    const Cycle data_end = data_start + cfg.burstCycles;
+    channel.busFreeAt = data_end;
+    busBusy += cfg.burstCycles;
+
+    MemCallback done = std::move(pending.done);
+    events.schedule(data_end, [this, done = std::move(done)]() mutable {
+        --outstanding;
+        if (done)
+            done();
+    });
+}
+
+Cycle
+Dram::fawReadyAt(const Channel &channel) const
+{
+    if (channel.activateCount < 4)
+        return 0;
+    // The oldest of the last four activates gates the next one.
+    const Cycle oldest = channel.recentActivates[channel.activateCursor];
+    return oldest + cfg.tFaw;
+}
+
+void
+Dram::recordActivate(Channel &channel, Cycle when)
+{
+    channel.recentActivates[channel.activateCursor] = when;
+    channel.activateCursor = (channel.activateCursor + 1) % 4;
+    ++channel.activateCount;
+}
+
+double
+Dram::bandwidthUtilization(Cycle window) const
+{
+    if (window == 0)
+        return 0.0;
+    const double capacity =
+        static_cast<double>(cfg.channels) * static_cast<double>(window);
+    return static_cast<double>(busBusy) / capacity;
+}
+
+void
+Dram::resetStats()
+{
+    counters = TrafficCounters{};
+    rowHitCount = 0;
+    rowMissCount = 0;
+    busBusy = 0;
+}
+
+} // namespace sgcn

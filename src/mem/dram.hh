@@ -1,0 +1,183 @@
+/**
+ * @file
+ * HBM-like DRAM timing model.
+ *
+ * Models what the SGCN evaluation needs from DRAMsim3's HBM2 backend
+ * (Table III): multiple independent channels with private data buses,
+ * banks with open-row state, FR-FCFS-lite scheduling, and 64B access
+ * granularity. The paper's design goals (§IV) hinge on cacheline- and
+ * burst-aligned accesses hitting open rows; this model rewards
+ * exactly that.
+ */
+
+#ifndef SGCN_MEM_DRAM_HH
+#define SGCN_MEM_DRAM_HH
+
+#include <cstdint>
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "mem/mem_request.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** DRAM configuration; presets for HBM1 and HBM2 below. */
+struct DramConfig
+{
+    /** Human-readable module name. */
+    const char *name = "HBM2";
+
+    /** Independent channels (Table III: 8). */
+    unsigned channels = 8;
+
+    /** Banks per channel (Table III: 4x4). */
+    unsigned banksPerChannel = 16;
+
+    /** Row (page) size per bank in bytes. */
+    unsigned rowBytes = 1024;
+
+    /** Channel interleaving granularity in bytes. */
+    unsigned interleaveBytes = 256;
+
+    /** Cycles the channel data bus is busy per 64B burst.
+     *  HBM2: 32 GB/s per channel at 1 GHz -> 2 cycles / 64B. */
+    Cycle burstCycles = 2;
+
+    /** Activate-to-read delay (tRCD). */
+    Cycle tRcd = 14;
+
+    /** Precharge delay (tRP). */
+    Cycle tRp = 14;
+
+    /** Column access latency (tCL). */
+    Cycle tCl = 14;
+
+    /** Four-activate window (tFAW): at most four activates per
+     *  channel within this many cycles; bounds random-access
+     *  throughput the way real HBM does. */
+    Cycle tFaw = 16;
+
+    /** FR-FCFS scan window; 1 degenerates to FCFS. */
+    unsigned schedWindow = 16;
+
+    /** Derived: peak bandwidth in bytes/cycle (= bytes/ns at 1GHz). */
+    double
+    peakBytesPerCycle() const
+    {
+        return static_cast<double>(channels) * kCachelineBytes /
+               static_cast<double>(burstCycles);
+    }
+
+    /** HBM2 preset: 256 GB/s peak (Table III). */
+    static DramConfig hbm2();
+
+    /** HBM1 preset: 128 GB/s peak (Fig. 18). */
+    static DramConfig hbm1();
+};
+
+/**
+ * Event-driven DRAM device.
+ *
+ * Requests are enqueued per channel; each channel runs an FR-FCFS
+ * scheduler over a bounded scan window and models bank row-buffer
+ * state plus data-bus occupancy. Completion callbacks fire when the
+ * burst finishes.
+ */
+class Dram
+{
+  public:
+    Dram(const DramConfig &config, EventQueue &queue);
+
+    /** Enqueue a timing request; @p done fires at completion. */
+    void access(const MemRequest &request, MemCallback done);
+
+    /** Total requests still queued or in flight. */
+    std::uint64_t inFlight() const { return outstanding; }
+
+    /** Off-chip traffic counters (what Fig. 14 reports). */
+    const TrafficCounters &traffic() const { return counters; }
+
+    /** Row-buffer hit count. */
+    std::uint64_t rowHits() const { return rowHitCount; }
+
+    /** Row-buffer miss count. */
+    std::uint64_t rowMisses() const { return rowMissCount; }
+
+    /** Aggregate data-bus busy cycles across channels. */
+    Cycle busBusyCycles() const { return busBusy; }
+
+    /**
+     * Achieved bandwidth utilization over an execution window:
+     * busy-cycles / (channels * window).
+     */
+    double bandwidthUtilization(Cycle window) const;
+
+    /** The active configuration. */
+    const DramConfig &config() const { return cfg; }
+
+    /** Reset statistics (not bank state). */
+    void resetStats();
+
+  private:
+    struct Pending
+    {
+        MemRequest request;
+        MemCallback done;
+        Cycle enqueued;
+    };
+
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Cycle readyAt = 0;
+    };
+
+    struct Channel
+    {
+        std::deque<Pending> queue;
+        std::vector<Bank> banks;
+        Cycle busFreeAt = 0;
+        bool schedulerActive = false;
+        /** Ring of the last four activate times (tFAW). */
+        std::array<Cycle, 4> recentActivates{};
+        unsigned activateCursor = 0;
+        std::uint64_t activateCount = 0;
+    };
+
+    /** Earliest cycle a new activate may issue on @p channel. */
+    Cycle fawReadyAt(const Channel &channel) const;
+
+    /** Record an activate for the tFAW window. */
+    void recordActivate(Channel &channel, Cycle when);
+
+    /** Decompose an address into channel / bank / row. */
+    void decode(Addr line_addr, unsigned &channel, unsigned &bank,
+                std::uint64_t &row) const;
+
+    /** Kick the per-channel scheduler if it is idle. */
+    void activateScheduler(unsigned channel_idx);
+
+    /** Dispatch the best request from a channel queue. */
+    void dispatch(unsigned channel_idx);
+
+    /** Issue queue entry @p pick: bank timing + data-bus booking. */
+    void issueRequest(Channel &channel, std::size_t pick);
+
+    DramConfig cfg;
+    EventQueue &events;
+    std::vector<Channel> channelState;
+    TrafficCounters counters;
+    std::uint64_t outstanding = 0;
+    std::uint64_t rowHitCount = 0;
+    std::uint64_t rowMissCount = 0;
+    Cycle busBusy = 0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_MEM_DRAM_HH

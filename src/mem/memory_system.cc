@@ -1,0 +1,58 @@
+#include "mem/memory_system.hh"
+
+namespace sgcn
+{
+
+MemorySystem::MemorySystem(const CacheConfig &cache_config,
+                           const DramConfig &dram_config,
+                           EventQueue &queue)
+    : events(queue),
+      dramModel(std::make_unique<Dram>(dram_config, queue)),
+      cacheModel(std::make_unique<Cache>(cache_config, *dramModel, queue))
+{
+}
+
+void
+MemorySystem::access(const MemRequest &request, MemCallback done)
+{
+    if (bypasses(request.cls)) {
+        dramModel->access(request, std::move(done));
+        return;
+    }
+    cacheModel->access(request, std::move(done));
+}
+
+bool
+MemorySystem::accessFunctional(const MemRequest &request)
+{
+    if (bypasses(request.cls)) {
+        bypassTraffic.add(request.op, request.cls);
+        return false;
+    }
+    return cacheModel->accessFunctional(request);
+}
+
+void
+MemorySystem::setBypass(TrafficClass cls, bool bypass)
+{
+    bypassClass[static_cast<unsigned>(cls)] = bypass;
+}
+
+TrafficCounters
+MemorySystem::offChipTraffic() const
+{
+    TrafficCounters total = dramModel->traffic();
+    total.merge(cacheModel->functionalDramTraffic());
+    total.merge(bypassTraffic);
+    return total;
+}
+
+void
+MemorySystem::resetStats()
+{
+    dramModel->resetStats();
+    cacheModel->resetStats();
+    bypassTraffic = TrafficCounters{};
+}
+
+} // namespace sgcn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory system glue: event queue + DRAM + global cache, plus
+ * convenience entry points used by the accelerator engines.
+ *
+ * Some traffic classes can be configured to bypass the cache
+ * (e.g. AWB-GCN's partial-sum streams, which are strictly streaming
+ * and would only thrash the shared cache).
+ */
+
+#ifndef SGCN_MEM_MEMORY_SYSTEM_HH
+#define SGCN_MEM_MEMORY_SYSTEM_HH
+
+#include <array>
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+
+namespace sgcn
+{
+
+/** Bundled memory hierarchy used by every accelerator personality. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const CacheConfig &cache_config,
+                 const DramConfig &dram_config, EventQueue &queue);
+
+    /** Route a timing request through the hierarchy. */
+    void access(const MemRequest &request, MemCallback done);
+
+    /** Route a functional request; returns true on cache hit. */
+    bool accessFunctional(const MemRequest &request);
+
+    /** Mark a traffic class as cache-bypassing. */
+    void setBypass(TrafficClass cls, bool bypass);
+
+    /** True if @p cls bypasses the cache. */
+    bool bypasses(TrafficClass cls) const
+    {
+        return bypassClass[static_cast<unsigned>(cls)];
+    }
+
+    /** Off-chip traffic: timing DRAM counters plus functional-mode
+     *  cache-generated traffic. */
+    TrafficCounters offChipTraffic() const;
+
+    Cache &cache() { return *cacheModel; }
+    const Cache &cache() const { return *cacheModel; }
+    Dram &dram() { return *dramModel; }
+    const Dram &dram() const { return *dramModel; }
+    EventQueue &eventQueue() { return events; }
+
+    /** Reset all statistics. */
+    void resetStats();
+
+  private:
+    EventQueue &events;
+    std::unique_ptr<Dram> dramModel;
+    std::unique_ptr<Cache> cacheModel;
+    std::array<bool, kNumTrafficClasses> bypassClass{};
+    TrafficCounters bypassTraffic;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_MEM_MEMORY_SYSTEM_HH

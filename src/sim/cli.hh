@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by benches and examples.
+ *
+ * Supports "--name value", "--name=value", and boolean "--name".
+ * Environment variable SGCN_BENCH_SCALE feeds the default workload
+ * scale so running every bench binary in sequence stays fast while a
+ * user can still request full-size runs.
+ */
+
+#ifndef SGCN_SIM_CLI_HH
+#define SGCN_SIM_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgcn
+{
+
+/** Parsed command-line flags with typed accessors. */
+class Cli
+{
+  public:
+    Cli(int argc, char **argv);
+
+    /** True if the flag was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of a flag, or @p fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer value of a flag, or @p fallback. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** Double value of a flag, or @p fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean value: bare flag or explicit true/false/1/0. */
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positionalArgs;
+    }
+
+    /**
+     * Global workload scale factor: 1.0 default, overridable via the
+     * --scale flag or the SGCN_BENCH_SCALE environment variable.
+     */
+    double scale() const;
+
+  private:
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> positionalArgs;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_SIM_CLI_HH

@@ -1,0 +1,50 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+void
+EventQueue::schedule(Cycle when, Callback cb)
+{
+    SGCN_ASSERT(when >= currentCycle,
+                "scheduling into the past: ", when, " < ", currentCycle);
+    heap.push(Entry{when, nextSeq++, std::move(cb)});
+}
+
+Cycle
+EventQueue::nextTime() const
+{
+    if (heap.empty())
+        return std::numeric_limits<Cycle>::max();
+    return heap.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // Move the callback out before popping so it may schedule more
+    // events (including at the current time) safely.
+    Entry entry = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    currentCycle = entry.when;
+    ++executedCount;
+    entry.cb();
+    return true;
+}
+
+Cycle
+EventQueue::run(Cycle limit)
+{
+    while (!heap.empty() && heap.top().when <= limit)
+        step();
+    if (currentCycle < limit && heap.empty())
+        return currentCycle;
+    currentCycle = std::max(currentCycle, std::min(limit, nextTime()));
+    return currentCycle;
+}
+
+} // namespace sgcn

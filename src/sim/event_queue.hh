@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Components schedule callbacks at absolute cycle times; the queue
+ * executes them in (time, insertion-order) order. Insertion order is
+ * preserved for same-cycle events so component behaviour is
+ * deterministic.
+ */
+
+#ifndef SGCN_SIM_EVENT_QUEUE_HH
+#define SGCN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sgcn
+{
+
+/** Minimal discrete-event kernel driving all timing simulation. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb at absolute time @p when (>= now()). */
+    void schedule(Cycle when, Callback cb);
+
+    /** Schedule @p cb @p delta cycles from now. */
+    void scheduleAfter(Cycle delta, Callback cb)
+    {
+        schedule(currentCycle + delta, std::move(cb));
+    }
+
+    /** Current simulation time. */
+    Cycle now() const { return currentCycle; }
+
+    /** True if no events are pending. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** Time of the earliest pending event (max Cycle if empty). */
+    Cycle nextTime() const;
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     * @return the final simulation time.
+     */
+    Cycle run(Cycle limit = std::numeric_limits<Cycle>::max());
+
+    /** Execute exactly one event if any is pending. */
+    bool step();
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executedCount; }
+
+  private:
+    struct Entry
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Cycle currentCycle = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executedCount = 0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for internal invariant violations (simulator bugs);
+ * fatal() is for user errors (bad configuration, impossible
+ * parameters); warn()/inform() report conditions without stopping
+ * the simulation.
+ */
+
+#ifndef SGCN_SIM_LOGGING_HH
+#define SGCN_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace sgcn
+{
+
+namespace detail
+{
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort with a message: something happened that should never happen
+ * regardless of user input, i.e. a simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    detail::panicImpl("", 0, detail::concat(args...));
+}
+
+/**
+ * Exit with an error: the simulation cannot continue because of a
+ * user-provided configuration or argument.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    detail::fatalImpl("", 0, detail::concat(args...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::warnImpl(detail::concat(args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::informImpl(detail::concat(args...));
+}
+
+/** panic() unless @p cond holds. */
+#define SGCN_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::sgcn::panic("assertion failed: " #cond " ",               \
+                          ##__VA_ARGS__);                               \
+        }                                                               \
+    } while (0)
+
+} // namespace sgcn
+
+#endif // SGCN_SIM_LOGGING_HH

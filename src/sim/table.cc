@@ -1,0 +1,91 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sgcn
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    headerCells = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths;
+    auto account = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(headerCells);
+    for (const auto &r : rows)
+        account(r);
+
+    std::ostringstream os;
+    os << "== " << tableTitle << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size()) {
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+            }
+        }
+        os << "\n";
+    };
+    if (!headerCells.empty()) {
+        emit(headerCells);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    const std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::ratio(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, value);
+    return buf;
+}
+
+std::string
+Table::percent(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, value * 100.0);
+    return buf;
+}
+
+} // namespace sgcn

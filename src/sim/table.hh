@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned plain-text table printer for benchmark harness output.
+ *
+ * Every bench regenerating a paper figure prints its series through
+ * this so outputs are uniform and easy to diff against
+ * EXPERIMENTS.md.
+ */
+
+#ifndef SGCN_SIM_TABLE_HH
+#define SGCN_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sgcn
+{
+
+/** Simple column-aligned table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : tableTitle(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a row of pre-rendered cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format a ratio as "1.23x". */
+    static std::string ratio(double value, int precision = 2);
+
+    /** Format a fraction as "12.3%". */
+    static std::string percent(double value, int precision = 1);
+
+  private:
+    std::string tableTitle;
+    std::vector<std::string> headerCells;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_SIM_TABLE_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and address arithmetic helpers.
+ *
+ * Everything in the SGCN reproduction lives in namespace sgcn. The
+ * accelerator clock domain is cycles of a 1 GHz clock (Table III);
+ * DRAM timing is expressed in the same domain.
+ */
+
+#ifndef SGCN_SIM_TYPES_HH
+#define SGCN_SIM_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sgcn
+{
+
+/** Simulation time, in accelerator clock cycles (1 GHz). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the accelerator's physical address space. */
+using Addr = std::uint64_t;
+
+/** Vertex identifier; graphs up to 2^32 vertices. */
+using VertexId = std::uint32_t;
+
+/** Edge identifier / edge count type. */
+using EdgeId = std::uint64_t;
+
+/** Cacheline size of the global on-chip cache and DRAM access
+ *  granularity (HBM 64B pseudo-channel burst). */
+constexpr unsigned kCachelineBytes = 64;
+
+/** Bytes per feature element (32-bit fixed point, Table III). */
+constexpr unsigned kFeatureBytes = 4;
+
+/** Memory operation type. */
+enum class MemOp : std::uint8_t { Read, Write };
+
+/**
+ * Traffic classes used for the off-chip access breakdown (Fig. 14).
+ *
+ * Every memory request is tagged so the simulator can report
+ * topology / feature-input / feature-output / weight / partial-sum
+ * traffic separately.
+ */
+enum class TrafficClass : std::uint8_t
+{
+    Topology = 0,
+    FeatureIn,
+    FeatureOut,
+    Weight,
+    PartialSum,
+    NumClasses
+};
+
+/** Number of distinct traffic classes. */
+constexpr unsigned kNumTrafficClasses =
+    static_cast<unsigned>(TrafficClass::NumClasses);
+
+/** Human-readable name of a traffic class. */
+constexpr const char *
+trafficClassName(TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::Topology: return "topology";
+      case TrafficClass::FeatureIn: return "feature_in";
+      case TrafficClass::FeatureOut: return "feature_out";
+      case TrafficClass::Weight: return "weight";
+      case TrafficClass::PartialSum: return "partial_sum";
+      default: return "invalid";
+    }
+}
+
+/** Round @p value down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr value, Addr align)
+{
+    return value & ~(align - 1);
+}
+
+/** Round @p value up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr value, Addr align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** True if @p value is a multiple of @p align (power of two). */
+constexpr bool
+isAligned(Addr value, Addr align)
+{
+    return (value & (align - 1)) == 0;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Number of cachelines touched by a byte range [addr, addr+bytes).
+ *
+ * This is the quantity every format's access plan ultimately reduces
+ * to: misaligned ranges pay for the extra line they straddle.
+ */
+constexpr std::uint64_t
+linesTouched(Addr addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const Addr first = alignDown(addr, kCachelineBytes);
+    const Addr last = alignDown(addr + bytes - 1, kCachelineBytes);
+    return (last - first) / kCachelineBytes + 1;
+}
+
+/** True if @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2 for powers of two. */
+constexpr unsigned
+log2Floor(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+} // namespace sgcn
+
+#endif // SGCN_SIM_TYPES_HH

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Unit tests for the SGCN microarchitecture models: the prefix-sum
+ * unit, the sparse aggregator (Fig. 8), the post-combination
+ * compressor (Fig. 9), and sparsity-aware cooperation scheduling
+ * (Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/beicsr.hh"
+#include "core/compressor.hh"
+#include "core/prefix_sum.hh"
+#include "core/sac.hh"
+#include "core/sparse_aggregator.hh"
+#include "gcn/feature_matrix.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Prefix sum
+// ---------------------------------------------------------------------
+
+TEST(PrefixSum, ReversedIndices)
+{
+    // bitmap 1011'0100 (LSB first: bits 2, 4, 5, 7)
+    const std::uint8_t bitmap[1] = {0xB4};
+    const auto idx = PrefixSumUnit::reversedIndices(bitmap, 8);
+    ASSERT_EQ(idx.size(), 8u);
+    EXPECT_EQ(idx[2], 0u);
+    EXPECT_EQ(idx[4], 1u);
+    EXPECT_EQ(idx[5], 2u);
+    EXPECT_EQ(idx[7], 3u);
+}
+
+TEST(PrefixSum, PopcountMatches)
+{
+    Rng rng(263);
+    std::vector<std::uint8_t> bitmap(12);
+    for (auto &byte : bitmap)
+        byte = static_cast<std::uint8_t>(rng.uniformInt(256));
+    std::uint32_t expected = 0;
+    for (std::uint32_t bit = 0; bit < 96; ++bit)
+        expected += (bitmap[bit / 8] >> (bit % 8)) & 1;
+    EXPECT_EQ(PrefixSumUnit::popcount(bitmap.data(), 96), expected);
+}
+
+TEST(PrefixSum, IndicesConsistentWithPopcount)
+{
+    Rng rng(269);
+    std::vector<std::uint8_t> bitmap(12);
+    for (auto &byte : bitmap)
+        byte = static_cast<std::uint8_t>(rng.uniformInt(256));
+    const auto idx = PrefixSumUnit::reversedIndices(bitmap.data(), 96);
+    for (std::uint32_t bit = 0; bit < 96; ++bit) {
+        EXPECT_EQ(idx[bit],
+                  PrefixSumUnit::popcount(bitmap.data(), bit));
+    }
+}
+
+TEST(PrefixSum, LatencyIsLogDepth)
+{
+    EXPECT_EQ(PrefixSumUnit::latencyCycles(1), 0u);
+    EXPECT_EQ(PrefixSumUnit::latencyCycles(2), 1u);
+    EXPECT_EQ(PrefixSumUnit::latencyCycles(16), 4u);
+    EXPECT_EQ(PrefixSumUnit::latencyCycles(96), 7u);
+}
+
+// ---------------------------------------------------------------------
+// Sparse aggregator
+// ---------------------------------------------------------------------
+
+TEST(SparseAggregatorTest, SingleRowIdentity)
+{
+    const std::uint32_t width = 96;
+    Rng rng(271);
+    DenseMatrix matrix = generateFeatures(1, width, 0.5, rng);
+    const auto encoded = encodeBeicsrRow(matrix.row(0), width, 96);
+
+    SparseAggregator agg(width, 96);
+    agg.accumulate(encoded, 1.0f);
+    for (std::uint32_t c = 0; c < width; ++c)
+        EXPECT_FLOAT_EQ(agg.result()[c], matrix.at(0, c));
+}
+
+TEST(SparseAggregatorTest, WeightedSumMatchesDense)
+{
+    // Fig. 8 end to end: aggregating compressed neighbour rows must
+    // equal the dense weighted sum.
+    const std::uint32_t width = 256;
+    Rng rng(277);
+    DenseMatrix matrix = generateFeatures(10, width, 0.6, rng);
+    std::vector<float> weights;
+    for (int i = 0; i < 10; ++i)
+        weights.push_back(static_cast<float>(rng.uniform()));
+
+    SparseAggregator agg(width, 96);
+    for (std::uint32_t r = 0; r < 10; ++r) {
+        agg.accumulate(encodeBeicsrRow(matrix.row(r), width, 96),
+                       weights[r]);
+    }
+    for (std::uint32_t c = 0; c < width; ++c) {
+        double expected = 0.0;
+        for (std::uint32_t r = 0; r < 10; ++r)
+            expected += static_cast<double>(weights[r]) *
+                        matrix.at(r, c);
+        EXPECT_NEAR(agg.result()[c], expected, 1e-4);
+    }
+}
+
+TEST(SparseAggregatorTest, NonSlicedRows)
+{
+    const std::uint32_t width = 200;
+    Rng rng(281);
+    DenseMatrix matrix = generateFeatures(4, width, 0.5, rng);
+    SparseAggregator agg(width, 0); // non-sliced
+    for (std::uint32_t r = 0; r < 4; ++r) {
+        agg.accumulate(encodeBeicsrRow(matrix.row(r), width, width),
+                       0.25f);
+    }
+    for (std::uint32_t c = 0; c < width; ++c) {
+        double expected = 0.0;
+        for (std::uint32_t r = 0; r < 4; ++r)
+            expected += 0.25 * matrix.at(r, c);
+        EXPECT_NEAR(agg.result()[c], expected, 1e-5);
+    }
+}
+
+TEST(SparseAggregatorTest, ResetClears)
+{
+    SparseAggregator agg(64, 64);
+    std::vector<float> row(64, 1.0f);
+    agg.accumulate(encodeBeicsrRow(row.data(), 64, 64), 2.0f);
+    agg.reset();
+    for (float v : agg.result())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(SparseAggregatorTest, FixedPointTracksFloat)
+{
+    // Table III: the 32-bit fixed datapath must track the float
+    // reference within quantization error at activation scale.
+    const std::uint32_t width = 128;
+    Rng rng(311);
+    DenseMatrix matrix = generateFeatures(8, width, 0.5, rng);
+    SparseAggregator float_agg(width, 96);
+    SparseAggregator fixed_agg(width, 96);
+    for (std::uint32_t r = 0; r < 8; ++r) {
+        const auto row = encodeBeicsrRow(matrix.row(r), width, 96);
+        const float w = 0.125f * static_cast<float>(r + 1);
+        float_agg.accumulate(row, w);
+        fixed_agg.accumulateFixed(row, w);
+    }
+    for (std::uint32_t c = 0; c < width; ++c) {
+        EXPECT_NEAR(fixed_agg.result()[c], float_agg.result()[c],
+                    2e-3);
+    }
+}
+
+TEST(SparseAggregatorTest, FixedPointSaturatesGracefully)
+{
+    std::vector<float> row(16, 30000.0f);
+    SparseAggregator agg(16, 16);
+    const auto encoded = encodeBeicsrRow(row.data(), 16, 16);
+    agg.accumulateFixed(encoded, 1.0f);
+    agg.accumulateFixed(encoded, 1.0f);
+    // 60000 saturates at the Q16.16 ceiling instead of wrapping.
+    for (float v : agg.result()) {
+        EXPECT_GT(v, 32000.0f);
+        EXPECT_LE(v, 32768.0f);
+    }
+}
+
+TEST(SparseAggregatorTest, CycleModel)
+{
+    // 16 lanes: ceil(nnz/16) with a 1-cycle floor for bitmap-only
+    // slices.
+    EXPECT_EQ(SparseAggregator::sliceCycles(0), 1u);
+    EXPECT_EQ(SparseAggregator::sliceCycles(16), 1u);
+    EXPECT_EQ(SparseAggregator::sliceCycles(17), 2u);
+    EXPECT_EQ(SparseAggregator::sliceCycles(48), 3u);
+    EXPECT_EQ(SparseAggregator::denseSliceCycles(96), 6u);
+    // The sparse path at 50% occupancy halves the dense cycles.
+    EXPECT_EQ(SparseAggregator::sliceCycles(48),
+              SparseAggregator::denseSliceCycles(96) / 2);
+}
+
+// ---------------------------------------------------------------------
+// Compressor
+// ---------------------------------------------------------------------
+
+TEST(CompressorTest, MatchesReferenceEncoder)
+{
+    // Fig. 9: streaming values through the compressor must produce
+    // byte-identical output to encoding the ReLU'd row offline.
+    const std::uint32_t width = 256;
+    Rng rng(283);
+    Compressor compressor(width, 96);
+    std::vector<float> raw(width);
+    std::vector<float> relu(width);
+    for (std::uint32_t c = 0; c < width; ++c) {
+        raw[c] = static_cast<float>(rng.normal()); // signed values
+        relu[c] = std::max(raw[c], 0.0f);
+        compressor.push(raw[c]);
+    }
+    ASSERT_TRUE(compressor.rowComplete());
+    EXPECT_EQ(compressor.encodedRow(),
+              encodeBeicsrRow(relu.data(), width, 96));
+}
+
+TEST(CompressorTest, ReluZeroesNegatives)
+{
+    Compressor compressor(4, 4);
+    compressor.push(-1.0f);
+    compressor.push(2.0f);
+    compressor.push(-3.0f);
+    compressor.push(4.0f);
+    EXPECT_EQ(compressor.rowNnz(), 2u);
+    const auto decoded = decodeBeicsrRow(compressor.encodedRow(), 4, 4);
+    EXPECT_EQ(decoded[0], 0.0f);
+    EXPECT_EQ(decoded[1], 2.0f);
+    EXPECT_EQ(decoded[2], 0.0f);
+    EXPECT_EQ(decoded[3], 4.0f);
+}
+
+TEST(CompressorTest, NonMultipleWidthLastSlice)
+{
+    const std::uint32_t width = 250; // 96 + 96 + 58
+    Rng rng(293);
+    Compressor compressor(width, 96);
+    std::vector<float> relu(width);
+    for (std::uint32_t c = 0; c < width; ++c) {
+        const float v = static_cast<float>(rng.normal());
+        relu[c] = std::max(v, 0.0f);
+        compressor.push(v);
+    }
+    EXPECT_EQ(compressor.encodedRow(),
+              encodeBeicsrRow(relu.data(), width, 96));
+}
+
+TEST(CompressorTest, TakeRowResets)
+{
+    Compressor compressor(8, 8);
+    for (int i = 0; i < 8; ++i)
+        compressor.push(1.0f);
+    const auto first = compressor.takeRow();
+    EXPECT_FALSE(compressor.rowComplete());
+    for (int i = 0; i < 8; ++i)
+        compressor.push(-1.0f);
+    const auto second = compressor.encodedRow();
+    EXPECT_NE(first, second);
+    EXPECT_EQ(compressor.rowNnz(), 0u);
+}
+
+TEST(CompressorTest, RoundTripThroughAggregator)
+{
+    // Compressor output feeds the next layer's sparse aggregator:
+    // full pipeline round trip (SV-F).
+    const std::uint32_t width = 96;
+    Rng rng(307);
+    Compressor compressor(width, 96);
+    std::vector<float> relu(width);
+    for (std::uint32_t c = 0; c < width; ++c) {
+        const float v = static_cast<float>(rng.normal());
+        relu[c] = std::max(v, 0.0f);
+        compressor.push(v);
+    }
+    SparseAggregator agg(width, 96);
+    agg.accumulate(compressor.encodedRow(), 1.0f);
+    for (std::uint32_t c = 0; c < width; ++c)
+        EXPECT_FLOAT_EQ(agg.result()[c], relu[c]);
+}
+
+// ---------------------------------------------------------------------
+// Sparsity-aware cooperation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Flatten a schedule and verify it covers [begin, end) exactly. */
+void
+expectCovers(const std::vector<std::vector<VertexId>> &schedule,
+             VertexId begin, VertexId end)
+{
+    std::set<VertexId> seen;
+    for (const auto &engine : schedule) {
+        for (VertexId v : engine) {
+            EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+            EXPECT_GE(v, begin);
+            EXPECT_LT(v, end);
+        }
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(end - begin));
+}
+
+} // namespace
+
+TEST(Sac, ChunkedCoversTile)
+{
+    const auto schedule = scheduleEngines(
+        100, 612, 8, EngineScheduleKind::Chunked);
+    ASSERT_EQ(schedule.size(), 8u);
+    expectCovers(schedule, 100, 612);
+    // Chunks are contiguous.
+    for (const auto &engine : schedule) {
+        for (std::size_t i = 1; i < engine.size(); ++i)
+            EXPECT_EQ(engine[i], engine[i - 1] + 1);
+    }
+}
+
+TEST(Sac, StripsCoverTile)
+{
+    const auto schedule = scheduleEngines(
+        0, 1000, 8, EngineScheduleKind::SacStrips, 32);
+    expectCovers(schedule, 0, 1000);
+}
+
+TEST(Sac, StripsInterleaveRoundRobin)
+{
+    const auto schedule = scheduleEngines(
+        0, 1024, 4, EngineScheduleKind::SacStrips, 32);
+    // Engine e starts at strip e.
+    for (unsigned e = 0; e < 4; ++e) {
+        ASSERT_FALSE(schedule[e].empty());
+        EXPECT_EQ(schedule[e].front(), e * 32u);
+    }
+    // Engine 0's second strip is strip 4 (vertex 512).
+    EXPECT_EQ(schedule[0][32], 4u * 32u);
+}
+
+TEST(Sac, ConcurrentFrontIsCompact)
+{
+    // Fig. 7c: at any instant the engines sweep adjacent strips, so
+    // the k-th vertices across engines span a small window; chunked
+    // scheduling spans nearly the whole tile.
+    const VertexId n = 4096;
+    const auto sac = scheduleEngines(0, n, 8,
+                                     EngineScheduleKind::SacStrips, 32);
+    const auto chunk =
+        scheduleEngines(0, n, 8, EngineScheduleKind::Chunked);
+
+    auto front_span = [](const std::vector<std::vector<VertexId>> &s,
+                         std::size_t step) {
+        VertexId lo = ~VertexId{0}, hi = 0;
+        for (const auto &engine : s) {
+            if (step < engine.size()) {
+                lo = std::min(lo, engine[step]);
+                hi = std::max(hi, engine[step]);
+            }
+        }
+        return hi - lo;
+    };
+    EXPECT_LT(front_span(sac, 0), 8u * 32u);
+    EXPECT_GT(front_span(chunk, 0), n / 2);
+    EXPECT_LT(front_span(sac, 100), 8u * 32u);
+}
+
+TEST(Sac, SmallTileFewerStripsThanEngines)
+{
+    const auto schedule = scheduleEngines(
+        0, 40, 8, EngineScheduleKind::SacStrips, 32);
+    expectCovers(schedule, 0, 40);
+    // Only two strips: engines 2..7 idle.
+    for (unsigned e = 2; e < 8; ++e)
+        EXPECT_TRUE(schedule[e].empty());
+}
+
+TEST(Sac, EmptyTile)
+{
+    const auto schedule =
+        scheduleEngines(5, 5, 4, EngineScheduleKind::SacStrips, 32);
+    for (const auto &engine : schedule)
+        EXPECT_TRUE(engine.empty());
+}
+
+TEST(Sac, StripHeightOne)
+{
+    const auto schedule = scheduleEngines(
+        0, 16, 4, EngineScheduleKind::SacStrips, 1);
+    expectCovers(schedule, 0, 16);
+    // Pure round robin.
+    EXPECT_EQ(schedule[0], (std::vector<VertexId>{0, 4, 8, 12}));
+}
+
+} // namespace
+} // namespace sgcn

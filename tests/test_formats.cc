@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Unit tests for the baseline feature formats and the AccessPlan
+ * machinery: encode/decode round trips, cacheline-exact access
+ * plans, and the traffic relationships Fig. 3 / SII-B assert
+ * (CSR/COO overhead below 50% sparsity, block formats degenerating
+ * on element-wise sparsity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "formats/blocked_ellpack.hh"
+#include "formats/bsr.hh"
+#include "formats/coo.hh"
+#include "formats/csr.hh"
+#include "formats/dense.hh"
+#include "formats/format.hh"
+#include "gcn/feature_matrix.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+constexpr Addr kBase = 0x4000'0000ULL;
+
+TEST(AccessPlan, AddBytesComputesLines)
+{
+    AccessPlan plan;
+    plan.addBytes(kBase, 64);
+    EXPECT_EQ(plan.totalLines(), 1u);
+    plan.addBytes(kBase + 64, 65);
+    EXPECT_EQ(plan.totalLines(), 3u);
+    // Contiguous additions merge into one run.
+    EXPECT_EQ(plan.numRuns, 1u);
+}
+
+TEST(AccessPlan, MisalignedRangeStraddles)
+{
+    AccessPlan plan;
+    plan.addBytes(kBase + 60, 8); // crosses a line boundary
+    EXPECT_EQ(plan.totalLines(), 2u);
+}
+
+TEST(AccessPlan, DisjointRunsStaySeparate)
+{
+    AccessPlan plan;
+    plan.addBytes(kBase, 64);
+    plan.addBytes(kBase + 4096, 64);
+    EXPECT_EQ(plan.numRuns, 2u);
+    EXPECT_EQ(plan.totalLines(), 2u);
+}
+
+TEST(AccessPlan, ForEachLineVisitsAll)
+{
+    AccessPlan plan;
+    plan.addBytes(kBase, 128);
+    plan.addBytes(kBase + 1024, 64);
+    std::vector<Addr> lines;
+    plan.forEachLine([&](Addr a) { lines.push_back(a); });
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], kBase);
+    EXPECT_EQ(lines[1], kBase + 64);
+    EXPECT_EQ(lines[2], kBase + 1024);
+}
+
+TEST(FormatNames, AllDistinct)
+{
+    EXPECT_STREQ(formatKindName(FormatKind::Dense), "Dense");
+    EXPECT_STREQ(formatKindName(FormatKind::Csr), "CSR");
+    EXPECT_STREQ(formatKindName(FormatKind::Beicsr), "BEICSR");
+}
+
+// ---------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------
+
+struct DenseFixture : ::testing::Test
+{
+    Rng rng{111};
+    FeatureMask mask = FeatureMask::random(32, 256, 0.5, rng);
+};
+
+TEST_F(DenseFixture, RowPlanCoversWholeRow)
+{
+    DenseLayout layout(256, 96);
+    layout.prepare(mask, kBase);
+    const AccessPlan plan = layout.planRowRead(5);
+    EXPECT_EQ(plan.totalLines(), 256u * 4 / 64);
+}
+
+TEST_F(DenseFixture, SliceReadsAreAlignedAndLossless)
+{
+    DenseLayout layout(256, 96);
+    layout.prepare(mask, kBase);
+    EXPECT_EQ(layout.numSlices(), 3u);
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < 3; ++s) {
+        const AccessPlan plan = layout.planSliceRead(9, s);
+        total += plan.totalLines();
+        plan.forEachLine(
+            [](Addr a) { EXPECT_TRUE(isAligned(a, kCachelineBytes)); });
+    }
+    // 96*4=384B slices are line-aligned: slicing costs nothing.
+    EXPECT_EQ(total, layout.planRowRead(9).totalLines());
+}
+
+TEST_F(DenseFixture, SliceValuesIgnoreSparsity)
+{
+    DenseLayout layout(256, 96);
+    layout.prepare(mask, kBase);
+    EXPECT_EQ(layout.sliceValues(0, 0), 96u);
+    EXPECT_EQ(layout.sliceValues(0, 2), 64u); // remainder slice
+}
+
+TEST_F(DenseFixture, EncodeDecodeRoundTrip)
+{
+    DenseMatrix matrix = generateFeatures(8, 100, 0.4, rng);
+    const auto bytes = encodeDense(matrix);
+    DenseMatrix decoded = decodeDense(bytes, 8, 100);
+    EXPECT_DOUBLE_EQ(matrix.maxAbsDiff(decoded), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// CSR
+// ---------------------------------------------------------------------
+
+TEST(CsrFormat, EncodeDecodeRoundTrip)
+{
+    Rng rng(113);
+    DenseMatrix matrix = generateFeatures(16, 80, 0.6, rng);
+    const CsrMatrix csr = encodeCsr(matrix);
+    DenseMatrix decoded = decodeCsr(csr);
+    EXPECT_DOUBLE_EQ(matrix.maxAbsDiff(decoded), 0.0);
+    EXPECT_EQ(csr.values.size(),
+              static_cast<std::size_t>(
+                  FeatureMask::fromDense(matrix).totalNnz()));
+}
+
+TEST(CsrFormat, RowReadBytesMatchNnz)
+{
+    Rng rng(127);
+    FeatureMask mask = FeatureMask::random(64, 256, 0.5, rng);
+    CsrLayout layout(256);
+    layout.prepare(mask, kBase);
+    for (VertexId v = 0; v < 64; v += 7) {
+        const AccessPlan plan = layout.planRowRead(v);
+        const std::uint64_t nnz_bytes =
+            static_cast<std::uint64_t>(mask.rowNnz(v)) * 8;
+        // Row pointer (1-2 lines) + packed data lines.
+        EXPECT_GE(plan.totalLines(), divCeil(nnz_bytes, 64));
+        EXPECT_LE(plan.totalLines(), divCeil(nnz_bytes, 64) + 3);
+    }
+}
+
+TEST(CsrFormat, At50PercentNotSmallerThanDense)
+{
+    // SII-B: at ~50% sparsity CSR's 8B-per-nnz meets dense's 4B per
+    // element — no traffic win, plus pointer overhead.
+    Rng rng(131);
+    FeatureMask mask = FeatureMask::random(128, 256, 0.5, rng);
+    CsrLayout csr(256);
+    csr.prepare(mask, kBase);
+    DenseLayout dense(256, 0);
+    dense.prepare(mask, kBase);
+
+    std::uint64_t csr_lines = 0, dense_lines = 0;
+    for (VertexId v = 0; v < 128; ++v) {
+        csr_lines += csr.planRowRead(v).totalLines();
+        dense_lines += dense.planRowRead(v).totalLines();
+    }
+    EXPECT_GE(csr_lines, dense_lines);
+}
+
+TEST(CsrFormat, At95PercentSmallerThanDense)
+{
+    // The break-even for CSR is deep in the sparsity range
+    // (SVII-A: over 90%).
+    Rng rng(137);
+    FeatureMask mask = FeatureMask::random(128, 256, 0.95, rng);
+    CsrLayout csr(256);
+    csr.prepare(mask, kBase);
+    DenseLayout dense(256, 0);
+    dense.prepare(mask, kBase);
+    std::uint64_t csr_lines = 0, dense_lines = 0;
+    for (VertexId v = 0; v < 128; ++v) {
+        csr_lines += csr.planRowRead(v).totalLines();
+        dense_lines += dense.planRowRead(v).totalLines();
+    }
+    EXPECT_LT(csr_lines, dense_lines);
+}
+
+TEST(CsrFormat, NoSlicing)
+{
+    Rng rng(139);
+    FeatureMask mask = FeatureMask::random(4, 256, 0.5, rng);
+    CsrLayout layout(256);
+    layout.prepare(mask, kBase);
+    EXPECT_FALSE(layout.supportsSlicing());
+    EXPECT_EQ(layout.numSlices(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// COO
+// ---------------------------------------------------------------------
+
+TEST(CooFormat, EncodeDecodeRoundTrip)
+{
+    Rng rng(149);
+    DenseMatrix matrix = generateFeatures(12, 60, 0.5, rng);
+    DenseMatrix decoded = decodeCoo(encodeCoo(matrix));
+    EXPECT_DOUBLE_EQ(matrix.maxAbsDiff(decoded), 0.0);
+}
+
+TEST(CooFormat, HeavierThanCsr)
+{
+    // 12B per non-zero vs CSR's 8B: strictly more traffic at equal
+    // occupancy (SII-B "COO has even more index overheads").
+    Rng rng(151);
+    FeatureMask mask = FeatureMask::random(128, 256, 0.5, rng);
+    CooLayout coo(256);
+    coo.prepare(mask, kBase);
+    CsrLayout csr(256);
+    csr.prepare(mask, kBase);
+    std::uint64_t coo_lines = 0, csr_lines = 0;
+    for (VertexId v = 0; v < 128; ++v) {
+        coo_lines += coo.planRowRead(v).totalLines();
+        csr_lines += csr.planRowRead(v).totalLines();
+    }
+    EXPECT_GT(coo_lines, csr_lines);
+}
+
+// ---------------------------------------------------------------------
+// BSR
+// ---------------------------------------------------------------------
+
+TEST(BsrFormat, BlockCountMatchesBruteForce)
+{
+    Rng rng(157);
+    FeatureMask mask = FeatureMask::random(20, 64, 0.7, rng);
+    BsrLayout layout(64);
+    layout.prepare(mask, kBase);
+    for (std::uint32_t br = 0; br < 10; ++br) {
+        std::uint32_t expected = 0;
+        for (std::uint32_t bc = 0; bc < 32; ++bc) {
+            bool any = false;
+            for (std::uint32_t dr = 0; dr < 2; ++dr)
+                for (std::uint32_t dc = 0; dc < 2; ++dc)
+                    any |= mask.test(br * 2 + dr, bc * 2 + dc);
+            expected += any ? 1 : 0;
+        }
+        EXPECT_EQ(layout.blockRowCount(br), expected);
+    }
+}
+
+TEST(BsrFormat, NearlyAllBlocksNonZeroAtGcnSparsity)
+{
+    // SII-B: at 40-70% element sparsity 2x2 blocks are almost never
+    // empty, so BSR cannot help.
+    Rng rng(163);
+    FeatureMask mask = FeatureMask::random(256, 256, 0.5, rng);
+    BsrLayout layout(256);
+    layout.prepare(mask, kBase);
+    std::uint64_t blocks = 0;
+    for (std::uint32_t br = 0; br < 128; ++br)
+        blocks += layout.blockRowCount(br);
+    const double fraction =
+        static_cast<double>(blocks) / (128.0 * 128.0);
+    EXPECT_GT(fraction, 0.9);
+}
+
+TEST(BsrFormat, HeavierThanDenseAtGcnSparsity)
+{
+    Rng rng(167);
+    FeatureMask mask = FeatureMask::random(128, 256, 0.5, rng);
+    BsrLayout bsr(256);
+    bsr.prepare(mask, kBase);
+    DenseLayout dense(256, 0);
+    dense.prepare(mask, kBase);
+    std::uint64_t bsr_lines = 0, dense_lines = 0;
+    for (VertexId v = 0; v < 128; ++v) {
+        bsr_lines += bsr.planRowRead(v).totalLines();
+        dense_lines += dense.planRowRead(v).totalLines();
+    }
+    EXPECT_GT(bsr_lines, dense_lines);
+}
+
+// ---------------------------------------------------------------------
+// Blocked Ellpack
+// ---------------------------------------------------------------------
+
+TEST(EllpackFormat, PaddedToMaxBlockCount)
+{
+    Rng rng(173);
+    FeatureMask mask = FeatureMask::random(64, 128, 0.5, rng);
+    BlockedEllpackLayout layout(128);
+    layout.prepare(mask, kBase);
+    // Every block row reads exactly K blocks.
+    const std::uint64_t expected = linesTouched(
+        kBase, static_cast<std::uint64_t>(layout.paddedBlockCount()) *
+                   BlockedEllpackLayout::kBlockBytes);
+    for (VertexId v = 0; v < 64; v += 5) {
+        EXPECT_EQ(layout.planRowRead(v).totalLines(), expected);
+    }
+}
+
+TEST(EllpackFormat, KSaturatesAtGcnSparsity)
+{
+    Rng rng(179);
+    FeatureMask mask = FeatureMask::random(256, 256, 0.5, rng);
+    BlockedEllpackLayout layout(256);
+    layout.prepare(mask, kBase);
+    EXPECT_GT(layout.paddedBlockCount(), 120u); // of 128 block cols
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+TEST(Factory, BuildsEveryBaseline)
+{
+    for (FormatKind kind :
+         {FormatKind::Dense, FormatKind::Csr, FormatKind::Coo,
+          FormatKind::Bsr, FormatKind::BlockedEllpack}) {
+        auto layout = makeBaselineLayout(kind, 256, 96);
+        ASSERT_NE(layout, nullptr);
+        EXPECT_EQ(layout->kind(), kind);
+        EXPECT_EQ(layout->featureWidth(), 256u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: storage accounting is consistent with plans
+// ---------------------------------------------------------------------
+
+class FormatSweep
+    : public ::testing::TestWithParam<std::tuple<FormatKind, double>>
+{
+};
+
+TEST_P(FormatSweep, PlansFitInsideStorage)
+{
+    const auto [kind, sparsity] = GetParam();
+    Rng rng(181 + static_cast<unsigned>(sparsity * 100));
+    FeatureMask mask = FeatureMask::random(64, 256, sparsity, rng);
+    auto layout = makeBaselineLayout(kind, 256, 96);
+    layout->prepare(mask, kBase);
+    const Addr end = kBase + alignUp(layout->storageBytes(),
+                                     kCachelineBytes);
+    for (VertexId v = 0; v < 64; ++v) {
+        layout->planRowRead(v).forEachLine([&](Addr line) {
+            EXPECT_GE(line, kBase);
+            EXPECT_LT(line, end);
+        });
+        layout->planRowWrite(v).forEachLine([&](Addr line) {
+            EXPECT_GE(line, kBase);
+            EXPECT_LT(line, end);
+        });
+    }
+}
+
+TEST_P(FormatSweep, SliceReadsAreValid)
+{
+    const auto [kind, sparsity] = GetParam();
+    Rng rng(191);
+    FeatureMask mask = FeatureMask::random(32, 256, sparsity, rng);
+    auto layout = makeBaselineLayout(kind, 256, 96);
+    layout->prepare(mask, kBase);
+    for (VertexId v = 0; v < 32; v += 3) {
+        for (unsigned s = 0; s < layout->numSlices(); ++s) {
+            const AccessPlan plan = layout->planSliceRead(v, s);
+            plan.forEachLine([](Addr line) {
+                EXPECT_TRUE(isAligned(line, kCachelineBytes));
+            });
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormatsAndSparsities, FormatSweep,
+    ::testing::Combine(
+        ::testing::Values(FormatKind::Dense, FormatKind::Csr,
+                          FormatKind::Coo, FormatKind::Bsr,
+                          FormatKind::BlockedEllpack),
+        ::testing::Values(0.0, 0.3, 0.5, 0.7, 0.95)),
+    [](const auto &info) {
+        return std::string(formatKindName(std::get<0>(info.param))) +
+               "_s" +
+               std::to_string(static_cast<int>(
+                   std::get<1>(info.param) * 100));
+    });
+
+} // namespace
+} // namespace sgcn

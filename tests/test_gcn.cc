@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit tests for the GCN layer: network specs, the calibrated
+ * sparsity model (Table II / Fig. 1 / Fig. 2 anchors), feature
+ * masks/matrices, the dense reference pass, and Q16.16 fixed point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gcn/feature_matrix.hh"
+#include "gcn/fixed_point.hh"
+#include "gcn/reference.hh"
+#include "gcn/sparsity_model.hh"
+#include "gcn/spec.hh"
+#include "graph/generators.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+TEST(Spec, EdgeBytesPerVariant)
+{
+    NetworkSpec net;
+    net.agg = AggKind::Gcn;
+    EXPECT_EQ(net.edgeBytes(), 8u);
+    net.agg = AggKind::Gin;
+    EXPECT_EQ(net.edgeBytes(), 4u); // no edge weights (SVI-C)
+    net.agg = AggKind::Sage;
+    EXPECT_EQ(net.edgeBytes(), 8u);
+}
+
+// ---------------------------------------------------------------------
+// Sparsity model
+// ---------------------------------------------------------------------
+
+TEST(SparsityModel, AnchoredToTableII)
+{
+    // The 28-layer residual average must reproduce Table II.
+    for (const auto &spec : allDatasets()) {
+        EXPECT_NEAR(modeledAvgSparsity(spec, 28, true),
+                    spec.featureSparsity28, 1e-9)
+            << spec.abbrev;
+    }
+}
+
+TEST(SparsityModel, TraditionalGcnsStayDense)
+{
+    // Fig. 1 / Fig. 2a: traditional GCNs sit at 5-30%.
+    for (const auto &spec : allDatasets()) {
+        for (unsigned layers : {3u, 5u}) {
+            const double s = modeledAvgSparsity(spec, layers, false);
+            EXPECT_GE(s, 0.03) << spec.abbrev;
+            EXPECT_LE(s, 0.30) << spec.abbrev;
+        }
+    }
+}
+
+TEST(SparsityModel, ResidualLiftsShallowNetworks)
+{
+    // Fig. 2a: adding a residual connection lifts even 3-layer
+    // networks above 50% (modulo the clamp at 0.40 low end).
+    for (const auto &spec : allDatasets()) {
+        EXPECT_GT(modeledAvgSparsity(spec, 3, true),
+                  modeledAvgSparsity(spec, 3, false) + 0.15)
+            << spec.abbrev;
+    }
+}
+
+TEST(SparsityModel, DeeperIsSparser)
+{
+    const auto &pm = datasetByAbbrev("PM");
+    EXPECT_LT(modeledAvgSparsity(pm, 7, true),
+              modeledAvgSparsity(pm, 112, true));
+    EXPECT_LE(modeledAvgSparsity(pm, 1000, true), 0.82);
+}
+
+TEST(SparsityModel, ProfileRisesTowardsOutput)
+{
+    // Fig. 2b: generally sparser towards the output layer.
+    const auto &cs = datasetByAbbrev("CS");
+    NetworkSpec net;
+    const auto profile = sparsityProfile(cs, net);
+    ASSERT_EQ(profile.size(), net.layers - 1);
+    EXPECT_GT(profile.back(), profile.front());
+    for (double s : profile) {
+        EXPECT_GE(s, 0.40);
+        EXPECT_LE(s, 0.82);
+    }
+}
+
+TEST(SparsityModel, ProfileMeanMatchesAverage)
+{
+    const auto &db = datasetByAbbrev("DB");
+    NetworkSpec net;
+    const auto profile = sparsityProfile(db, net);
+    double mean = 0.0;
+    for (double s : profile)
+        mean += s;
+    mean /= static_cast<double>(profile.size());
+    EXPECT_NEAR(mean, modeledAvgSparsity(db, 28, true), 0.02);
+}
+
+TEST(SparsityModel, SampledIndicesSpread)
+{
+    const auto indices = sampleLayerIndices(27, 4);
+    ASSERT_EQ(indices.size(), 4u);
+    for (std::size_t i = 1; i < indices.size(); ++i)
+        EXPECT_GT(indices[i], indices[i - 1]);
+    EXPECT_LT(indices.back(), 27u);
+    // Midpoint sampling: roughly 3, 10, 16, 23.
+    EXPECT_NEAR(indices.front(), 3u, 1);
+    EXPECT_NEAR(indices.back(), 23u, 1);
+}
+
+TEST(SparsityModel, SampleClampsToAvailable)
+{
+    EXPECT_EQ(sampleLayerIndices(2, 8).size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Feature masks and matrices
+// ---------------------------------------------------------------------
+
+TEST(FeatureMask, SetAndTest)
+{
+    FeatureMask mask(4, 100);
+    mask.set(2, 63);
+    mask.set(2, 64);
+    mask.set(3, 99);
+    EXPECT_TRUE(mask.test(2, 63));
+    EXPECT_TRUE(mask.test(2, 64));
+    EXPECT_TRUE(mask.test(3, 99));
+    EXPECT_FALSE(mask.test(2, 62));
+    EXPECT_EQ(mask.totalNnz(), 3u);
+}
+
+TEST(FeatureMask, RangeNnzMatchesBruteForce)
+{
+    Rng rng(61);
+    FeatureMask mask = FeatureMask::random(8, 200, 0.5, rng);
+    for (std::uint32_t r = 0; r < 8; ++r) {
+        for (std::uint32_t c0 = 0; c0 < 200; c0 += 33) {
+            for (std::uint32_t c1 = c0; c1 <= 200; c1 += 57) {
+                std::uint32_t expected = 0;
+                for (std::uint32_t c = c0; c < c1; ++c)
+                    expected += mask.test(r, c) ? 1 : 0;
+                EXPECT_EQ(mask.rangeNnz(r, c0, c1), expected);
+            }
+        }
+    }
+}
+
+TEST(FeatureMask, RandomHitsTargetSparsity)
+{
+    Rng rng(67);
+    FeatureMask mask = FeatureMask::random(256, 256, 0.6, rng);
+    EXPECT_NEAR(mask.sparsity(), 0.6, 0.01);
+}
+
+TEST(FeatureMask, OneHot)
+{
+    Rng rng(71);
+    FeatureMask mask = FeatureMask::oneHot(64, 1000, rng);
+    for (std::uint32_t r = 0; r < 64; ++r)
+        EXPECT_EQ(mask.rowNnz(r), 1u);
+}
+
+TEST(FeatureMask, Full)
+{
+    FeatureMask mask = FeatureMask::full(5, 77);
+    EXPECT_EQ(mask.totalNnz(), 5u * 77u);
+    EXPECT_DOUBLE_EQ(mask.sparsity(), 0.0);
+}
+
+TEST(FeatureMask, FromDenseMatchesZeros)
+{
+    Rng rng(73);
+    DenseMatrix matrix = generateFeatures(16, 64, 0.5, rng);
+    FeatureMask mask = FeatureMask::fromDense(matrix);
+    for (std::uint32_t r = 0; r < 16; ++r) {
+        for (std::uint32_t c = 0; c < 64; ++c)
+            EXPECT_EQ(mask.test(r, c), matrix.at(r, c) != 0.0f);
+    }
+}
+
+TEST(DenseMatrixTest, GenerateSparsity)
+{
+    Rng rng(79);
+    DenseMatrix matrix = generateFeatures(128, 128, 0.7, rng);
+    EXPECT_NEAR(matrix.sparsity(), 0.7, 0.02);
+    // Post-ReLU values are non-negative.
+    for (std::uint32_t r = 0; r < 128; ++r) {
+        for (std::uint32_t c = 0; c < 128; ++c)
+            EXPECT_GE(matrix.at(r, c), 0.0f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference pass
+// ---------------------------------------------------------------------
+
+TEST(Reference, GcnAggregationHandComputed)
+{
+    // Path graph 0-1: degrees (with self loops) are 2 and 2.
+    CsrGraph graph(2, {{0, 1}});
+    DenseMatrix x(2, 1);
+    x.at(0, 0) = 2.0f;
+    x.at(1, 0) = 4.0f;
+    DenseMatrix y = aggregate(graph, x, AggKind::Gcn);
+    // w = 1/sqrt(2*2) = 0.5 on every edge.
+    EXPECT_NEAR(y.at(0, 0), 0.5 * 2.0 + 0.5 * 4.0, 1e-5);
+    EXPECT_NEAR(y.at(1, 0), 0.5 * 2.0 + 0.5 * 4.0, 1e-5);
+}
+
+TEST(Reference, GinAggregationUnweighted)
+{
+    CsrGraph graph(2, {{0, 1}});
+    DenseMatrix x(2, 1);
+    x.at(0, 0) = 2.0f;
+    x.at(1, 0) = 4.0f;
+    DenseMatrix y = aggregate(graph, x, AggKind::Gin);
+    EXPECT_NEAR(y.at(0, 0), 6.0, 1e-5);
+    EXPECT_NEAR(y.at(1, 0), 6.0, 1e-5);
+}
+
+TEST(Reference, SageMeanWithinRange)
+{
+    Rng rng(83);
+    CsrGraph graph = clusteredGraph({.vertices = 64, .seed = 89});
+    DenseMatrix x(64, 4);
+    for (std::uint32_t r = 0; r < 64; ++r)
+        for (std::uint32_t c = 0; c < 4; ++c)
+            x.at(r, c) = 1.0f;
+    DenseMatrix y = aggregate(graph, x, AggKind::Sage, 5, &rng);
+    // Mean of all-ones inputs is one.
+    for (std::uint32_t r = 0; r < 64; ++r)
+        EXPECT_NEAR(y.at(r, 0), 1.0, 1e-5);
+}
+
+TEST(Reference, GemmMatchesNaive)
+{
+    Rng rng(97);
+    DenseMatrix a = generateFeatures(7, 5, 0.3, rng);
+    DenseMatrix b = generateFeatures(5, 9, 0.0, rng);
+    DenseMatrix c = gemm(a, b);
+    for (std::uint32_t i = 0; i < 7; ++i) {
+        for (std::uint32_t j = 0; j < 9; ++j) {
+            double expected = 0.0;
+            for (std::uint32_t k = 0; k < 5; ++k)
+                expected += static_cast<double>(a.at(i, k)) *
+                            b.at(k, j);
+            EXPECT_NEAR(c.at(i, j), expected, 1e-4);
+        }
+    }
+}
+
+TEST(Reference, ReluClamps)
+{
+    DenseMatrix m(1, 3);
+    m.at(0, 0) = -1.0f;
+    m.at(0, 1) = 0.0f;
+    m.at(0, 2) = 2.0f;
+    reluInPlace(m);
+    EXPECT_EQ(m.at(0, 0), 0.0f);
+    EXPECT_EQ(m.at(0, 1), 0.0f);
+    EXPECT_EQ(m.at(0, 2), 2.0f);
+}
+
+TEST(Reference, ResidualLayerAddsState)
+{
+    CsrGraph graph(2, {{0, 1}});
+    Rng rng(101);
+    NetworkSpec net;
+    net.layers = 2;
+    net.hidden = 4;
+
+    LayerState state;
+    state.x = generateFeatures(2, 4, 0.0, rng);
+    state.s = state.x;
+    DenseMatrix w = randomWeights(4, 4, rng);
+
+    LayerState with_res = forwardLayer(graph, state, w, net);
+    NetworkSpec no_res_net = net;
+    no_res_net.residual = false;
+    LayerState without = forwardLayer(graph, state, w, no_res_net);
+
+    // relu(A X W + S) vs relu(A X W): different whenever S != 0.
+    EXPECT_GT(with_res.x.maxAbsDiff(without.x), 1e-6);
+}
+
+TEST(Reference, DeepResidualNetworkGetsSparser)
+{
+    // The motivating observation (SII-A): residual depth raises
+    // intermediate sparsity vs the first layers.
+    CsrGraph graph = clusteredGraph(
+        {.vertices = 128, .avgDegree = 6.0, .seed = 103});
+    Rng rng(107);
+    NetworkSpec net;
+    net.layers = 8;
+    net.hidden = 32;
+
+    LayerState state;
+    state.x = generateFeatures(128, 32, 0.0, rng);
+    state.s = state.x;
+    double first_sparsity = -1.0;
+    for (unsigned layer = 0; layer < 8; ++layer) {
+        DenseMatrix w = randomWeights(32, 32, rng);
+        state = forwardLayer(graph, state, w, net);
+        if (layer == 0)
+            first_sparsity = state.x.sparsity();
+    }
+    EXPECT_GT(state.x.sparsity(), 0.3);
+    EXPECT_GE(state.x.sparsity(), first_sparsity * 0.8);
+}
+
+// ---------------------------------------------------------------------
+// Fixed point
+// ---------------------------------------------------------------------
+
+TEST(FixedPoint, RoundTrip)
+{
+    for (double v : {0.0, 1.0, -1.0, 0.5, 3.14159, -123.456}) {
+        EXPECT_NEAR(Fixed32::fromDouble(v).toDouble(), v, 1e-4);
+    }
+}
+
+TEST(FixedPoint, Arithmetic)
+{
+    const Fixed32 a = Fixed32::fromDouble(1.5);
+    const Fixed32 b = Fixed32::fromDouble(2.25);
+    EXPECT_NEAR((a + b).toDouble(), 3.75, 1e-4);
+    EXPECT_NEAR((a - b).toDouble(), -0.75, 1e-4);
+    EXPECT_NEAR((a * b).toDouble(), 3.375, 1e-3);
+}
+
+TEST(FixedPoint, Saturation)
+{
+    const Fixed32 big = Fixed32::fromDouble(30000.0);
+    const Fixed32 sum = big + big;
+    EXPECT_NEAR(sum.toDouble(), 32768.0, 1.0); // saturated at max
+}
+
+TEST(FixedPoint, Relu)
+{
+    EXPECT_TRUE(Fixed32::fromDouble(-2.0).relu().isZero());
+    EXPECT_NEAR(Fixed32::fromDouble(2.0).relu().toDouble(), 2.0, 1e-4);
+}
+
+TEST(FixedPoint, QuantizedAggregationTracksFloat)
+{
+    // A weighted accumulation in Q16.16 stays close to float for
+    // activation-scale values — the Table III datapath assumption.
+    Rng rng(109);
+    double float_acc = 0.0;
+    Fixed32 fixed_acc;
+    for (int i = 0; i < 64; ++i) {
+        const double w = rng.uniform() * 0.25;
+        const double v = rng.uniform() * 4.0;
+        float_acc += w * v;
+        fixed_acc = fixed_acc +
+                    Fixed32::fromDouble(w) * Fixed32::fromDouble(v);
+    }
+    EXPECT_NEAR(fixed_acc.toDouble(), float_acc, 0.01);
+}
+
+} // namespace
+} // namespace sgcn

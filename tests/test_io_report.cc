@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for graph file I/O (edge lists, binary CSR snapshots)
+ * and the machine-readable result export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "accel/personalities.hh"
+#include "accel/report.hh"
+#include "accel/runner.hh"
+#include "graph/generators.hh"
+#include "graph/io.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const char *suffix)
+        : path(std::string("/tmp/sgcn_test_") +
+               std::to_string(::getpid()) + suffix)
+    {
+    }
+
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(GraphIo, EdgeListRoundTrip)
+{
+    CsrGraph graph = clusteredGraph({.vertices = 300, .seed = 71});
+    TempFile file(".edges");
+    saveEdgeList(graph, file.path);
+    // Saved edges include both directions; load as directed to avoid
+    // doubling, self loops are re-added by the constructor.
+    CsrGraph loaded =
+        loadEdgeList(file.path, graph.numVertices(), false);
+    EXPECT_EQ(loaded.numVertices(), graph.numVertices());
+    EXPECT_EQ(loaded.numEdges(), graph.numEdges());
+    EXPECT_EQ(loaded.columnIndices(), graph.columnIndices());
+    EXPECT_EQ(loaded.rowPointers(), graph.rowPointers());
+}
+
+TEST(GraphIo, EdgeListParsesCommentsAndGaps)
+{
+    TempFile file(".edges");
+    {
+        std::ofstream out(file.path);
+        out << "# a comment\n"
+               "0 1\n"
+               "\n"
+               "% another comment\n"
+               "2 0\n";
+    }
+    CsrGraph graph = loadEdgeList(file.path);
+    EXPECT_EQ(graph.numVertices(), 3u);
+    EXPECT_EQ(graph.numEdgesNoSelfLoops(), 4u); // undirected
+}
+
+TEST(GraphIo, BinarySnapshotRoundTrip)
+{
+    CsrGraph graph = clusteredGraph({.vertices = 500, .seed = 73});
+    TempFile file(".csr");
+    saveCsrBinary(graph, file.path);
+    CsrGraph loaded = loadCsrBinary(file.path);
+    EXPECT_EQ(loaded.numVertices(), graph.numVertices());
+    EXPECT_EQ(loaded.columnIndices(), graph.columnIndices());
+    EXPECT_EQ(loaded.rowPointers(), graph.rowPointers());
+    // Normalized weights rebuilt identically.
+    for (VertexId v = 0; v < 500; v += 61) {
+        const auto a = graph.weights(v);
+        const auto b = loaded.weights(v);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_FLOAT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(GraphIo, DeclaredVertexCountOverridesMax)
+{
+    TempFile file(".edges");
+    {
+        std::ofstream out(file.path);
+        out << "0 1\n";
+    }
+    CsrGraph graph = loadEdgeList(file.path, 10);
+    EXPECT_EQ(graph.numVertices(), 10u);
+}
+
+// ---------------------------------------------------------------------
+// Result export
+// ---------------------------------------------------------------------
+
+struct ReportFixture : ::testing::Test
+{
+    RunResult
+    smallRun()
+    {
+        Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.08);
+        NetworkSpec net;
+        RunOptions opts;
+        opts.sampledIntermediateLayers = 1;
+        return runNetwork(makeSgcn(), cora, net, opts);
+    }
+};
+
+TEST_F(ReportFixture, CsvRowMatchesHeaderArity)
+{
+    const RunResult run = smallRun();
+    const std::string header = runResultCsvHeader();
+    const std::string row = runResultCsvRow(run);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_NE(row.find("SGCN,CR,"), std::string::npos);
+}
+
+TEST_F(ReportFixture, CsvFileWritten)
+{
+    const RunResult run = smallRun();
+    TempFile file(".csv");
+    writeRunsCsv({run, run}, file.path);
+    std::ifstream in(file.path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 3); // header + 2 rows
+}
+
+TEST_F(ReportFixture, StatsFlattenConsistently)
+{
+    const RunResult run = smallRun();
+    const StatSet stats = runResultStats(run);
+    EXPECT_DOUBLE_EQ(stats.get("cycles"),
+                     static_cast<double>(run.total.cycles));
+    EXPECT_DOUBLE_EQ(stats.get("offchip.lines"),
+                     static_cast<double>(
+                         run.total.traffic.totalLines()));
+    EXPECT_DOUBLE_EQ(stats.get("energy.total_j"), run.energy.total());
+    // Class lines sum to the total.
+    double class_sum = 0.0;
+    for (unsigned c = 0; c < kNumTrafficClasses; ++c) {
+        class_sum += stats.get(
+            std::string("offchip.lines.") +
+            trafficClassName(static_cast<TrafficClass>(c)));
+    }
+    EXPECT_DOUBLE_EQ(class_sum, stats.get("offchip.lines"));
+    // The dump renders without crashing and contains keys.
+    EXPECT_NE(stats.dump().find("cache.hit_rate"), std::string::npos);
+}
+
+} // namespace
+} // namespace sgcn

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the simulation foundation: address arithmetic,
+ * deterministic RNG, statistics, the event queue, CLI parsing, and
+ * table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cli.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "sim/types.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+TEST(Types, AlignHelpers)
+{
+    EXPECT_EQ(alignDown(0, 64), 0u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+    EXPECT_TRUE(isAligned(128, 64));
+    EXPECT_FALSE(isAligned(130, 64));
+}
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(Types, LinesTouchedAligned)
+{
+    EXPECT_EQ(linesTouched(0, 0), 0u);
+    EXPECT_EQ(linesTouched(0, 1), 1u);
+    EXPECT_EQ(linesTouched(0, 64), 1u);
+    EXPECT_EQ(linesTouched(0, 65), 2u);
+    EXPECT_EQ(linesTouched(0, 128), 2u);
+}
+
+TEST(Types, LinesTouchedMisaligned)
+{
+    // A misaligned range pays for the straddled line — the overhead
+    // BEICSR's in-place alignment avoids (SV-A).
+    EXPECT_EQ(linesTouched(60, 8), 2u);
+    EXPECT_EQ(linesTouched(63, 1), 1u);
+    EXPECT_EQ(linesTouched(63, 2), 2u);
+    EXPECT_EQ(linesTouched(32, 64), 2u);
+}
+
+TEST(Types, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(96));
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(64), 6u);
+    EXPECT_EQ(log2Floor(65), 6u);
+}
+
+TEST(Types, TrafficClassNames)
+{
+    EXPECT_STREQ(trafficClassName(TrafficClass::Topology), "topology");
+    EXPECT_STREQ(trafficClassName(TrafficClass::FeatureIn),
+                 "feature_in");
+    EXPECT_STREQ(trafficClassName(TrafficClass::PartialSum),
+                 "partial_sum");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAll)
+{
+    Rng rng(3);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.uniformInt(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 800);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / trials, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / trials, 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(rng.geometric(32.0));
+    EXPECT_NEAR(sum / trials, 32.0, 1.0);
+}
+
+TEST(Stats, StatSetBasics)
+{
+    StatSet stats;
+    stats["a"] = 3.0;
+    stats["b"] += 2.0;
+    EXPECT_DOUBLE_EQ(stats.get("a"), 3.0);
+    EXPECT_DOUBLE_EQ(stats.get("b"), 2.0);
+    EXPECT_DOUBLE_EQ(stats.get("missing"), 0.0);
+}
+
+TEST(Stats, StatSetMerge)
+{
+    StatSet a, b;
+    a["x"] = 1.0;
+    b["x"] = 2.0;
+    b["y"] = 5.0;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    Histogram hist(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        hist.sample(static_cast<double>(i));
+    EXPECT_EQ(hist.count(), 10u);
+    EXPECT_NEAR(hist.mean(), 4.5, 1e-9);
+    EXPECT_NEAR(hist.stddev(), 3.0276, 1e-3);
+    EXPECT_DOUBLE_EQ(hist.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.maxValue(), 9.0);
+}
+
+TEST(Stats, HistogramOutliers)
+{
+    Histogram hist(0.0, 1.0, 4);
+    hist.sample(-5.0);
+    hist.sample(5.0);
+    EXPECT_EQ(hist.buckets().front(), 1u);
+    EXPECT_EQ(hist.buckets().back(), 1u);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+}
+
+TEST(EventQueue, OrderedExecution)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(10, [&] { order.push_back(2); });
+    queue.schedule(5, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(3); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 20u);
+}
+
+TEST(EventQueue, SameCycleFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(7, [&order, i] { order.push_back(i); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(1, [&] {
+        ++fired;
+        queue.scheduleAfter(4, [&] { ++fired; });
+    });
+    queue.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(queue.now(), 5u);
+}
+
+TEST(EventQueue, RunLimit)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(5, [&] { ++fired; });
+    queue.schedule(15, [&] { ++fired; });
+    queue.run(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(queue.empty());
+    queue.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ExecutedCount)
+{
+    EventQueue queue;
+    for (int i = 0; i < 3; ++i)
+        queue.schedule(i, [] {});
+    queue.run();
+    EXPECT_EQ(queue.executed(), 3u);
+}
+
+TEST(Cli, FlagsAndValues)
+{
+    // A bare boolean flag must be last or use --flag=1: "--flag pos"
+    // would consume "pos" as the flag's value.
+    const char *argv[] = {"prog", "--alpha", "3", "--beta=x", "pos",
+                          "--flag"};
+    Cli cli(6, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getInt("alpha", 0), 3);
+    EXPECT_EQ(cli.getString("beta", ""), "x");
+    EXPECT_TRUE(cli.getBool("flag", false));
+    EXPECT_FALSE(cli.getBool("absent", false));
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, Defaults)
+{
+    const char *argv[] = {"prog"};
+    Cli cli(1, const_cast<char **>(argv));
+    EXPECT_EQ(cli.getInt("n", 42), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("d", 1.5), 1.5);
+}
+
+TEST(Table, RendersAligned)
+{
+    Table table("demo");
+    table.header({"a", "bee"});
+    table.row({"xx", "y"});
+    const std::string text = table.render();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("bee"), std::string::npos);
+    EXPECT_NE(text.find("xx"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::ratio(1.5), "1.50x");
+    EXPECT_EQ(Table::percent(0.123), "12.3%");
+}
+
+} // namespace
+} // namespace sgcn

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Parameterized property sweeps over the sparsity model and the
+ * dataset registry: every (dataset x depth x residual) combination
+ * must respect the paper's observed bands and monotonicity claims,
+ * and generated masks must track the model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gcn/feature_matrix.hh"
+#include "gcn/sparsity_model.hh"
+#include "graph/datasets.hh"
+#include "accel/personalities.hh"
+#include "accel/runner.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+class SparsitySweep
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+  protected:
+    const DatasetSpec &
+    spec() const
+    {
+        return datasetByAbbrev(std::get<0>(GetParam()));
+    }
+
+    unsigned
+    depth() const
+    {
+        return std::get<1>(GetParam());
+    }
+};
+
+TEST_P(SparsitySweep, ResidualStaysInObservedBand)
+{
+    // SVII-A: all observed intermediate sparsity lies in 40-80%
+    // (we clamp at 82% for the deepest networks).
+    const double s = modeledAvgSparsity(spec(), depth(), true);
+    EXPECT_GE(s, 0.40);
+    EXPECT_LE(s, 0.82);
+}
+
+TEST_P(SparsitySweep, ResidualAboveTraditional)
+{
+    EXPECT_GT(modeledAvgSparsity(spec(), depth(), true),
+              modeledAvgSparsity(spec(), depth(), false));
+}
+
+TEST_P(SparsitySweep, ProfileStaysInBand)
+{
+    if (depth() < 2)
+        GTEST_SKIP();
+    NetworkSpec net;
+    net.layers = depth();
+    for (double s : sparsityProfile(spec(), net)) {
+        EXPECT_GE(s, 0.40);
+        EXPECT_LE(s, 0.82);
+    }
+}
+
+TEST_P(SparsitySweep, MaskMatchesModel)
+{
+    if (depth() < 2)
+        GTEST_SKIP();
+    const unsigned layer = depth() / 2 + 1;
+    const double target =
+        modeledLayerSparsity(spec(), layer, depth(), true);
+    Rng rng(401);
+    const FeatureMask mask =
+        FeatureMask::random(2048, 256, target, rng);
+    EXPECT_NEAR(mask.sparsity(), target, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasetsAndDepths, SparsitySweep,
+    ::testing::Combine(::testing::Values("CR", "CS", "PM", "NL", "RD",
+                                         "FK", "YP", "DB", "GH"),
+                       ::testing::Values(3u, 7u, 28u, 112u, 1000u)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_L" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SparsitySweepExtra, DepthMonotoneForResidual)
+{
+    // Fig. 1: deeper residual networks are (weakly) sparser.
+    for (const auto &spec : allDatasets()) {
+        double previous = 0.0;
+        for (unsigned depth : {3u, 7u, 14u, 28u, 56u, 112u, 448u}) {
+            const double s = modeledAvgSparsity(spec, depth, true);
+            EXPECT_GE(s + 1e-9, previous) << spec.abbrev << " L"
+                                          << depth;
+            previous = s;
+        }
+    }
+}
+
+TEST(SparsitySweepExtra, SparsityOrderingPreservedAt28)
+{
+    // The Fig. 3 dataset ordering is a property of the model too.
+    const auto sorted = datasetsBySparsity();
+    double previous = 0.0;
+    for (const auto &spec : sorted) {
+        const double s = modeledAvgSparsity(spec, 28, true);
+        EXPECT_GE(s, previous);
+        previous = s;
+    }
+}
+
+TEST(SparsitySweepExtra, RunnerHonoursInputLayerToggle)
+{
+    // includeInputLayer=false drops exactly the input-layer portion.
+    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    NetworkSpec net;
+    RunOptions with_input;
+    with_input.sampledIntermediateLayers = 2;
+    RunOptions without = with_input;
+    without.includeInputLayer = false;
+
+    // Deferred include to avoid a header cycle in this test file.
+    const RunResult a =
+        runNetwork(makeSgcn(), cora, net, with_input);
+    const RunResult b = runNetwork(makeSgcn(), cora, net, without);
+    EXPECT_EQ(b.inputLayer.cycles, 0u);
+    EXPECT_LT(b.total.cycles, a.total.cycles);
+    EXPECT_EQ(a.total.cycles - a.inputLayer.cycles, b.total.cycles);
+}
+
+TEST(SparsitySweepExtra, SamplingMoreLayersConverges)
+{
+    // Extrapolated totals from 4 vs 8 sampled layers agree within a
+    // few percent — the stratified sampling claim (DESIGN.md SS6).
+    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    NetworkSpec net;
+    RunOptions coarse;
+    coarse.sampledIntermediateLayers = 4;
+    RunOptions fine = coarse;
+    fine.sampledIntermediateLayers = 8;
+    const double a = static_cast<double>(
+        runNetwork(makeSgcn(), cora, net, coarse).total.cycles);
+    const double b = static_cast<double>(
+        runNetwork(makeSgcn(), cora, net, fine).total.cycles);
+    EXPECT_NEAR(a / b, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace sgcn

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for per-layer workload construction: mask determinism
+ * across personalities, format selection, and the input-layer
+ * special cases (SVII-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/personalities.hh"
+#include "accel/workload.hh"
+#include "gcn/sparsity_model.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+struct WorkloadFixture : ::testing::Test
+{
+    Dataset dataset = instantiateDataset(datasetByAbbrev("CR"), 0.1);
+    NetworkSpec net;
+};
+
+TEST_F(WorkloadFixture, MaskSeedSharedAcrossAccelerators)
+{
+    const AccelConfig sgcn = makeSgcn();
+    const AccelConfig gcnax = makeGcnax();
+    LayerContext a = makeIntermediateLayer(dataset, dataset.graph,
+                                           sgcn, net, 14);
+    LayerContext b = makeIntermediateLayer(dataset, dataset.graph,
+                                           gcnax, net, 14);
+    // Bit-identical masks: comparisons isolate the architecture.
+    EXPECT_EQ(a.inMask.totalNnz(), b.inMask.totalNnz());
+    for (VertexId v = 0; v < 32; ++v)
+        EXPECT_EQ(a.inMask.rowNnz(v), b.inMask.rowNnz(v));
+}
+
+TEST_F(WorkloadFixture, MaskMatchesModeledSparsity)
+{
+    LayerContext ctx = makeIntermediateLayer(dataset, dataset.graph,
+                                             makeSgcn(), net, 14);
+    EXPECT_NEAR(ctx.inMask.sparsity(),
+                modeledLayerSparsity(dataset.spec, 14, 28, true),
+                0.01);
+}
+
+TEST_F(WorkloadFixture, OutputMaskIsNextLayerInput)
+{
+    const AccelConfig config = makeSgcn();
+    LayerContext l14 = makeIntermediateLayer(dataset, dataset.graph,
+                                             config, net, 14);
+    LayerContext l15 = makeIntermediateLayer(dataset, dataset.graph,
+                                             config, net, 15);
+    EXPECT_EQ(l14.outMask.totalNnz(), l15.inMask.totalNnz());
+}
+
+TEST_F(WorkloadFixture, FormatsFollowPersonality)
+{
+    LayerContext sgcn_ctx = makeIntermediateLayer(
+        dataset, dataset.graph, makeSgcn(), net, 5);
+    EXPECT_EQ(sgcn_ctx.inLayout->kind(), FormatKind::Beicsr);
+    EXPECT_EQ(sgcn_ctx.outLayout->kind(), FormatKind::Beicsr);
+
+    LayerContext gcnax_ctx = makeIntermediateLayer(
+        dataset, dataset.graph, makeGcnax(), net, 5);
+    EXPECT_EQ(gcnax_ctx.inLayout->kind(), FormatKind::Dense);
+}
+
+TEST_F(WorkloadFixture, InputLayerShape)
+{
+    LayerContext ctx =
+        makeInputLayer(dataset, dataset.graph, makeGcnax(), net);
+    EXPECT_TRUE(ctx.isInputLayer);
+    EXPECT_EQ(ctx.inWidth, dataset.inputWidth);
+    EXPECT_EQ(ctx.outWidth, net.hidden);
+    // Baselines read the input features dense.
+    EXPECT_EQ(ctx.inLayout->kind(), FormatKind::Dense);
+}
+
+TEST_F(WorkloadFixture, SgcnUsesCsrForUltraSparseInput)
+{
+    // Cora's bag-of-words input is ~98.7% sparse: SGCN reads it
+    // through CSR (SVII-B).
+    LayerContext ctx =
+        makeInputLayer(dataset, dataset.graph, makeSgcn(), net);
+    EXPECT_EQ(ctx.inLayout->kind(), FormatKind::Csr);
+}
+
+TEST(WorkloadNell, OneHotInputMask)
+{
+    Dataset nell = instantiateDataset(datasetByAbbrev("NL"), 0.1);
+    NetworkSpec net;
+    LayerContext ctx =
+        makeInputLayer(nell, nell.graph, makeSgcn(), net);
+    for (VertexId v = 0; v < 32; ++v)
+        EXPECT_EQ(ctx.inMask.rowNnz(v), 1u);
+    EXPECT_EQ(ctx.inLayout->kind(), FormatKind::Csr);
+}
+
+TEST(WorkloadReddit, DenseInputStaysDense)
+{
+    // Reddit's GloVe embeddings are dense: even SGCN reads them
+    // through the dense layout.
+    Dataset reddit = instantiateDataset(datasetByAbbrev("RD"), 0.05);
+    NetworkSpec net;
+    LayerContext ctx =
+        makeInputLayer(reddit, reddit.graph, makeSgcn(), net);
+    EXPECT_EQ(ctx.inLayout->kind(), FormatKind::Dense);
+}
+
+TEST_F(WorkloadFixture, GinDropsEdgeWeights)
+{
+    NetworkSpec gin = net;
+    gin.agg = AggKind::Gin;
+    LayerContext ctx = makeIntermediateLayer(dataset, dataset.graph,
+                                             makeSgcn(), gin, 5);
+    EXPECT_EQ(ctx.edgeBytes, 4u);
+}
+
+TEST_F(WorkloadFixture, SageSamplesEdges)
+{
+    NetworkSpec sage = net;
+    sage.agg = AggKind::Sage;
+    sage.sageFanout = 2;
+    LayerContext ctx = makeIntermediateLayer(dataset, dataset.graph,
+                                             makeSgcn(), sage, 5);
+    EXPECT_LT(ctx.edgeSampleFraction, 1.0);
+    EXPECT_GT(ctx.edgeSampleFraction, 0.0);
+}
+
+TEST_F(WorkloadFixture, AddressRegionsDisjoint)
+{
+    EXPECT_LT(AddressMap::kTopologyBase, AddressMap::kFeatureInBase);
+    EXPECT_LT(AddressMap::kFeatureInBase, AddressMap::kFeatureOutBase);
+    EXPECT_LT(AddressMap::kFeatureOutBase, AddressMap::kResidualBase);
+    EXPECT_LT(AddressMap::kResidualBase, AddressMap::kPsumBase);
+    EXPECT_LT(AddressMap::kPsumBase, AddressMap::kWeightBase);
+    LayerContext ctx = makeIntermediateLayer(dataset, dataset.graph,
+                                             makeSgcn(), net, 3);
+    // The feature-in region must hold the whole input matrix.
+    EXPECT_LT(AddressMap::kFeatureInBase + ctx.inLayout->storageBytes(),
+              AddressMap::kFeatureOutBase);
+}
+
+} // namespace
+} // namespace sgcn

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * sgcn_sim: command-line front end for the simulator.
+ *
+ * Subcommands:
+ *   run       simulate accelerators on a dataset, print/export results
+ *   sweep     sweep one knob (cache, engines, layers, slice) over runs
+ *   describe  print a personality's Table-III-style configuration
+ *   datasets  list the Table II registry and instantiated statistics
+ *   generate  write a synthetic dataset graph to an edge-list file
+ *
+ * Examples:
+ *   sgcn_sim run --dataset PM --accels SGCN,GCNAX --mode timing
+ *   sgcn_sim run --dataset RD --csv out.csv
+ *   sgcn_sim run --edge-list mygraph.txt --accels SGCN
+ *   sgcn_sim sweep --knob cache --dataset PM
+ *   sgcn_sim describe --accel SGCN
+ *   sgcn_sim generate --dataset DB --out dblp.edges
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "accel/personalities.hh"
+#include "accel/report.hh"
+#include "accel/runner.hh"
+#include "graph/io.hh"
+#include "sim/cli.hh"
+#include "sim/table.hh"
+
+using namespace sgcn;
+
+namespace
+{
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(list);
+    std::string item;
+    while (std::getline(stream, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+RunOptions
+runOptions(const Cli &cli)
+{
+    RunOptions opts;
+    opts.mode = cli.getString("mode", "fast") == "timing"
+                    ? ExecutionMode::Timing
+                    : ExecutionMode::Fast;
+    opts.sampledIntermediateLayers =
+        static_cast<unsigned>(cli.getInt("sampled", 4));
+    opts.includeInputLayer = cli.getBool("input-layer", true);
+    return opts;
+}
+
+NetworkSpec
+networkSpec(const Cli &cli)
+{
+    NetworkSpec net;
+    net.layers = static_cast<unsigned>(cli.getInt("layers", 28));
+    net.hidden = static_cast<unsigned>(cli.getInt("hidden", 256));
+    net.residual = cli.getBool("residual", true);
+    const std::string agg = cli.getString("agg", "gcn");
+    if (agg == "gin") {
+        net.agg = AggKind::Gin;
+    } else if (agg == "sage") {
+        net.agg = AggKind::Sage;
+    } else if (agg != "gcn") {
+        fatal("unknown --agg: ", agg, " (gcn|gin|sage)");
+    }
+    return net;
+}
+
+Dataset
+datasetFromCli(const Cli &cli)
+{
+    const std::string edge_list = cli.getString("edge-list", "");
+    if (!edge_list.empty()) {
+        // User-provided topology; synthesize the rest of the spec.
+        Dataset dataset{datasetByAbbrev("CR"),
+                        loadEdgeList(edge_list), 0, 1.0};
+        dataset.spec.name = "user-graph";
+        dataset.spec.abbrev = "UG";
+        dataset.inputWidth = static_cast<unsigned>(
+            cli.getInt("input-width", 512));
+        return dataset;
+    }
+    return instantiateDataset(
+        datasetByAbbrev(cli.getString("dataset", "CR")), cli.scale());
+}
+
+int
+cmdRun(const Cli &cli)
+{
+    const Dataset dataset = datasetFromCli(cli);
+    const NetworkSpec net = networkSpec(cli);
+    const RunOptions opts = runOptions(cli);
+
+    std::vector<AccelConfig> configs;
+    for (const std::string &name :
+         splitCommas(cli.getString("accels", "GCNAX,SGCN"))) {
+        AccelConfig config = personalityByName(name);
+        config.cache.sizeBytes = static_cast<std::uint64_t>(
+            cli.getInt("cache-kb",
+                       static_cast<std::int64_t>(
+                           config.cache.sizeBytes / 1024))) *
+            1024;
+        config.aggEngines = static_cast<unsigned>(
+            cli.getInt("engines", config.aggEngines));
+        config.combEngines = config.aggEngines;
+        if (cli.getString("dram", "hbm2") == "hbm1")
+            config.dram = DramConfig::hbm1();
+        configs.push_back(std::move(config));
+    }
+
+    std::printf("%s: %u vertices, %llu edges | %u-layer %s\n\n",
+                dataset.spec.name, dataset.graph.numVertices(),
+                static_cast<unsigned long long>(
+                    dataset.graph.numEdges()),
+                net.layers, aggKindName(net.agg));
+
+    const auto results = runAll(configs, dataset, net, opts);
+
+    Table table("results");
+    table.header({"accel", "cycles", "offchip MB", "hit rate",
+                  "GMACs", "energy mJ", "bw util"});
+    for (const auto &run : results) {
+        table.row({run.accelName,
+                   std::to_string(run.total.cycles),
+                   Table::num(run.total.traffic.totalBytes() / 1e6, 1),
+                   Table::percent(run.cacheHitRate()),
+                   Table::num(static_cast<double>(run.total.macs) / 1e9,
+                              2),
+                   Table::num(run.energy.total() * 1e3, 2),
+                   Table::percent(run.total.bwUtil)});
+    }
+    table.print();
+
+    if (cli.has("stats")) {
+        for (const auto &run : results) {
+            std::printf("\n[%s/%s]\n", run.accelName.c_str(),
+                        run.datasetAbbrev.c_str());
+            std::fputs(runResultStats(run).dump("  ").c_str(), stdout);
+        }
+    }
+    const std::string csv = cli.getString("csv", "");
+    if (!csv.empty()) {
+        writeRunsCsv(results, csv);
+        std::printf("\nwrote %s\n", csv.c_str());
+    }
+    return 0;
+}
+
+int
+cmdSweep(const Cli &cli)
+{
+    const Dataset dataset = datasetFromCli(cli);
+    const NetworkSpec base_net = networkSpec(cli);
+    const RunOptions opts = runOptions(cli);
+    const std::string knob = cli.getString("knob", "cache");
+
+    Table table("sweep: " + knob + " on " +
+                std::string(dataset.spec.abbrev));
+    table.header({knob, "GCNAX cycles", "SGCN cycles", "speedup"});
+
+    auto run_pair = [&](const AccelConfig &gcnax,
+                        const AccelConfig &sgcn, const NetworkSpec &net,
+                        const std::string &label) {
+        const RunResult a = runNetwork(gcnax, dataset, net, opts);
+        const RunResult b = runNetwork(sgcn, dataset, net, opts);
+        table.row({label, std::to_string(a.total.cycles),
+                   std::to_string(b.total.cycles),
+                   Table::ratio(speedupOver(a, b))});
+    };
+
+    if (knob == "cache") {
+        for (std::uint64_t kb : {256u, 512u, 1024u, 2048u, 4096u}) {
+            AccelConfig gcnax = makeGcnax();
+            AccelConfig sgcn = makeSgcn();
+            gcnax.cache.sizeBytes = kb * 1024;
+            sgcn.cache.sizeBytes = kb * 1024;
+            run_pair(gcnax, sgcn, base_net, std::to_string(kb) + "KB");
+        }
+    } else if (knob == "engines") {
+        for (unsigned engines : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            AccelConfig gcnax = makeGcnax();
+            AccelConfig sgcn = makeSgcn();
+            for (AccelConfig *config : {&gcnax, &sgcn}) {
+                config->aggEngines = engines;
+                config->combEngines = engines;
+                config->cacheLinesPerCycle = engines;
+            }
+            run_pair(gcnax, sgcn, base_net, std::to_string(engines));
+        }
+    } else if (knob == "layers") {
+        for (unsigned layers : {7u, 14u, 28u, 56u, 112u}) {
+            NetworkSpec net = base_net;
+            net.layers = layers;
+            run_pair(makeGcnax(), makeSgcn(), net,
+                     std::to_string(layers));
+        }
+    } else if (knob == "slice") {
+        for (std::uint32_t c : {32u, 64u, 96u, 128u, 256u}) {
+            AccelConfig sgcn = makeSgcn();
+            sgcn.sliceC = c;
+            run_pair(makeGcnax(), sgcn, base_net,
+                     "C=" + std::to_string(c));
+        }
+    } else {
+        fatal("unknown --knob: ", knob,
+              " (cache|engines|layers|slice)");
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdDescribe(const Cli &cli)
+{
+    const std::string name = cli.getString("accel", "SGCN");
+    std::fputs(personalityByName(name).describe().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdDatasets(const Cli &cli)
+{
+    Table table("Table II registry");
+    table.header({"abbrev", "name", "full |V|", "full |E|", "width",
+                  "sparsity@28", "inst |V|", "inst |E|"});
+    for (const auto &spec : allDatasets()) {
+        const Dataset dataset = instantiateDataset(spec, cli.scale());
+        table.row({spec.abbrev, spec.name,
+                   std::to_string(spec.fullVertices),
+                   std::to_string(spec.fullEdges),
+                   std::to_string(spec.inputFeatures),
+                   Table::percent(spec.featureSparsity28),
+                   std::to_string(dataset.graph.numVertices()),
+                   std::to_string(
+                       dataset.graph.numEdgesNoSelfLoops())});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdGenerate(const Cli &cli)
+{
+    const Dataset dataset = datasetFromCli(cli);
+    const std::string out =
+        cli.getString("out", std::string(dataset.spec.abbrev) +
+                                 ".edges");
+    saveEdgeList(dataset.graph, out);
+    std::printf("wrote %s: %u vertices, %llu directed edges\n",
+                out.c_str(), dataset.graph.numVertices(),
+                static_cast<unsigned long long>(
+                    dataset.graph.numEdgesNoSelfLoops()));
+    return 0;
+}
+
+void
+usage()
+{
+    std::fputs(
+        "usage: sgcn_sim <run|sweep|describe|datasets|generate> "
+        "[flags]\n"
+        "  run       --dataset CR|... or --edge-list FILE; "
+        "--accels A,B; --mode fast|timing;\n"
+        "            --layers N --hidden N --agg gcn|gin|sage "
+        "--cache-kb N --engines N\n"
+        "            --dram hbm1|hbm2 --csv FILE --stats\n"
+        "  sweep     --knob cache|engines|layers|slice --dataset ...\n"
+        "  describe  --accel SGCN|GCNAX|HyGCN|AWB-GCN|EnGN|I-GCN\n"
+        "  datasets  [--scale X]\n"
+        "  generate  --dataset ... --out FILE\n",
+        stderr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    if (cli.positional().empty()) {
+        usage();
+        return 2;
+    }
+    const std::string &command = cli.positional().front();
+    if (command == "run")
+        return cmdRun(cli);
+    if (command == "sweep")
+        return cmdSweep(cli);
+    if (command == "describe")
+        return cmdDescribe(cli);
+    if (command == "datasets")
+        return cmdDatasets(cli);
+    if (command == "generate")
+        return cmdGenerate(cli);
+    usage();
+    return 2;
+}
