@@ -10,11 +10,7 @@ AccelConfig::describe() const
 {
     std::ostringstream os;
     os << "accelerator " << name << "\n"
-       << "  order        : "
-       << (columnProduct ? "combination-first (column product)"
-           : aggregationFirst ? "aggregation-first (row product)"
-                              : "combination-first (row product)")
-       << "\n"
+       << "  order        : " << dataflowKindName(dataflow) << "\n"
        << "  feature fmt  : " << formatKindName(format);
     if (format == FormatKind::Beicsr ||
         format == FormatKind::BeicsrSplitBitmap) {

@@ -30,6 +30,44 @@ enum class ExecutionMode
     Fast,
 };
 
+/**
+ * The three dataflow shapes covering the compared personalities
+ * (Table I). Each value keys a strategy in the dataflow registry
+ * (src/accel/dataflow/registry.hh); adding a personality with a new
+ * dataflow means adding a strategy file and a registry entry, not
+ * editing the layer engine.
+ */
+enum class DataflowKind : std::uint8_t
+{
+    /** Aggregation-first row product (SGCN, GCNAX, HyGCN, EnGN,
+     *  I-GCN intermediate layers). */
+    AggFirstRowProduct,
+
+    /** Combination-first row product (and every row-product
+     *  personality's input layer, where combination-first is
+     *  universally better because the width shrinks, SIII-A). */
+    CombFirstRowProduct,
+
+    /** Column product (AWB-GCN): reads each input feature once,
+     *  pays random partial-sum read-modify-writes. */
+    ColumnProduct,
+};
+
+/** Human-readable dataflow name. */
+constexpr const char *
+dataflowKindName(DataflowKind kind)
+{
+    switch (kind) {
+      case DataflowKind::AggFirstRowProduct:
+        return "aggregation-first (row product)";
+      case DataflowKind::CombFirstRowProduct:
+        return "combination-first (row product)";
+      case DataflowKind::ColumnProduct:
+        return "combination-first (column product)";
+    }
+    return "invalid";
+}
+
 /** Full accelerator configuration. */
 struct AccelConfig
 {
@@ -39,12 +77,22 @@ struct AccelConfig
     // Dataflow (Table I)
     // ------------------------------------------------------------------
 
-    /** Aggregation-first (SGCN, HyGCN) vs combination-first. */
-    bool aggregationFirst = true;
+    /** Dataflow strategy executed for intermediate layers. */
+    DataflowKind dataflow = DataflowKind::AggFirstRowProduct;
 
-    /** Column-product aggregation (AWB-GCN): reads each input
-     *  feature once, pays random partial-sum read-modify-writes. */
-    bool columnProduct = false;
+    /** Aggregation-first row product (SGCN, HyGCN, ...). */
+    bool
+    aggregationFirst() const
+    {
+        return dataflow == DataflowKind::AggFirstRowProduct;
+    }
+
+    /** Column-product aggregation (AWB-GCN). */
+    bool
+    columnProduct() const
+    {
+        return dataflow == DataflowKind::ColumnProduct;
+    }
 
     // ------------------------------------------------------------------
     // Intermediate feature format

@@ -1,0 +1,141 @@
+#include "accel/dataflow/agg_first.hh"
+
+#include <algorithm>
+
+#include "accel/dataflow/row_product_common.hh"
+#include "accel/timing/tile_control.hh"
+
+namespace sgcn
+{
+
+void
+AggFirstDataflow::run(EngineContext &ec, LayerResult &result) const
+{
+    if (ec.mode == ExecutionMode::Fast)
+        runFast(ec, result);
+    else
+        runTiming(ec, result);
+}
+
+void
+AggFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
+{
+    const CsrGraph &graph = *ec.layer.graph;
+    const VertexId n = graph.numVertices();
+    FeatureLayout &in = *ec.layer.inLayout;
+    FeatureLayout &out = *ec.layer.outLayout;
+
+    const VertexId src_span =
+        ec.cfg.topologyTiling ? ec.pickSrcSpan(in) : n;
+    const VertexId dst_span = ec.pickDstSpan(in, ec.layer.inWidth);
+    TiledGraphView view(graph, dst_span, src_span);
+
+    // EnGN's degree-aware vertex cache pins hot feature rows for the
+    // whole layer (dense layout only).
+    if (ec.cfg.davc && in.kind() == FormatKind::Dense)
+        ec.pinDavc(AddressMap::kFeatureInBase, ec.layer.inWidth);
+
+    std::vector<EngineContext::TilePhase> tiles;
+    tiles.reserve(view.numDstTiles());
+
+    for (unsigned t = 0; t < view.numDstTiles(); ++t) {
+        const VertexId tile_begin = view.dstTileBegin(t);
+        const VertexId tile_end = view.dstTileEnd(t);
+        const VertexId rows = tile_end - tile_begin;
+
+        EngineContext::TilePhase phase;
+        const EngineContext::Snapshot agg_before = ec.snapshot();
+        const Cycle compute =
+            sweepTileFast(ec, view, t, in, TrafficClass::FeatureIn);
+        phase.aggTime = ec.phaseCycles(compute, agg_before);
+
+        // Combination: (rows x inWidth) . (inWidth x outWidth) on the
+        // systolic arrays; residual init + ReLU + compression are
+        // fused at the output (SV-E/SV-F), so the only extra traffic
+        // is the S^l / S^{l+1} stream and the compressed X^{l+1}.
+        const EngineContext::Snapshot comb_before = ec.snapshot();
+        const GemmCost gemm = ec.systolic.gemm(
+            rows, ec.layer.inWidth, ec.layer.outWidth,
+            ec.cfg.zeroSkipCombination ? ec.layer.inSparsity : 0.0);
+        ec.combMacs += gemm.macs;
+
+        const std::uint64_t serialized_write_lines =
+            streamTileOutputFast(ec, tile_begin, tile_end, out);
+        phase.combTime = ec.phaseCycles(
+            gemm.cycles / ec.cfg.combEngines, comb_before);
+        phase.combTime +=
+            serialized_write_lines * ec.cfg.dram.burstCycles;
+        tiles.push_back(phase);
+        result.aggCycles += phase.aggTime;
+        result.combCycles += phase.combTime;
+    }
+    ec.mem->cache().unpinAll();
+    result.cycles = EngineContext::pipelineTiles(tiles);
+}
+
+void
+AggFirstDataflow::runTiming(EngineContext &ec,
+                            LayerResult &result) const
+{
+    const CsrGraph &graph = *ec.layer.graph;
+    const VertexId n = graph.numVertices();
+    FeatureLayout &in = *ec.layer.inLayout;
+    FeatureLayout &out = *ec.layer.outLayout;
+
+    const VertexId src_span =
+        ec.cfg.topologyTiling ? ec.pickSrcSpan(in) : n;
+    const VertexId dst_span = ec.pickDstSpan(in, ec.layer.inWidth);
+    TiledGraphView view(graph, dst_span, src_span);
+
+    auto ctl = std::make_shared<TileControl>();
+    ctl->numTiles = view.numDstTiles();
+    ctl->combDone.assign(ctl->numTiles, 0);
+
+    ctl->startTile = [&, ctl](unsigned t) {
+        // Ping-pong psum buffers: aggregation of tile t may only
+        // start once combination of tile t-2 has drained its buffer.
+        const Cycle gate = t >= 2 ? ctl->combDone[t - 2] : 0;
+        ec.events.schedule(std::max(ec.events.now(), gate),
+                           [&, ctl, t] {
+            const Cycle agg_start = ec.events.now();
+            ctl->agg = std::make_shared<TimingAgg>(
+                ec, view, t, in, TrafficClass::FeatureIn);
+            ctl->agg->start([&, ctl, t, agg_start] {
+                result.aggCycles += ec.events.now() - agg_start;
+                const VertexId tile_begin = view.dstTileBegin(t);
+                const VertexId tile_end = view.dstTileEnd(t);
+                const VertexId rows = tile_end - tile_begin;
+                const GemmCost gemm = ec.systolic.gemm(
+                    rows, ec.layer.inWidth, ec.layer.outWidth,
+                    ec.cfg.zeroSkipCombination ? ec.layer.inSparsity
+                                               : 0.0);
+                ec.combMacs += gemm.macs;
+                const Cycle comb_cycles =
+                    gemm.cycles / ec.cfg.combEngines;
+                const Cycle comb_start =
+                    std::max(ec.events.now(), ctl->combFreeAt);
+                ctl->combFreeAt = comb_start + comb_cycles;
+                ctl->combDone[t] = ctl->combFreeAt;
+                result.combCycles += comb_cycles;
+
+                ec.events.schedule(ctl->combFreeAt,
+                                   [&, ctl, tile_begin, tile_end] {
+                    auto dma = std::make_shared<StreamDma>(ec, 128);
+                    queueTileOutputDma(ec, *dma, tile_begin, tile_end,
+                                       out);
+                    dma->start(nullptr);
+                    ctl->dmas.push_back(std::move(dma));
+                });
+
+                if (t + 1 < ctl->numTiles)
+                    ctl->startTile(t + 1);
+            });
+        });
+    };
+    ctl->startTile(0);
+    ec.events.run();
+    result.cycles = std::max(ec.events.now(), ctl->combFreeAt);
+    ctl->release();
+}
+
+} // namespace sgcn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Aggregation-first row-product dataflow (SGCN, GCNAX, HyGCN, EnGN,
+ * I-GCN intermediate layers): sweep A.X^l per destination tile, then
+ * feed the tile into the combination systolic arrays, with the two
+ * phases pipelined at block granularity.
+ */
+
+#ifndef SGCN_ACCEL_DATAFLOW_AGG_FIRST_HH
+#define SGCN_ACCEL_DATAFLOW_AGG_FIRST_HH
+
+#include "accel/dataflow/dataflow.hh"
+
+namespace sgcn
+{
+
+/** Aggregation-first row product. */
+class AggFirstDataflow final : public Dataflow
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "aggregation-first row product";
+    }
+
+    void run(EngineContext &ec, LayerResult &result) const override;
+
+  private:
+    void runFast(EngineContext &ec, LayerResult &result) const;
+    void runTiming(EngineContext &ec, LayerResult &result) const;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_DATAFLOW_AGG_FIRST_HH

@@ -1,0 +1,193 @@
+#include "accel/dataflow/column_product.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "accel/timing/stream_dma.hh"
+#include "accel/timing/timing_psum.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+void
+ColumnProductDataflow::run(EngineContext &ec, LayerResult &result) const
+{
+    SGCN_ASSERT(ec.psumBuffer,
+                "column product requires accumulator banks");
+    if (ec.mode == ExecutionMode::Fast)
+        runFast(ec, result);
+    else
+        runTiming(ec, result);
+}
+
+void
+ColumnProductDataflow::runFast(EngineContext &ec,
+                               LayerResult &result) const
+{
+    const CsrGraph &graph = *ec.layer.graph;
+    const VertexId n = graph.numVertices();
+    FeatureLayout &in = *ec.layer.inLayout;
+    FeatureLayout &out = *ec.layer.outLayout;
+
+    // Combination: input feature rows stream in source order with
+    // zero-skipping in the datapath (AWB-GCN); one X pass per
+    // partial-sum strip, recomputing that strip of X.W on the fly.
+    const std::uint32_t strip_width = ec.psumStripWidth();
+    const unsigned strips = static_cast<unsigned>(
+        divCeil(ec.layer.outWidth, strip_width));
+    const EngineContext::Snapshot comb_before = ec.snapshot();
+    for (unsigned strip = 0; strip < strips; ++strip) {
+        for (VertexId v = 0; v < n; ++v) {
+            ec.streamPlan(in.planRowRead(v), MemOp::Read,
+                          TrafficClass::FeatureIn);
+        }
+    }
+    const GemmCost gemm = ec.systolic.gemm(
+        n, ec.layer.inWidth, ec.layer.outWidth,
+        ec.cfg.zeroSkipCombination ? ec.layer.inSparsity : 0.0);
+    ec.combMacs += gemm.macs;
+    const Cycle comb_time =
+        ec.phaseCycles(gemm.cycles / ec.cfg.combEngines, comb_before);
+    result.combCycles += comb_time;
+
+    // Residual initialization of the partial sums.
+    const EngineContext::Snapshot agg_before = ec.snapshot();
+    if (ec.layer.residual && !ec.layer.isInputLayer) {
+        ec.streamDense(n, ec.layer.outWidth, MemOp::Read,
+                       TrafficClass::FeatureIn);
+    }
+
+    // Aggregation: column product in feature-dimension strips (the
+    // distributed accumulator banks of the real design). Within a
+    // strip, source vertices stream in order and every out-edge
+    // read-modify-writes the destination's partial-sum strip — the
+    // dominating traffic of Fig. 14. The strip keeps a community's
+    // psum working set cacheable; the price is re-walking the
+    // topology once per strip.
+    const std::uint64_t psum_stride = denseRowStride(ec.layer.outWidth);
+    std::vector<Cycle> engine_cycles(ec.cfg.aggEngines, 0);
+    for (unsigned strip = 0; strip < strips; ++strip) {
+        const std::uint32_t begin_col = strip * strip_width;
+        const std::uint32_t end_col =
+            std::min(begin_col + strip_width, ec.layer.outWidth);
+        const std::uint64_t strip_bytes =
+            static_cast<std::uint64_t>(end_col - begin_col) *
+            kFeatureBytes;
+        for (VertexId u = 0; u < n; ++u) {
+            const auto nbrs = graph.neighbors(u);
+            if (nbrs.empty())
+                continue;
+            const std::uint32_t walk = ec.sampledEdges(
+                static_cast<std::uint32_t>(nbrs.size()));
+            AccessPlan topo;
+            topo.addBytes(AddressMap::kTopologyBase +
+                              graph.rowPointers()[u] *
+                                  ec.layer.edgeBytes,
+                          static_cast<std::uint64_t>(walk) *
+                              ec.layer.edgeBytes);
+            ec.streamPlan(topo, MemOp::Read, TrafficClass::Topology);
+            const double stride_f =
+                static_cast<double>(nbrs.size()) / walk;
+            for (std::uint32_t j = 0; j < walk; ++j) {
+                const auto pick = static_cast<std::size_t>(
+                    static_cast<double>(j) * stride_f);
+                const VertexId dst = nbrs[pick];
+                AccessPlan strip_plan;
+                strip_plan.addBytes(
+                    AddressMap::kPsumBase +
+                        static_cast<Addr>(dst) * psum_stride +
+                        static_cast<Addr>(begin_col) * kFeatureBytes,
+                    strip_bytes);
+                strip_plan.forEachLine([&](Addr line) {
+                    ec.psumBuffer->accessFunctional(MemRequest{
+                        line, MemOp::Read, TrafficClass::PartialSum});
+                    ec.psumBuffer->accessFunctional(MemRequest{
+                        line, MemOp::Write, TrafficClass::PartialSum});
+                });
+                engine_cycles[u % ec.cfg.aggEngines] += std::max<Cycle>(
+                    1, divCeil(end_col - begin_col, ec.cfg.simdLanes));
+                ec.aggMacs += end_col - begin_col;
+            }
+        }
+    }
+    // Dirty partial sums flush as the S^{l+1} writeback...
+    ec.psumBuffer->flush();
+    // ...and X^{l+1} is emitted once after activation.
+    std::uint64_t serialized_write_lines = 0;
+    for (VertexId v = 0; v < n; ++v) {
+        const AccessPlan write = out.planRowWrite(v);
+        ec.streamPlan(write, MemOp::Write, TrafficClass::FeatureOut);
+        if (!out.supportsParallelWrite())
+            serialized_write_lines += write.totalLines();
+    }
+    const Cycle agg_time =
+        serialized_write_lines * ec.cfg.dram.burstCycles +
+        ec.phaseCycles(*std::max_element(engine_cycles.begin(),
+                                         engine_cycles.end()),
+                       agg_before);
+    result.aggCycles += agg_time;
+
+    // Combination and aggregation are pipelined end to end.
+    result.cycles = std::max(comb_time, agg_time) +
+                    std::min(comb_time, agg_time) / 8;
+}
+
+void
+ColumnProductDataflow::runTiming(EngineContext &ec,
+                                 LayerResult &result) const
+{
+    const VertexId n = ec.layer.graph->numVertices();
+    FeatureLayout &in = *ec.layer.inLayout;
+    FeatureLayout &out = *ec.layer.outLayout;
+
+    // Streaming input reads (combination) run concurrently with the
+    // column-product aggregation: AWB-GCN pipelines the two phases.
+    // One X pass per partial-sum strip (see runFast).
+    const unsigned strips = static_cast<unsigned>(
+        divCeil(ec.layer.outWidth, ec.psumStripWidth()));
+    auto input_dma = std::make_shared<StreamDma>(ec, 128);
+    for (unsigned strip = 0; strip < strips; ++strip) {
+        for (VertexId v = 0; v < n; ++v) {
+            input_dma->addPlan(in.planRowRead(v), MemOp::Read,
+                               TrafficClass::FeatureIn);
+        }
+    }
+    if (ec.layer.residual && !ec.layer.isInputLayer) {
+        input_dma->addRegion(AddressMap::kResidualBase,
+                             static_cast<std::uint64_t>(n) *
+                                 ec.denseRowLines(ec.layer.outWidth),
+                             MemOp::Read, TrafficClass::FeatureIn);
+    }
+    const GemmCost gemm = ec.systolic.gemm(
+        n, ec.layer.inWidth, ec.layer.outWidth,
+        ec.cfg.zeroSkipCombination ? ec.layer.inSparsity : 0.0);
+    ec.combMacs += gemm.macs;
+    const Cycle comb_compute = gemm.cycles / ec.cfg.combEngines;
+    result.combCycles += comb_compute;
+
+    auto psum = std::make_shared<TimingPsum>(ec);
+    auto out_dma = std::make_shared<StreamDma>(ec, 128);
+    const Cycle start = ec.events.now();
+
+    bool agg_finished = false;
+    psum->start([&, out_dma, start] {
+        agg_finished = true;
+        result.aggCycles += ec.events.now() - start;
+        // Dirty partial sums flush as the S^{l+1} writeback, then
+        // the activated X^{l+1} streams out.
+        ec.psumBuffer->flush();
+        for (VertexId v = 0; v < n; ++v) {
+            out_dma->addPlan(out.planRowWrite(v), MemOp::Write,
+                             TrafficClass::FeatureOut);
+        }
+        out_dma->start(nullptr);
+    });
+    input_dma->start(nullptr);
+    ec.events.run();
+    SGCN_ASSERT(agg_finished,
+                "column-product aggregation never drained");
+    result.cycles = std::max(ec.events.now(), start + comb_compute);
+}
+
+} // namespace sgcn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Column-product dataflow (AWB-GCN): input feature rows stream in
+ * source order with zero-skipping in the datapath; every out-edge
+ * read-modify-writes the destination's partial-sum strip in the
+ * distributed accumulator banks — the dominating traffic of Fig. 14.
+ */
+
+#ifndef SGCN_ACCEL_DATAFLOW_COLUMN_PRODUCT_HH
+#define SGCN_ACCEL_DATAFLOW_COLUMN_PRODUCT_HH
+
+#include "accel/dataflow/dataflow.hh"
+
+namespace sgcn
+{
+
+/** Column product over distributed partial-sum accumulator banks. */
+class ColumnProductDataflow final : public Dataflow
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "column product";
+    }
+
+    void run(EngineContext &ec, LayerResult &result) const override;
+
+  private:
+    void runFast(EngineContext &ec, LayerResult &result) const;
+    void runTiming(EngineContext &ec, LayerResult &result) const;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_DATAFLOW_COLUMN_PRODUCT_HH

@@ -1,0 +1,182 @@
+#include "accel/dataflow/comb_first.hh"
+
+#include <algorithm>
+
+#include "accel/dataflow/row_product_common.hh"
+#include "accel/timing/tile_control.hh"
+#include "formats/dense.hh"
+
+namespace sgcn
+{
+
+namespace
+{
+
+/** Zero-skip the streaming GEMM when the ultra-sparse input-layer
+ *  combination runs on the sparse aggregator (SVII-B). */
+bool
+skipSparseInput(const EngineContext &ec)
+{
+    return ec.layer.isInputLayer && ec.layer.inSparsity > 0.90 &&
+           ec.cfg.firstLayerSparseInput;
+}
+
+} // namespace
+
+void
+CombFirstDataflow::run(EngineContext &ec, LayerResult &result) const
+{
+    if (ec.mode == ExecutionMode::Fast)
+        runFast(ec, result);
+    else
+        runTiming(ec, result);
+}
+
+void
+CombFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
+{
+    const CsrGraph &graph = *ec.layer.graph;
+    const VertexId n = graph.numVertices();
+    FeatureLayout &in = *ec.layer.inLayout;
+    FeatureLayout &out = *ec.layer.outLayout;
+
+    // Phase 1: combination as a streaming pass. X^l rows stream in,
+    // X^l . W^l rows stream out to the psum region.
+    const EngineContext::Snapshot comb_before = ec.snapshot();
+    for (VertexId v = 0; v < n; ++v) {
+        ec.streamPlan(in.planRowRead(v), MemOp::Read,
+                      TrafficClass::FeatureIn);
+    }
+    ec.streamDense(n, ec.layer.outWidth, MemOp::Write,
+                   TrafficClass::PartialSum);
+    const GemmCost gemm = ec.systolic.gemm(
+        n, ec.layer.inWidth, ec.layer.outWidth,
+        (ec.cfg.zeroSkipCombination || skipSparseInput(ec))
+            ? ec.layer.inSparsity
+            : 0.0);
+    ec.combMacs += gemm.macs;
+    const Cycle comb_time =
+        ec.phaseCycles(gemm.cycles / ec.cfg.combEngines, comb_before);
+    result.combCycles += comb_time;
+
+    // Phase 2: aggregation over the dense X.W matrix, then the
+    // output pass (residual add + activation + write).
+    const FeatureMask full = FeatureMask::full(n, ec.layer.outWidth);
+    DenseLayout xw(ec.layer.outWidth, ec.cfg.sliceC);
+    xw.prepare(full, AddressMap::kPsumBase);
+
+    if (ec.cfg.davc)
+        ec.pinDavc(AddressMap::kPsumBase, ec.layer.outWidth);
+
+    const VertexId src_span =
+        ec.cfg.topologyTiling ? ec.pickSrcSpan(xw) : n;
+    const VertexId dst_span = ec.pickDstSpan(xw, ec.layer.outWidth);
+    TiledGraphView view(graph, dst_span, src_span);
+
+    std::vector<EngineContext::TilePhase> tiles;
+    tiles.reserve(view.numDstTiles());
+    for (unsigned t = 0; t < view.numDstTiles(); ++t) {
+        const VertexId tile_begin = view.dstTileBegin(t);
+        const VertexId tile_end = view.dstTileEnd(t);
+
+        EngineContext::TilePhase phase;
+        const EngineContext::Snapshot agg_before = ec.snapshot();
+        const Cycle compute =
+            sweepTileFast(ec, view, t, xw, TrafficClass::FeatureIn);
+        phase.aggTime = ec.phaseCycles(compute, agg_before);
+
+        const EngineContext::Snapshot out_before = ec.snapshot();
+        const std::uint64_t serialized_write_lines =
+            streamTileOutputFast(ec, tile_begin, tile_end, out);
+        phase.combTime = ec.phaseCycles(0, out_before);
+        phase.combTime +=
+            serialized_write_lines * ec.cfg.dram.burstCycles;
+        tiles.push_back(phase);
+        result.aggCycles += phase.aggTime;
+        result.combCycles += phase.combTime;
+    }
+
+    ec.mem->cache().unpinAll();
+    result.cycles = comb_time + EngineContext::pipelineTiles(tiles);
+}
+
+void
+CombFirstDataflow::runTiming(EngineContext &ec,
+                             LayerResult &result) const
+{
+    const CsrGraph &graph = *ec.layer.graph;
+    const VertexId n = graph.numVertices();
+    FeatureLayout &in = *ec.layer.inLayout;
+    FeatureLayout &out = *ec.layer.outLayout;
+
+    // Phase 1: streaming combination.
+    auto phase1 = std::make_shared<StreamDma>(ec, 128);
+    for (VertexId v = 0; v < n; ++v) {
+        phase1->addPlan(in.planRowRead(v), MemOp::Read,
+                        TrafficClass::FeatureIn);
+    }
+    phase1->addRegion(AddressMap::kPsumBase,
+                      static_cast<std::uint64_t>(n) *
+                          ec.denseRowLines(ec.layer.outWidth),
+                      MemOp::Write, TrafficClass::PartialSum);
+
+    const GemmCost gemm = ec.systolic.gemm(
+        n, ec.layer.inWidth, ec.layer.outWidth,
+        (ec.cfg.zeroSkipCombination || skipSparseInput(ec))
+            ? ec.layer.inSparsity
+            : 0.0);
+    ec.combMacs += gemm.macs;
+    const Cycle comb_compute = gemm.cycles / ec.cfg.combEngines;
+
+    // Phase 2 state, shared with the continuation callbacks.
+    auto xw_mask = std::make_shared<FeatureMask>(
+        FeatureMask::full(n, ec.layer.outWidth));
+    auto xw = std::make_shared<DenseLayout>(ec.layer.outWidth,
+                                            ec.cfg.sliceC);
+    xw->prepare(*xw_mask, AddressMap::kPsumBase);
+
+    const VertexId src_span =
+        ec.cfg.topologyTiling ? ec.pickSrcSpan(*xw) : n;
+    const VertexId dst_span = ec.pickDstSpan(*xw, ec.layer.outWidth);
+    auto view = std::make_shared<TiledGraphView>(graph, dst_span,
+                                                 src_span);
+
+    auto ctl = std::make_shared<TileControl>();
+    ctl->numTiles = view->numDstTiles();
+
+    ctl->startTile = [&, ctl, view, xw, xw_mask](unsigned t) {
+        const Cycle agg_start = ec.events.now();
+        ctl->agg = std::make_shared<TimingAgg>(
+            ec, *view, t, *xw, TrafficClass::FeatureIn);
+        ctl->agg->start([&, ctl, view, xw, xw_mask, t, agg_start] {
+            result.aggCycles += ec.events.now() - agg_start;
+            const VertexId tile_begin = view->dstTileBegin(t);
+            const VertexId tile_end = view->dstTileEnd(t);
+            auto dma = std::make_shared<StreamDma>(ec, 128);
+            queueTileOutputDma(ec, *dma, tile_begin, tile_end, out);
+            dma->start(nullptr);
+            ctl->dmas.push_back(std::move(dma));
+            if (t + 1 < ctl->numTiles)
+                ctl->startTile(t + 1);
+        });
+    };
+
+    const Cycle phase1_start = ec.events.now();
+    phase1->start([&, ctl, phase1_start, comb_compute] {
+        const Cycle ready =
+            std::max(ec.events.now(), phase1_start + comb_compute);
+        result.combCycles += ready - phase1_start;
+        ec.events.schedule(ready, [&, ctl] {
+            if (ec.cfg.davc)
+                ec.pinDavc(AddressMap::kPsumBase, ec.layer.outWidth);
+            ctl->startTile(0);
+        });
+    });
+    ctl->dmas.push_back(phase1);
+    ec.events.run();
+    ec.mem->cache().unpinAll();
+    result.cycles = ec.events.now();
+    ctl->release();
+}
+
+} // namespace sgcn

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Combination-first row-product dataflow: X^l . W^l as one streaming
+ * GEMM pass into the psum region, then the aggregation sweep over the
+ * dense X.W matrix and the output pass. Also every row-product
+ * personality's input layer, where combination-first is universally
+ * better because the width shrinks (SIII-A).
+ */
+
+#ifndef SGCN_ACCEL_DATAFLOW_COMB_FIRST_HH
+#define SGCN_ACCEL_DATAFLOW_COMB_FIRST_HH
+
+#include "accel/dataflow/dataflow.hh"
+
+namespace sgcn
+{
+
+/** Combination-first row product. */
+class CombFirstDataflow final : public Dataflow
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "combination-first row product";
+    }
+
+    void run(EngineContext &ec, LayerResult &result) const override;
+
+  private:
+    void runFast(EngineContext &ec, LayerResult &result) const;
+    void runTiming(EngineContext &ec, LayerResult &result) const;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_DATAFLOW_COMB_FIRST_HH

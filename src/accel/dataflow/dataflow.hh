@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dataflow strategy interface.
+ *
+ * A Dataflow simulates one GCN layer's access stream and cycle count
+ * on the shared substrate held by an EngineContext. Each concrete
+ * strategy owns both execution paths: fast (functional cache +
+ * roofline) and timing (event-driven engines), dispatched on
+ * EngineContext::mode. Strategies are stateless — all per-layer
+ * state lives in the EngineContext — so one registered instance
+ * serves every layer engine.
+ *
+ * Concrete strategies:
+ *  - AggFirstDataflow (agg_first.hh): aggregation-first row product
+ *  - CombFirstDataflow (comb_first.hh): combination-first row product
+ *  - ColumnProductDataflow (column_product.hh): column product
+ *
+ * Strategies are selected through the registry (registry.hh) keyed
+ * by DataflowKind, so adding a fourth dataflow is an add-a-file
+ * change plus one registry entry.
+ */
+
+#ifndef SGCN_ACCEL_DATAFLOW_DATAFLOW_HH
+#define SGCN_ACCEL_DATAFLOW_DATAFLOW_HH
+
+#include "accel/result.hh"
+
+namespace sgcn
+{
+
+struct EngineContext;
+
+/** One dataflow shape's layer simulation (both execution modes). */
+class Dataflow
+{
+  public:
+    virtual ~Dataflow() = default;
+
+    /** Human-readable strategy name (logs, registry errors). */
+    virtual const char *name() const = 0;
+
+    /** Simulate one layer in ec.mode, accumulating into @p result.
+     *  The caller (LayerEngine) finalizes weight traffic and the
+     *  mode-independent statistics afterwards. */
+    virtual void run(EngineContext &ec, LayerResult &result) const = 0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_DATAFLOW_DATAFLOW_HH

@@ -1,0 +1,76 @@
+#include "accel/dataflow/registry.hh"
+
+#include <map>
+#include <utility>
+
+#include "accel/dataflow/agg_first.hh"
+#include "accel/dataflow/column_product.hh"
+#include "accel/dataflow/comb_first.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+namespace
+{
+
+using Registry = std::map<DataflowKind, std::unique_ptr<Dataflow>>;
+
+/** The built-ins live in a function-local static so the registry is
+ *  usable from any static-initialization context. */
+Registry &
+registry()
+{
+    static Registry entries = [] {
+        Registry r;
+        r.emplace(DataflowKind::AggFirstRowProduct,
+                  std::make_unique<AggFirstDataflow>());
+        r.emplace(DataflowKind::CombFirstRowProduct,
+                  std::make_unique<CombFirstDataflow>());
+        r.emplace(DataflowKind::ColumnProduct,
+                  std::make_unique<ColumnProductDataflow>());
+        return r;
+    }();
+    return entries;
+}
+
+} // namespace
+
+const Dataflow *
+findDataflow(DataflowKind kind)
+{
+    const Registry &r = registry();
+    const auto it = r.find(kind);
+    return it == r.end() ? nullptr : it->second.get();
+}
+
+const Dataflow &
+dataflowFor(DataflowKind kind)
+{
+    const Dataflow *strategy = findDataflow(kind);
+    if (!strategy) {
+        fatal("no dataflow strategy registered for kind ",
+              static_cast<unsigned>(kind), " (",
+              dataflowKindName(kind),
+              "); known kinds: aggregation-first row product, "
+              "combination-first row product, column product");
+    }
+    return *strategy;
+}
+
+std::unique_ptr<Dataflow>
+registerDataflow(DataflowKind kind, std::unique_ptr<Dataflow> strategy)
+{
+    Registry &r = registry();
+    const auto it = r.find(kind);
+    std::unique_ptr<Dataflow> previous;
+    if (it != r.end()) {
+        previous = std::move(it->second);
+        r.erase(it);
+    }
+    if (strategy)
+        r.emplace(kind, std::move(strategy));
+    return previous;
+}
+
+} // namespace sgcn

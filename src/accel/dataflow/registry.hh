@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Dataflow strategy registry.
+ *
+ * Maps DataflowKind values to their strategy singletons. The three
+ * built-in strategies (aggregation-first, combination-first, column
+ * product) are registered on first use; additional strategies — a
+ * fourth dataflow personality, or an instrumented stand-in under
+ * test — can be registered at runtime.
+ */
+
+#ifndef SGCN_ACCEL_DATAFLOW_REGISTRY_HH
+#define SGCN_ACCEL_DATAFLOW_REGISTRY_HH
+
+#include <memory>
+
+#include "accel/config.hh"
+#include "accel/dataflow/dataflow.hh"
+
+namespace sgcn
+{
+
+/** Strategy registered for @p kind, or nullptr when missing. */
+const Dataflow *findDataflow(DataflowKind kind);
+
+/** Strategy registered for @p kind; fatal() with a clear message
+ *  when no strategy is registered (bad personality configuration). */
+const Dataflow &dataflowFor(DataflowKind kind);
+
+/** Register (or replace) the strategy executing @p kind. Passing
+ *  nullptr removes the entry. Returns the previous strategy. */
+std::unique_ptr<Dataflow> registerDataflow(
+    DataflowKind kind, std::unique_ptr<Dataflow> strategy);
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_DATAFLOW_REGISTRY_HH

@@ -1,0 +1,131 @@
+#include "accel/dataflow/row_product_common.hh"
+
+#include <algorithm>
+
+#include "core/sac.hh"
+
+namespace sgcn
+{
+
+Cycle
+sweepTileFast(EngineContext &ec, const TiledGraphView &view,
+              unsigned tile, FeatureLayout &layout, TrafficClass cls)
+{
+    const VertexId tile_begin = view.dstTileBegin(tile);
+    const VertexId tile_end = view.dstTileEnd(tile);
+    const auto schedule = scheduleEngines(
+        tile_begin, tile_end, ec.cfg.aggEngines,
+        ec.cfg.sac ? EngineScheduleKind::SacStrips
+                   : EngineScheduleKind::Chunked,
+        ec.cfg.sacStripHeight);
+
+    std::vector<Cycle> engine_cycles(ec.cfg.aggEngines, 0);
+    std::size_t max_len = 0;
+    for (const auto &s : schedule)
+        max_len = std::max(max_len, s.size());
+
+    // Source tiles outermost: the tile's edges are fetched once into
+    // the edge buffer (Fig. 5) and replayed for every feature slice.
+    const unsigned slices = layout.numSlices();
+    for (unsigned c = 0; c < view.numSrcTiles(); ++c) {
+        for (unsigned s = 0; s < slices; ++s) {
+            // Round-robin across engines at vertex granularity to
+            // approximate their concurrency in the shared cache's
+            // access order.
+            for (std::size_t idx = 0; idx < max_len; ++idx) {
+                for (unsigned e = 0; e < ec.cfg.aggEngines; ++e) {
+                    if (idx >= schedule[e].size())
+                        continue;
+                    const VertexId v = schedule[e][idx];
+                    const auto nbrs = view.tileNeighbors(v, c);
+                    if (nbrs.empty())
+                        continue;
+                    const std::uint32_t walk = ec.sampledEdges(
+                        static_cast<std::uint32_t>(nbrs.size()));
+
+                    if (s == 0) {
+                        // Topology fetch for this (v, c) edge run;
+                        // later slices replay the edge buffer.
+                        AccessPlan topo;
+                        topo.addBytes(
+                            AddressMap::kTopologyBase +
+                                view.edgeBegin(v, c) *
+                                    ec.layer.edgeBytes,
+                            static_cast<std::uint64_t>(walk) *
+                                ec.layer.edgeBytes);
+                        ec.streamPlan(topo, MemOp::Read,
+                                      TrafficClass::Topology);
+                    }
+
+                    const double stride =
+                        static_cast<double>(nbrs.size()) / walk;
+                    for (std::uint32_t j = 0; j < walk; ++j) {
+                        const auto pick = static_cast<std::size_t>(
+                            static_cast<double>(j) * stride);
+                        const VertexId u = nbrs[pick];
+                        ec.cachePlan(layout.planSliceRead(u, s),
+                                     MemOp::Read, cls);
+                        const std::uint32_t values =
+                            layout.sliceValues(u, s);
+                        engine_cycles[e] += std::max<Cycle>(
+                            1, divCeil(values, ec.cfg.simdLanes));
+                        ec.aggMacs += values;
+                    }
+                }
+            }
+        }
+    }
+    return *std::max_element(engine_cycles.begin(),
+                             engine_cycles.end());
+}
+
+std::uint64_t
+streamTileOutputFast(EngineContext &ec, VertexId begin, VertexId end,
+                     FeatureLayout &out)
+{
+    const VertexId rows = end - begin;
+    const std::uint64_t s_lines = ec.denseRowLines(ec.layer.outWidth);
+    if (ec.layer.residual && !ec.layer.isInputLayer) {
+        ec.fastStreamTraffic.add(MemOp::Read, TrafficClass::FeatureIn,
+                                 rows * s_lines);
+    }
+    if (ec.layer.residual) {
+        ec.fastStreamTraffic.add(MemOp::Write, TrafficClass::FeatureOut,
+                                 rows * s_lines);
+    }
+    std::uint64_t serialized_write_lines = 0;
+    for (VertexId v = begin; v < end; ++v) {
+        const AccessPlan write = out.planRowWrite(v);
+        ec.streamPlan(write, MemOp::Write, TrafficClass::FeatureOut);
+        if (!out.supportsParallelWrite())
+            serialized_write_lines += write.totalLines();
+    }
+    return serialized_write_lines;
+}
+
+void
+queueTileOutputDma(EngineContext &ec, StreamDma &dma, VertexId begin,
+                   VertexId end, FeatureLayout &out)
+{
+    const VertexId rows = end - begin;
+    const std::uint64_t s_lines = ec.denseRowLines(ec.layer.outWidth);
+    const std::uint64_t s_stride = denseRowStride(ec.layer.outWidth);
+    if (ec.layer.residual && !ec.layer.isInputLayer) {
+        dma.addRegion(AddressMap::kResidualBase +
+                          static_cast<Addr>(begin) * s_stride,
+                      rows * s_lines, MemOp::Read,
+                      TrafficClass::FeatureIn);
+    }
+    if (ec.layer.residual) {
+        dma.addRegion(AddressMap::kResidualBase +
+                          static_cast<Addr>(begin) * s_stride,
+                      rows * s_lines, MemOp::Write,
+                      TrafficClass::FeatureOut);
+    }
+    for (VertexId v = begin; v < end; ++v) {
+        dma.addPlan(out.planRowWrite(v), MemOp::Write,
+                    TrafficClass::FeatureOut);
+    }
+}
+
+} // namespace sgcn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Helpers shared by the two row-product dataflows (aggregation-first
+ * and combination-first): the fast-mode aggregation sweep of one
+ * destination tile, and the per-tile output pass (residual streams
+ * plus the compressed X^{l+1} writes) in both execution modes.
+ */
+
+#ifndef SGCN_ACCEL_DATAFLOW_ROW_PRODUCT_COMMON_HH
+#define SGCN_ACCEL_DATAFLOW_ROW_PRODUCT_COMMON_HH
+
+#include "accel/engine_context.hh"
+#include "accel/timing/stream_dma.hh"
+
+namespace sgcn
+{
+
+/**
+ * Aggregation sweep of one destination tile (fast mode): counts the
+ * topology and feature-slice traffic of every sampled edge and
+ * returns the bottleneck engine's compute cycles.
+ */
+Cycle sweepTileFast(EngineContext &ec, const TiledGraphView &view,
+                    unsigned tile, FeatureLayout &layout,
+                    TrafficClass cls);
+
+/**
+ * Stream one destination tile's output pass (fast mode): residual
+ * S^l read / S^{l+1} write plus the X^{l+1} row writes.
+ *
+ * @return the write lines of packed variable-length formats, which
+ *         serialize behind a running offset counter (SV-A): one
+ *         write stream, no channel-level parallelism.
+ */
+std::uint64_t streamTileOutputFast(EngineContext &ec, VertexId begin,
+                                   VertexId end, FeatureLayout &out);
+
+/** Queue the same output pass on @p dma (timing mode). */
+void queueTileOutputDma(EngineContext &ec, StreamDma &dma,
+                        VertexId begin, VertexId end,
+                        FeatureLayout &out);
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_DATAFLOW_ROW_PRODUCT_COMMON_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared per-layer execution state handed to dataflow strategies.
+ *
+ * EngineContext bundles everything a dataflow needs to simulate one
+ * layer — configuration, layer context, event queue, memory system,
+ * systolic array, stream-traffic counters — plus the roofline,
+ * snapshot and stream helpers both execution modes share. It is the
+ * documented interface between the strategy layer
+ * (src/accel/dataflow/) and the timing engines (src/accel/timing/):
+ * all members are public, so no component needs friend access into
+ * the layer engine.
+ */
+
+#ifndef SGCN_ACCEL_ENGINE_CONTEXT_HH
+#define SGCN_ACCEL_ENGINE_CONTEXT_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/workload.hh"
+#include "engine/systolic.hh"
+#include "graph/partition.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+
+namespace sgcn
+{
+
+/** Reserved stride of a dense row (residual/psum regions). */
+inline std::uint64_t
+denseRowStride(std::uint32_t width)
+{
+    return alignUp(static_cast<std::uint64_t>(width) * kFeatureBytes,
+                   kCachelineBytes);
+}
+
+/** Execution state of one layer; construct fresh per (config, layer). */
+struct EngineContext
+{
+    EngineContext(const AccelConfig &config, const LayerContext &layer);
+    ~EngineContext();
+
+    // -- shared helpers --------------------------------------------------
+
+    /** Traffic snapshot used to price a phase via the roofline. */
+    struct Snapshot
+    {
+        std::uint64_t dramLines = 0;
+        std::uint64_t cacheAccesses = 0;
+        std::uint64_t psumAccesses = 0;
+    };
+
+    /** Per-tile phase times for the two-stage pipeline. */
+    struct TilePhase
+    {
+        Cycle aggTime = 0;
+        Cycle combTime = 0;
+    };
+
+    Snapshot snapshot() const;
+
+    /** Roofline time for a phase given compute cycles and the
+     *  traffic delta since @p before. */
+    Cycle phaseCycles(Cycle compute, const Snapshot &before) const;
+
+    /** Lines of a dense row of @p width features. */
+    std::uint64_t denseRowLines(std::uint32_t width) const;
+
+    /** Count a whole dense region as stream traffic (fast mode). */
+    void streamDense(VertexId rows, std::uint32_t width, MemOp op,
+                     TrafficClass cls);
+
+    /** Count one plan as stream traffic (fast mode). */
+    void streamPlan(const AccessPlan &plan, MemOp op, TrafficClass cls);
+
+    /** Route one plan through the functional cache (fast mode). */
+    void cachePlan(const AccessPlan &plan, MemOp op, TrafficClass cls);
+
+    /** Sampled edge count for a (vertex, src-tile) edge range. */
+    std::uint32_t sampledEdges(std::uint32_t available) const;
+
+    /** Pin high-degree rows for EnGN's DAVC. */
+    void pinDavc(Addr base, std::uint32_t width);
+
+    /** Offline source-tile span from the static density estimate. */
+    VertexId pickSrcSpan(const FeatureLayout &layout) const;
+
+    /** Destination-tile span: the psum buffer bounds the tile, so
+     *  narrow sliced passes allow tall tiles and whole-row passes
+     *  shrink them (SV-B). @p full_width is the pass width when the
+     *  layout does not slice. */
+    VertexId pickDstSpan(const FeatureLayout &layout,
+                         std::uint32_t full_width) const;
+
+    /** Weight-matrix lines streamed once per layer. */
+    std::uint64_t weightLines() const;
+
+    /** Column-product partial-sum strip width: whole output rows
+     *  when sliceC is zero, one feature slice otherwise. Shared by
+     *  the fast and timing column-product paths so their streams
+     *  cannot desynchronize. */
+    std::uint32_t psumStripWidth() const;
+
+    /** Two-stage tile pipeline: agg(t) overlaps comb(t-1). */
+    static Cycle pipelineTiles(const std::vector<TilePhase> &tiles);
+
+    // -- state -----------------------------------------------------------
+
+    const AccelConfig &cfg;
+    const LayerContext &layer;
+
+    /** Mode the current run() executes in; set by the layer engine
+     *  before dispatching to the strategy. */
+    ExecutionMode mode = ExecutionMode::Fast;
+
+    EventQueue events;
+    std::unique_ptr<MemorySystem> mem;
+    SystolicArray systolic;
+
+    /** Column-product partial-sum accumulator banks (AWB-GCN):
+     *  distinct from the shared cache, with their own throughput.
+     *  Null unless the personality's dataflow is ColumnProduct. */
+    std::unique_ptr<Cache> psumBuffer;
+
+    /** Fast-mode streaming traffic bypassing the cache model. */
+    TrafficCounters fastStreamTraffic;
+
+    std::uint64_t aggMacs = 0;
+    std::uint64_t combMacs = 0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_ENGINE_CONTEXT_HH

@@ -1,1318 +1,80 @@
 #include "accel/layer_engine.hh"
 
 #include <algorithm>
-#include <deque>
 
-#include "core/sac.hh"
-#include "formats/dense.hh"
-#include "sim/logging.hh"
+#include "accel/dataflow/registry.hh"
 
 namespace sgcn
 {
 
-namespace
-{
-
-/** Reserved stride of a dense row (residual/psum regions). */
-std::uint64_t
-denseRowStride(std::uint32_t width)
-{
-    return alignUp(static_cast<std::uint64_t>(width) * kFeatureBytes,
-                   kCachelineBytes);
-}
-
-} // namespace
-
 LayerEngine::LayerEngine(const AccelConfig &config,
                          const LayerContext &ctx)
-    : cfg(config), ctx(ctx), systolicArray(config.systolic)
+    : ec(config, ctx)
 {
-    mem = std::make_unique<MemorySystem>(cfg.cache, cfg.dram, events);
-    if (cfg.columnProduct) {
-        CacheConfig psum_config;
-        psum_config.sizeBytes = cfg.psumBufferKb * 1024;
-        psum_config.ways = 16;
-        psumBuffer = std::make_unique<Cache>(psum_config, mem->dram(),
-                                             events);
-    }
 }
 
 LayerEngine::~LayerEngine() = default;
+
+DataflowKind
+LayerEngine::effectiveDataflow(const AccelConfig &config,
+                               bool is_input_layer)
+{
+    if (config.dataflow == DataflowKind::AggFirstRowProduct &&
+        is_input_layer) {
+        return DataflowKind::CombFirstRowProduct;
+    }
+    return config.dataflow;
+}
+
+DataflowKind
+LayerEngine::effectiveDataflow() const
+{
+    return effectiveDataflow(ec.cfg, ec.layer.isInputLayer);
+}
 
 LayerResult
 LayerEngine::run(ExecutionMode mode)
 {
     LayerResult result;
-    if (mode == ExecutionMode::Fast) {
-        if (cfg.columnProduct) {
-            fastColumnProduct(result);
-        } else if (ctx.isInputLayer || !cfg.aggregationFirst) {
-            fastCombFirst(result);
-        } else {
-            fastAggFirst(result);
-        }
-    } else {
-        if (cfg.columnProduct) {
-            timingColumnProduct(result);
-        } else if (ctx.isInputLayer || !cfg.aggregationFirst) {
-            timingCombFirst(result);
-        } else {
-            timingAggFirst(result);
-        }
-    }
-    finalize(result, mode);
+    ec.mode = mode;
+    dataflowFor(effectiveDataflow()).run(ec, result);
+    finalize(result);
     return result;
 }
 
-// =====================================================================
-// Shared plumbing
-// =====================================================================
-
-std::uint64_t
-LayerEngine::denseRowLines(std::uint32_t width) const
-{
-    return denseRowStride(width) / kCachelineBytes;
-}
-
-std::uint32_t
-LayerEngine::sampledEdges(std::uint32_t available) const
-{
-    if (ctx.edgeSampleFraction >= 1.0 || available == 0)
-        return available;
-    const auto walk = static_cast<std::uint32_t>(
-        ctx.edgeSampleFraction * available + 0.5);
-    return std::max<std::uint32_t>(1, std::min(walk, available));
-}
-
-VertexId
-LayerEngine::pickSrcSpan(const FeatureLayout &layout) const
-{
-    return chooseSrcTileSpan(cfg.cache.sizeBytes,
-                             layout.staticSliceBytesEstimate(),
-                             ctx.graph->numVertices());
-}
-
-std::uint64_t
-LayerEngine::weightLines() const
-{
-    return divCeil(static_cast<std::uint64_t>(ctx.inWidth) *
-                       ctx.outWidth * kFeatureBytes,
-                   kCachelineBytes);
-}
-
-LayerEngine::Snapshot
-LayerEngine::snapshot() const
-{
-    Snapshot snap;
-    snap.dramLines = mem->offChipTraffic().totalLines() +
-                     fastStreamTraffic.totalLines();
-    const CacheStats &stats = mem->cache().stats();
-    snap.cacheAccesses = stats.hits + stats.misses;
-    if (psumBuffer) {
-        snap.dramLines +=
-            psumBuffer->functionalDramTraffic().totalLines();
-        const CacheStats &psum_stats = psumBuffer->stats();
-        snap.psumAccesses = psum_stats.hits + psum_stats.misses;
-    }
-    return snap;
-}
-
-Cycle
-LayerEngine::phaseCycles(Cycle compute, const Snapshot &before) const
-{
-    const Snapshot now_snap = snapshot();
-    const std::uint64_t lines = now_snap.dramLines - before.dramLines;
-    const std::uint64_t cache_acc =
-        now_snap.cacheAccesses - before.cacheAccesses;
-    const std::uint64_t psum_acc =
-        now_snap.psumAccesses - before.psumAccesses;
-    const Cycle dram_time =
-        lines * cfg.dram.burstCycles / cfg.dram.channels;
-    const Cycle cache_time = cache_acc / cfg.cacheLinesPerCycle;
-    const Cycle psum_time = psum_acc / cfg.psumLinesPerCycle;
-    return std::max({compute, dram_time, cache_time, psum_time});
-}
-
 void
-LayerEngine::streamDense(VertexId rows, std::uint32_t width, MemOp op,
-                         TrafficClass cls)
-{
-    fastStreamTraffic.add(
-        op, cls, static_cast<std::uint64_t>(rows) * denseRowLines(width));
-}
-
-void
-LayerEngine::streamPlan(const AccessPlan &plan, MemOp op,
-                        TrafficClass cls)
-{
-    fastStreamTraffic.add(op, cls, plan.totalLines());
-}
-
-void
-LayerEngine::cachePlan(const AccessPlan &plan, MemOp op,
-                       TrafficClass cls)
-{
-    plan.forEachLine([&](Addr line) {
-        mem->accessFunctional(MemRequest{line, op, cls});
-    });
-}
-
-void
-LayerEngine::pinDavc(Addr base, std::uint32_t width)
-{
-    // Pin the hottest vertices' rows until the DAVC budget is spent.
-    const auto budget_lines = static_cast<std::uint64_t>(
-        cfg.davcCacheFraction *
-        static_cast<double>(cfg.cache.sizeBytes) / kCachelineBytes);
-    const std::uint64_t row_lines = denseRowLines(width);
-    const std::uint64_t stride = denseRowStride(width);
-    std::uint64_t pinned = 0;
-    for (VertexId v : ctx.graph->verticesByDegree()) {
-        if (pinned + row_lines > budget_lines)
-            break;
-        const Addr row_base = base + static_cast<Addr>(v) * stride;
-        for (std::uint64_t l = 0; l < row_lines; ++l) {
-            mem->cache().pin(row_base + l * kCachelineBytes,
-                             TrafficClass::FeatureIn);
-        }
-        pinned += row_lines;
-    }
-}
-
-Cycle
-LayerEngine::pipelineTiles(const std::vector<TilePhase> &tiles)
-{
-    if (tiles.empty())
-        return 0;
-    // Aggregation and combination overlap at block granularity: a
-    // finished block of A.X rows streams into the systolic array
-    // while the aggregators continue (SV-F). The slower phase sets
-    // the pace; the pipeline fill is one sub-block of the first
-    // tile (the psum buffers hold several blocks per tile).
-    Cycle agg_total = 0;
-    Cycle comb_total = 0;
-    for (const TilePhase &tile : tiles) {
-        agg_total += tile.aggTime;
-        comb_total += tile.combTime;
-    }
-    constexpr unsigned kBlocksPerTile = 8;
-    const Cycle fill = std::min(tiles.front().aggTime,
-                                tiles.front().combTime) /
-                       kBlocksPerTile;
-    return std::max(agg_total, comb_total) + fill;
-}
-
-void
-LayerEngine::finalize(LayerResult &result, ExecutionMode mode)
+LayerEngine::finalize(LayerResult &result)
 {
     // Weight stream: W^l is read once per layer into the weight
     // buffer.
-    const std::uint64_t w_lines = weightLines();
-    fastStreamTraffic.add(MemOp::Read, TrafficClass::Weight, w_lines);
-    result.cycles += w_lines * cfg.dram.burstCycles / cfg.dram.channels;
+    const std::uint64_t w_lines = ec.weightLines();
+    ec.fastStreamTraffic.add(MemOp::Read, TrafficClass::Weight,
+                             w_lines);
+    result.cycles +=
+        w_lines * ec.cfg.dram.burstCycles / ec.cfg.dram.channels;
 
-    result.traffic = mem->offChipTraffic();
-    result.traffic.merge(fastStreamTraffic);
-    const CacheStats &stats = mem->cache().stats();
+    result.traffic = ec.mem->offChipTraffic();
+    result.traffic.merge(ec.fastStreamTraffic);
+    const CacheStats &stats = ec.mem->cache().stats();
     result.cacheAccesses = stats.hits + stats.misses;
     result.cacheHits = stats.hits;
-    if (psumBuffer) {
+    if (ec.psumBuffer) {
         // Accumulator-bank accesses are on-chip SRAM work and count
         // towards energy; their spills are off-chip traffic.
-        result.traffic.merge(psumBuffer->functionalDramTraffic());
-        const CacheStats &psum_stats = psumBuffer->stats();
+        result.traffic.merge(ec.psumBuffer->functionalDramTraffic());
+        const CacheStats &psum_stats = ec.psumBuffer->stats();
         result.cacheAccesses += psum_stats.hits + psum_stats.misses;
         result.cacheHits += psum_stats.hits;
     }
-    result.macs = aggMacs + combMacs;
-    (void)mode;
+    result.macs = ec.aggMacs + ec.combMacs;
 
     if (result.cycles > 0) {
         result.bwUtil = std::min(
             1.0, static_cast<double>(result.traffic.totalLines()) *
-                     cfg.dram.burstCycles /
-                     (static_cast<double>(cfg.dram.channels) *
+                     ec.cfg.dram.burstCycles /
+                     (static_cast<double>(ec.cfg.dram.channels) *
                       static_cast<double>(result.cycles)));
     }
-}
-
-// =====================================================================
-// Fast mode
-// =====================================================================
-
-Cycle
-LayerEngine::sweepTileFast(const TiledGraphView &view, unsigned tile,
-                           FeatureLayout &layout, TrafficClass cls)
-{
-    const VertexId tile_begin = view.dstTileBegin(tile);
-    const VertexId tile_end = view.dstTileEnd(tile);
-    const auto schedule = scheduleEngines(
-        tile_begin, tile_end, cfg.aggEngines,
-        cfg.sac ? EngineScheduleKind::SacStrips
-                : EngineScheduleKind::Chunked,
-        cfg.sacStripHeight);
-
-    std::vector<Cycle> engine_cycles(cfg.aggEngines, 0);
-    std::size_t max_len = 0;
-    for (const auto &s : schedule)
-        max_len = std::max(max_len, s.size());
-
-    // Source tiles outermost: the tile's edges are fetched once into
-    // the edge buffer (Fig. 5) and replayed for every feature slice.
-    const unsigned slices = layout.numSlices();
-    for (unsigned c = 0; c < view.numSrcTiles(); ++c) {
-        for (unsigned s = 0; s < slices; ++s) {
-            // Round-robin across engines at vertex granularity to
-            // approximate their concurrency in the shared cache's
-            // access order.
-            for (std::size_t idx = 0; idx < max_len; ++idx) {
-                for (unsigned e = 0; e < cfg.aggEngines; ++e) {
-                    if (idx >= schedule[e].size())
-                        continue;
-                    const VertexId v = schedule[e][idx];
-                    const auto nbrs = view.tileNeighbors(v, c);
-                    if (nbrs.empty())
-                        continue;
-                    const std::uint32_t walk = sampledEdges(
-                        static_cast<std::uint32_t>(nbrs.size()));
-
-                    if (s == 0) {
-                        // Topology fetch for this (v, c) edge run;
-                        // later slices replay the edge buffer.
-                        AccessPlan topo;
-                        topo.addBytes(
-                            AddressMap::kTopologyBase +
-                                view.edgeBegin(v, c) * ctx.edgeBytes,
-                            static_cast<std::uint64_t>(walk) *
-                                ctx.edgeBytes);
-                        streamPlan(topo, MemOp::Read,
-                                   TrafficClass::Topology);
-                    }
-
-                    const double stride =
-                        static_cast<double>(nbrs.size()) / walk;
-                    for (std::uint32_t j = 0; j < walk; ++j) {
-                        const auto pick = static_cast<std::size_t>(
-                            static_cast<double>(j) * stride);
-                        const VertexId u = nbrs[pick];
-                        cachePlan(layout.planSliceRead(u, s),
-                                  MemOp::Read, cls);
-                        const std::uint32_t values =
-                            layout.sliceValues(u, s);
-                        engine_cycles[e] += std::max<Cycle>(
-                            1, divCeil(values, cfg.simdLanes));
-                        aggMacs += values;
-                    }
-                }
-            }
-        }
-    }
-    return *std::max_element(engine_cycles.begin(),
-                             engine_cycles.end());
-}
-
-void
-LayerEngine::fastAggFirst(LayerResult &result)
-{
-    const CsrGraph &graph = *ctx.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ctx.inLayout;
-    FeatureLayout &out = *ctx.outLayout;
-
-    const VertexId src_span = cfg.topologyTiling ? pickSrcSpan(in) : n;
-    // The psum buffer bounds the destination tile: narrow sliced
-    // passes allow tall tiles; whole-row passes shrink them (SV-B).
-    const std::uint32_t pass_cols =
-        in.supportsSlicing() ? in.sliceWidth() : ctx.inWidth;
-    const auto psum_rows = static_cast<VertexId>(std::max<std::uint64_t>(
-        64, cfg.aggPsumBudgetBytes /
-                (static_cast<std::uint64_t>(pass_cols) * kFeatureBytes)));
-    const VertexId dst_span =
-        std::min({cfg.dstTileRows, n, psum_rows});
-    TiledGraphView view(graph, dst_span, src_span);
-
-    // EnGN's degree-aware vertex cache pins hot feature rows for the
-    // whole layer (dense layout only).
-    if (cfg.davc && in.kind() == FormatKind::Dense)
-        pinDavc(AddressMap::kFeatureInBase, ctx.inWidth);
-
-    const std::uint64_t s_lines = denseRowLines(ctx.outWidth);
-    std::vector<TilePhase> tiles;
-    tiles.reserve(view.numDstTiles());
-
-    for (unsigned t = 0; t < view.numDstTiles(); ++t) {
-        const VertexId tile_begin = view.dstTileBegin(t);
-        const VertexId tile_end = view.dstTileEnd(t);
-        const VertexId rows = tile_end - tile_begin;
-
-        TilePhase phase;
-        const Snapshot agg_before = snapshot();
-        const Cycle compute =
-            sweepTileFast(view, t, in, TrafficClass::FeatureIn);
-        phase.aggTime = phaseCycles(compute, agg_before);
-
-        // Combination: (rows x inWidth) . (inWidth x outWidth) on the
-        // systolic arrays; residual init + ReLU + compression are
-        // fused at the output (SV-E/SV-F), so the only extra traffic
-        // is the S^l / S^{l+1} stream and the compressed X^{l+1}.
-        const Snapshot comb_before = snapshot();
-        const GemmCost gemm = systolicArray.gemm(
-            rows, ctx.inWidth, ctx.outWidth,
-            cfg.zeroSkipCombination ? ctx.inSparsity : 0.0);
-        combMacs += gemm.macs;
-
-        if (ctx.residual && !ctx.isInputLayer) {
-            fastStreamTraffic.add(MemOp::Read, TrafficClass::FeatureIn,
-                                  rows * s_lines);
-        }
-        if (ctx.residual) {
-            fastStreamTraffic.add(MemOp::Write,
-                                  TrafficClass::FeatureOut,
-                                  rows * s_lines);
-        }
-        std::uint64_t serialized_write_lines = 0;
-        for (VertexId v = tile_begin; v < tile_end; ++v) {
-            const AccessPlan write = out.planRowWrite(v);
-            streamPlan(write, MemOp::Write, TrafficClass::FeatureOut);
-            if (!out.supportsParallelWrite())
-                serialized_write_lines += write.totalLines();
-        }
-        phase.combTime =
-            phaseCycles(gemm.cycles / cfg.combEngines, comb_before);
-        // Packed variable-length formats serialize their output
-        // writes behind a running offset counter (SV-A): one write
-        // stream, no channel-level parallelism.
-        phase.combTime += serialized_write_lines * cfg.dram.burstCycles;
-        tiles.push_back(phase);
-        result.aggCycles += phase.aggTime;
-        result.combCycles += phase.combTime;
-    }
-    mem->cache().unpinAll();
-    result.cycles = pipelineTiles(tiles);
-}
-
-void
-LayerEngine::fastCombFirst(LayerResult &result)
-{
-    const CsrGraph &graph = *ctx.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ctx.inLayout;
-    FeatureLayout &out = *ctx.outLayout;
-
-    // Phase 1: combination as a streaming pass. X^l rows stream in,
-    // X^l . W^l rows stream out to the psum region.
-    const Snapshot comb_before = snapshot();
-    for (VertexId v = 0; v < n; ++v) {
-        streamPlan(in.planRowRead(v), MemOp::Read,
-                   TrafficClass::FeatureIn);
-    }
-    streamDense(n, ctx.outWidth, MemOp::Write,
-                TrafficClass::PartialSum);
-    const bool skip_input = ctx.isInputLayer && ctx.inSparsity > 0.90 &&
-                            cfg.firstLayerSparseInput;
-    const GemmCost gemm = systolicArray.gemm(
-        n, ctx.inWidth, ctx.outWidth,
-        (cfg.zeroSkipCombination || skip_input) ? ctx.inSparsity : 0.0);
-    combMacs += gemm.macs;
-    const Cycle comb_time =
-        phaseCycles(gemm.cycles / cfg.combEngines, comb_before);
-    result.combCycles += comb_time;
-
-    // Phase 2: aggregation over the dense X.W matrix, then the
-    // output pass (residual add + activation + write).
-    const FeatureMask full = FeatureMask::full(n, ctx.outWidth);
-    DenseLayout xw(ctx.outWidth, cfg.sliceC);
-    xw.prepare(full, AddressMap::kPsumBase);
-
-    if (cfg.davc)
-        pinDavc(AddressMap::kPsumBase, ctx.outWidth);
-
-    const VertexId src_span = cfg.topologyTiling ? pickSrcSpan(xw) : n;
-    const std::uint32_t pass_cols =
-        xw.supportsSlicing() ? xw.sliceWidth() : ctx.outWidth;
-    const auto psum_rows = static_cast<VertexId>(std::max<std::uint64_t>(
-        64, cfg.aggPsumBudgetBytes /
-                (static_cast<std::uint64_t>(pass_cols) * kFeatureBytes)));
-    const VertexId dst_span =
-        std::min({cfg.dstTileRows, n, psum_rows});
-    TiledGraphView view(graph, dst_span, src_span);
-
-    const std::uint64_t s_lines = denseRowLines(ctx.outWidth);
-    std::vector<TilePhase> tiles;
-    tiles.reserve(view.numDstTiles());
-    for (unsigned t = 0; t < view.numDstTiles(); ++t) {
-        const VertexId tile_begin = view.dstTileBegin(t);
-        const VertexId tile_end = view.dstTileEnd(t);
-        const VertexId rows = tile_end - tile_begin;
-
-        TilePhase phase;
-        const Snapshot agg_before = snapshot();
-        const Cycle compute =
-            sweepTileFast(view, t, xw, TrafficClass::FeatureIn);
-        phase.aggTime = phaseCycles(compute, agg_before);
-
-        const Snapshot out_before = snapshot();
-        if (ctx.residual && !ctx.isInputLayer) {
-            fastStreamTraffic.add(MemOp::Read, TrafficClass::FeatureIn,
-                                  rows * s_lines);
-        }
-        if (ctx.residual) {
-            fastStreamTraffic.add(MemOp::Write,
-                                  TrafficClass::FeatureOut,
-                                  rows * s_lines);
-        }
-        std::uint64_t serialized_write_lines = 0;
-        for (VertexId v = tile_begin; v < tile_end; ++v) {
-            const AccessPlan write = out.planRowWrite(v);
-            streamPlan(write, MemOp::Write, TrafficClass::FeatureOut);
-            if (!out.supportsParallelWrite())
-                serialized_write_lines += write.totalLines();
-        }
-        phase.combTime = phaseCycles(0, out_before);
-        phase.combTime += serialized_write_lines * cfg.dram.burstCycles;
-        tiles.push_back(phase);
-        result.aggCycles += phase.aggTime;
-        result.combCycles += phase.combTime;
-    }
-
-    mem->cache().unpinAll();
-    result.cycles = comb_time + pipelineTiles(tiles);
-}
-
-void
-LayerEngine::fastColumnProduct(LayerResult &result)
-{
-    const CsrGraph &graph = *ctx.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ctx.inLayout;
-    FeatureLayout &out = *ctx.outLayout;
-
-    // Combination: input feature rows stream in source order with
-    // zero-skipping in the datapath (AWB-GCN); one X pass per
-    // partial-sum strip, recomputing that strip of X.W on the fly.
-    const unsigned comb_strips = static_cast<unsigned>(divCeil(
-        ctx.outWidth,
-        cfg.sliceC == 0 ? ctx.outWidth
-                        : std::min(cfg.sliceC, ctx.outWidth)));
-    const Snapshot comb_before = snapshot();
-    for (unsigned strip = 0; strip < comb_strips; ++strip) {
-        for (VertexId v = 0; v < n; ++v) {
-            streamPlan(in.planRowRead(v), MemOp::Read,
-                       TrafficClass::FeatureIn);
-        }
-    }
-    const GemmCost gemm = systolicArray.gemm(
-        n, ctx.inWidth, ctx.outWidth,
-        cfg.zeroSkipCombination ? ctx.inSparsity : 0.0);
-    combMacs += gemm.macs;
-    const Cycle comb_time =
-        phaseCycles(gemm.cycles / cfg.combEngines, comb_before);
-    result.combCycles += comb_time;
-
-    // Residual initialization of the partial sums.
-    const Snapshot agg_before = snapshot();
-    if (ctx.residual && !ctx.isInputLayer) {
-        streamDense(n, ctx.outWidth, MemOp::Read,
-                    TrafficClass::FeatureIn);
-    }
-
-    // Aggregation: column product in feature-dimension strips (the
-    // distributed accumulator banks of the real design). Within a
-    // strip, source vertices stream in order and every out-edge
-    // read-modify-writes the destination's partial-sum strip — the
-    // dominating traffic of Fig. 14. The strip keeps a community's
-    // psum working set cacheable; the price is re-walking the
-    // topology once per strip.
-    const std::uint64_t psum_stride = denseRowStride(ctx.outWidth);
-    const std::uint32_t strip_width =
-        cfg.sliceC == 0 ? ctx.outWidth
-                        : std::min(cfg.sliceC, ctx.outWidth);
-    const unsigned strips =
-        static_cast<unsigned>(divCeil(ctx.outWidth, strip_width));
-    std::vector<Cycle> engine_cycles(cfg.aggEngines, 0);
-    for (unsigned strip = 0; strip < strips; ++strip) {
-        const std::uint32_t begin_col = strip * strip_width;
-        const std::uint32_t end_col =
-            std::min(begin_col + strip_width, ctx.outWidth);
-        const std::uint64_t strip_bytes =
-            static_cast<std::uint64_t>(end_col - begin_col) *
-            kFeatureBytes;
-        for (VertexId u = 0; u < n; ++u) {
-            const auto nbrs = graph.neighbors(u);
-            if (nbrs.empty())
-                continue;
-            const std::uint32_t walk =
-                sampledEdges(static_cast<std::uint32_t>(nbrs.size()));
-            AccessPlan topo;
-            topo.addBytes(
-                AddressMap::kTopologyBase +
-                    graph.rowPointers()[u] * ctx.edgeBytes,
-                static_cast<std::uint64_t>(walk) * ctx.edgeBytes);
-            streamPlan(topo, MemOp::Read, TrafficClass::Topology);
-            const double stride_f =
-                static_cast<double>(nbrs.size()) / walk;
-            for (std::uint32_t j = 0; j < walk; ++j) {
-                const auto pick = static_cast<std::size_t>(
-                    static_cast<double>(j) * stride_f);
-                const VertexId dst = nbrs[pick];
-                AccessPlan strip_plan;
-                strip_plan.addBytes(
-                    AddressMap::kPsumBase +
-                        static_cast<Addr>(dst) * psum_stride +
-                        static_cast<Addr>(begin_col) * kFeatureBytes,
-                    strip_bytes);
-                strip_plan.forEachLine([&](Addr line) {
-                    psumBuffer->accessFunctional(MemRequest{
-                        line, MemOp::Read, TrafficClass::PartialSum});
-                    psumBuffer->accessFunctional(MemRequest{
-                        line, MemOp::Write,
-                        TrafficClass::PartialSum});
-                });
-                engine_cycles[u % cfg.aggEngines] += std::max<Cycle>(
-                    1, divCeil(end_col - begin_col, cfg.simdLanes));
-                aggMacs += end_col - begin_col;
-            }
-        }
-    }
-    // Dirty partial sums flush as the S^{l+1} writeback...
-    psumBuffer->flush();
-    // ...and X^{l+1} is emitted once after activation.
-    std::uint64_t serialized_write_lines = 0;
-    for (VertexId v = 0; v < n; ++v) {
-        const AccessPlan write = out.planRowWrite(v);
-        streamPlan(write, MemOp::Write, TrafficClass::FeatureOut);
-        if (!out.supportsParallelWrite())
-            serialized_write_lines += write.totalLines();
-    }
-    const Cycle agg_time = serialized_write_lines * cfg.dram.burstCycles +
-                           phaseCycles(
-        *std::max_element(engine_cycles.begin(), engine_cycles.end()),
-        agg_before);
-    result.aggCycles += agg_time;
-
-    // Combination and aggregation are pipelined end to end.
-    result.cycles = std::max(comb_time, agg_time) +
-                    std::min(comb_time, agg_time) / 8;
-}
-
-// =====================================================================
-// Timing mode
-// =====================================================================
-
-/**
- * Streaming DMA engine: issues line requests directly to DRAM
- * (streams never pollute the shared cache) with a bounded window.
- */
-class LayerEngine::StreamDma
-{
-  public:
-    StreamDma(LayerEngine &owner, unsigned window)
-        : eng(owner), window(window)
-    {
-    }
-
-    void
-    addPlan(const AccessPlan &plan, MemOp op, TrafficClass cls)
-    {
-        for (unsigned r = 0; r < plan.numRuns; ++r)
-            runs.push_back(Run{plan.runs[r].addr, plan.runs[r].lines,
-                               op, cls});
-    }
-
-    void
-    addRegion(Addr base, std::uint64_t lines, MemOp op,
-              TrafficClass cls)
-    {
-        runs.push_back(Run{base, lines, op, cls});
-    }
-
-    /** Begin issuing; @p on_done (may be null) fires at drain. */
-    void
-    start(std::function<void()> on_done)
-    {
-        done = std::move(on_done);
-        started = true;
-        issue();
-    }
-
-  private:
-    struct Run
-    {
-        Addr addr;
-        std::uint64_t lines;
-        MemOp op;
-        TrafficClass cls;
-    };
-
-    void
-    issue()
-    {
-        while (outstanding < window && !runs.empty()) {
-            Run &run = runs.front();
-            const Addr line = run.addr + cursor * kCachelineBytes;
-            ++outstanding;
-            eng.mem->dram().access(
-                MemRequest{line, run.op, run.cls}, [this] {
-                    --outstanding;
-                    issue();
-                });
-            if (++cursor == run.lines) {
-                runs.pop_front();
-                cursor = 0;
-            }
-        }
-        if (started && runs.empty() && outstanding == 0 && done) {
-            auto cb = std::move(done);
-            done = nullptr;
-            cb();
-        }
-    }
-
-    LayerEngine &eng;
-    unsigned window;
-    std::deque<Run> runs;
-    std::uint64_t cursor = 0;
-    unsigned outstanding = 0;
-    bool started = false;
-    std::function<void()> done;
-};
-
-/**
- * Event-driven aggregation of one destination tile: each engine
- * walks its schedule with a bounded number of in-flight work items;
- * feature lines go through the timing cache, topology lines stream
- * from DRAM, and completed items occupy the engine's SIMD lanes for
- * ceil(values / lanes) cycles.
- */
-class LayerEngine::TimingAgg
-{
-  public:
-    TimingAgg(LayerEngine &owner, const TiledGraphView &tile_view,
-              unsigned tile, FeatureLayout &feature_layout,
-              TrafficClass traffic_cls)
-        : eng(owner), view(tile_view), layout(feature_layout),
-          cls(traffic_cls)
-    {
-        const VertexId tile_begin = view.dstTileBegin(tile);
-        const VertexId tile_end = view.dstTileEnd(tile);
-        auto schedule = scheduleEngines(
-            tile_begin, tile_end, eng.cfg.aggEngines,
-            eng.cfg.sac ? EngineScheduleKind::SacStrips
-                        : EngineScheduleKind::Chunked,
-            eng.cfg.sacStripHeight);
-        engines.resize(eng.cfg.aggEngines);
-        for (unsigned e = 0; e < eng.cfg.aggEngines; ++e)
-            engines[e].order = std::move(schedule[e]);
-    }
-
-    void
-    start(std::function<void()> on_done)
-    {
-        done = std::move(on_done);
-        for (unsigned e = 0; e < engines.size(); ++e)
-            tryIssue(e);
-        checkDone();
-    }
-
-  private:
-    struct Item
-    {
-        AccessPlan feat;
-        AccessPlan topo;
-        std::uint32_t values = 0;
-    };
-
-    struct EngineState
-    {
-        std::vector<VertexId> order;
-        unsigned slice = 0;
-        unsigned srcTile = 0;
-        std::size_t vi = 0;
-        VertexId curV = 0;
-        std::uint32_t edge = 0;
-        std::uint32_t walk = 0;
-        double stride = 1.0;
-        bool vertexLoaded = false;
-        unsigned outstanding = 0;
-        Cycle computeFreeAt = 0;
-        bool exhausted = false;
-    };
-
-    bool
-    nextItem(EngineState &es, Item &item)
-    {
-        // Iteration order matches the fast mode: source tile
-        // outermost (edge buffer replay), then slice, then the
-        // engine's vertex order.
-        const unsigned slices = layout.numSlices();
-        while (true) {
-            if (es.exhausted)
-                return false;
-            if (!es.vertexLoaded) {
-                if (es.vi >= es.order.size()) {
-                    es.vi = 0;
-                    if (++es.slice >= slices) {
-                        es.slice = 0;
-                        if (++es.srcTile >= view.numSrcTiles()) {
-                            es.exhausted = true;
-                            return false;
-                        }
-                    }
-                    continue;
-                }
-                es.curV = es.order[es.vi];
-                const auto nbrs =
-                    view.tileNeighbors(es.curV, es.srcTile);
-                es.walk = eng.sampledEdges(
-                    static_cast<std::uint32_t>(nbrs.size()));
-                if (es.walk == 0) {
-                    ++es.vi;
-                    continue;
-                }
-                es.stride = static_cast<double>(nbrs.size()) / es.walk;
-                es.edge = 0;
-                es.vertexLoaded = true;
-            }
-
-            const auto nbrs = view.tileNeighbors(es.curV, es.srcTile);
-            const auto pick = static_cast<std::size_t>(
-                static_cast<double>(es.edge) * es.stride);
-            const VertexId u = nbrs[pick];
-            item.feat = layout.planSliceRead(u, es.slice);
-            item.values = layout.sliceValues(u, es.slice);
-            item.topo = AccessPlan{};
-            if (es.edge == 0 && es.slice == 0) {
-                // Topology fetched once per (v, c); later slices
-                // replay the edge buffer (Fig. 5).
-                item.topo.addBytes(
-                    AddressMap::kTopologyBase +
-                        view.edgeBegin(es.curV, es.srcTile) *
-                            eng.ctx.edgeBytes,
-                    static_cast<std::uint64_t>(es.walk) *
-                        eng.ctx.edgeBytes);
-            }
-            if (++es.edge == es.walk) {
-                es.vertexLoaded = false;
-                ++es.vi;
-            }
-            return true;
-        }
-    }
-
-    void
-    tryIssue(unsigned e)
-    {
-        EngineState &es = engines[e];
-        while (es.outstanding < eng.cfg.outstandingPerEngine) {
-            Item item;
-            if (!nextItem(es, item))
-                break;
-            ++es.outstanding;
-            const auto total_lines = static_cast<unsigned>(
-                item.feat.totalLines() + item.topo.totalLines());
-            SGCN_ASSERT(total_lines > 0);
-            auto joint = std::make_shared<unsigned>(total_lines);
-            const std::uint32_t values = item.values;
-            auto on_line = [this, e, joint, values] {
-                if (--*joint == 0)
-                    itemDone(e, values);
-            };
-            item.topo.forEachLine([&](Addr line) {
-                eng.mem->dram().access(
-                    MemRequest{line, MemOp::Read,
-                               TrafficClass::Topology},
-                    on_line);
-            });
-            item.feat.forEachLine([&](Addr line) {
-                eng.mem->access(MemRequest{line, MemOp::Read, cls},
-                                on_line);
-            });
-        }
-    }
-
-    void
-    itemDone(unsigned e, std::uint32_t values)
-    {
-        EngineState &es = engines[e];
-        const Cycle now = eng.events.now();
-        es.computeFreeAt =
-            std::max(now, es.computeFreeAt) +
-            std::max<Cycle>(1, divCeil(values, eng.cfg.simdLanes));
-        eng.aggMacs += values;
-        eng.events.schedule(es.computeFreeAt, [this, e] {
-            --engines[e].outstanding;
-            tryIssue(e);
-            checkDone();
-        });
-    }
-
-    void
-    checkDone()
-    {
-        if (signalled || !done)
-            return;
-        for (const auto &es : engines) {
-            if (!es.exhausted || es.outstanding != 0)
-                return;
-        }
-        signalled = true;
-        done();
-    }
-
-    LayerEngine &eng;
-    const TiledGraphView &view;
-    FeatureLayout &layout;
-    TrafficClass cls;
-    std::vector<EngineState> engines;
-    std::function<void()> done;
-    bool signalled = false;
-};
-
-/**
- * Event-driven column-product aggregation (AWB-GCN): a shared cursor
- * over (source vertex, out-edge) pairs; each item read-modify-writes
- * the destination's partial-sum row through the timing cache.
- */
-class LayerEngine::TimingPsum
-{
-  public:
-    explicit TimingPsum(LayerEngine &owner) : eng(owner)
-    {
-        engines.resize(eng.cfg.aggEngines);
-        psumStride = denseRowStride(eng.ctx.outWidth);
-        stripWidth = eng.cfg.sliceC == 0
-                         ? eng.ctx.outWidth
-                         : std::min(eng.cfg.sliceC, eng.ctx.outWidth);
-        strips = static_cast<unsigned>(
-            divCeil(eng.ctx.outWidth, stripWidth));
-    }
-
-    void
-    start(std::function<void()> on_done)
-    {
-        done = std::move(on_done);
-        for (unsigned e = 0; e < engines.size(); ++e)
-            tryIssue(e);
-        checkDone();
-    }
-
-  private:
-    struct EngineState
-    {
-        unsigned outstanding = 0;
-        Cycle computeFreeAt = 0;
-    };
-
-    /** Shared cursor over (strip, source, edge); false when done. */
-    bool
-    nextEdge(VertexId &dst, AccessPlan &topo)
-    {
-        const CsrGraph &graph = *eng.ctx.graph;
-        while (true) {
-            if (strip >= strips)
-                return false;
-            if (u >= graph.numVertices()) {
-                u = 0;
-                ++strip;
-                continue;
-            }
-            const auto nbrs = graph.neighbors(u);
-            if (!vertexLoaded) {
-                walk = eng.sampledEdges(
-                    static_cast<std::uint32_t>(nbrs.size()));
-                if (walk == 0) {
-                    ++u;
-                    continue;
-                }
-                stride = static_cast<double>(nbrs.size()) / walk;
-                edge = 0;
-                vertexLoaded = true;
-            }
-            const auto pick = static_cast<std::size_t>(
-                static_cast<double>(edge) * stride);
-            dst = nbrs[pick];
-            topo = AccessPlan{};
-            if (edge == 0) {
-                topo.addBytes(AddressMap::kTopologyBase +
-                                  graph.rowPointers()[u] *
-                                      eng.ctx.edgeBytes,
-                              static_cast<std::uint64_t>(walk) *
-                                  eng.ctx.edgeBytes);
-            }
-            if (++edge == walk) {
-                vertexLoaded = false;
-                ++u;
-            }
-            return true;
-        }
-    }
-
-    void
-    tryIssue(unsigned e)
-    {
-        EngineState &es = engines[e];
-        while (es.outstanding < eng.cfg.outstandingPerEngine) {
-            VertexId dst;
-            AccessPlan topo;
-            if (!nextEdge(dst, topo)) {
-                exhausted = true;
-                break;
-            }
-            // The cursor leaves `strip` at the strip this edge
-            // belongs to.
-            const std::uint32_t begin_col = strip * stripWidth;
-            const std::uint32_t end_col = std::min(
-                begin_col + stripWidth, eng.ctx.outWidth);
-            AccessPlan strip_plan;
-            strip_plan.addBytes(
-                AddressMap::kPsumBase +
-                    static_cast<Addr>(dst) * psumStride +
-                    static_cast<Addr>(begin_col) * kFeatureBytes,
-                static_cast<std::uint64_t>(end_col - begin_col) *
-                    kFeatureBytes);
-
-            ++es.outstanding;
-            const auto total = static_cast<unsigned>(
-                2 * strip_plan.totalLines() + topo.totalLines());
-            auto joint = std::make_shared<unsigned>(total);
-            const std::uint32_t values = end_col - begin_col;
-            auto on_line = [this, e, joint, values] {
-                if (--*joint == 0)
-                    itemDone(e, values);
-            };
-            topo.forEachLine([&](Addr line) {
-                eng.mem->dram().access(
-                    MemRequest{line, MemOp::Read,
-                               TrafficClass::Topology},
-                    on_line);
-            });
-            strip_plan.forEachLine([&](Addr line) {
-                eng.psumBuffer->access(
-                    MemRequest{line, MemOp::Read,
-                               TrafficClass::PartialSum},
-                    on_line);
-                eng.psumBuffer->access(
-                    MemRequest{line, MemOp::Write,
-                               TrafficClass::PartialSum},
-                    on_line);
-            });
-        }
-    }
-
-    void
-    itemDone(unsigned e, std::uint32_t values)
-    {
-        EngineState &es = engines[e];
-        const Cycle now = eng.events.now();
-        es.computeFreeAt =
-            std::max(now, es.computeFreeAt) +
-            std::max<Cycle>(1, divCeil(values, eng.cfg.simdLanes));
-        eng.aggMacs += values;
-        eng.events.schedule(es.computeFreeAt, [this, e] {
-            --engines[e].outstanding;
-            tryIssue(e);
-            checkDone();
-        });
-    }
-
-    void
-    checkDone()
-    {
-        if (signalled || !done || !exhausted)
-            return;
-        for (const auto &es : engines) {
-            if (es.outstanding != 0)
-                return;
-        }
-        signalled = true;
-        done();
-    }
-
-    LayerEngine &eng;
-    std::vector<EngineState> engines;
-    std::uint64_t psumStride = 0;
-    std::uint32_t stripWidth = 0;
-    unsigned strips = 0;
-    unsigned strip = 0;
-    VertexId u = 0;
-    std::uint32_t edge = 0;
-    std::uint32_t walk = 0;
-    double stride = 1.0;
-    bool vertexLoaded = false;
-    bool exhausted = false;
-    bool signalled = false;
-    std::function<void()> done;
-};
-
-namespace
-{
-
-/** Shared mutable state for the tile-sequencing controllers. */
-struct TileControl
-{
-    unsigned numTiles = 0;
-    std::vector<Cycle> combDone;
-    Cycle combFreeAt = 0;
-    std::shared_ptr<LayerEngine::TimingAgg> agg;
-    std::vector<std::shared_ptr<LayerEngine::StreamDma>> dmas;
-    std::function<void(unsigned)> startTile;
-};
-
-} // namespace
-
-void
-LayerEngine::timingAggFirst(LayerResult &result)
-{
-    const CsrGraph &graph = *ctx.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ctx.inLayout;
-    FeatureLayout &out = *ctx.outLayout;
-
-    const VertexId src_span = cfg.topologyTiling ? pickSrcSpan(in) : n;
-    const std::uint32_t pass_cols =
-        in.supportsSlicing() ? in.sliceWidth() : ctx.inWidth;
-    const auto psum_rows = static_cast<VertexId>(std::max<std::uint64_t>(
-        64, cfg.aggPsumBudgetBytes /
-                (static_cast<std::uint64_t>(pass_cols) * kFeatureBytes)));
-    const VertexId dst_span =
-        std::min({cfg.dstTileRows, n, psum_rows});
-    TiledGraphView view(graph, dst_span, src_span);
-    const std::uint64_t s_lines = denseRowLines(ctx.outWidth);
-    const std::uint64_t s_stride = denseRowStride(ctx.outWidth);
-
-    auto ctl = std::make_shared<TileControl>();
-    ctl->numTiles = view.numDstTiles();
-    ctl->combDone.assign(ctl->numTiles, 0);
-
-    ctl->startTile = [&, ctl](unsigned t) {
-        // Ping-pong psum buffers: aggregation of tile t may only
-        // start once combination of tile t-2 has drained its buffer.
-        const Cycle gate = t >= 2 ? ctl->combDone[t - 2] : 0;
-        events.schedule(std::max(events.now(), gate), [&, ctl, t] {
-            const Cycle agg_start = events.now();
-            ctl->agg = std::make_shared<TimingAgg>(
-                *this, view, t, in, TrafficClass::FeatureIn);
-            ctl->agg->start([&, ctl, t, agg_start] {
-                result.aggCycles += events.now() - agg_start;
-                const VertexId tile_begin = view.dstTileBegin(t);
-                const VertexId tile_end = view.dstTileEnd(t);
-                const VertexId rows = tile_end - tile_begin;
-                const GemmCost gemm = systolicArray.gemm(
-                    rows, ctx.inWidth, ctx.outWidth,
-                    cfg.zeroSkipCombination ? ctx.inSparsity : 0.0);
-                combMacs += gemm.macs;
-                const Cycle comb_cycles =
-                    gemm.cycles / cfg.combEngines;
-                const Cycle comb_start =
-                    std::max(events.now(), ctl->combFreeAt);
-                ctl->combFreeAt = comb_start + comb_cycles;
-                ctl->combDone[t] = ctl->combFreeAt;
-                result.combCycles += comb_cycles;
-
-                events.schedule(ctl->combFreeAt, [&, ctl, tile_begin,
-                                                  tile_end, rows] {
-                    auto dma =
-                        std::make_shared<StreamDma>(*this, 128);
-                    if (ctx.residual && !ctx.isInputLayer) {
-                        dma->addRegion(
-                            AddressMap::kResidualBase +
-                                static_cast<Addr>(tile_begin) *
-                                    s_stride,
-                            rows * s_lines, MemOp::Read,
-                            TrafficClass::FeatureIn);
-                    }
-                    if (ctx.residual) {
-                        dma->addRegion(
-                            AddressMap::kResidualBase +
-                                static_cast<Addr>(tile_begin) *
-                                    s_stride,
-                            rows * s_lines, MemOp::Write,
-                            TrafficClass::FeatureOut);
-                    }
-                    for (VertexId v = tile_begin; v < tile_end; ++v) {
-                        dma->addPlan(out.planRowWrite(v), MemOp::Write,
-                                     TrafficClass::FeatureOut);
-                    }
-                    dma->start(nullptr);
-                    ctl->dmas.push_back(std::move(dma));
-                });
-
-                if (t + 1 < ctl->numTiles)
-                    ctl->startTile(t + 1);
-            });
-        });
-    };
-    ctl->startTile(0);
-    events.run();
-    result.cycles = std::max(events.now(), ctl->combFreeAt);
-    // Break the ctl -> startTile -> ctl ownership cycle.
-    ctl->startTile = nullptr;
-    ctl->dmas.clear();
-    ctl->agg.reset();
-}
-
-void
-LayerEngine::timingCombFirst(LayerResult &result)
-{
-    const CsrGraph &graph = *ctx.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ctx.inLayout;
-    FeatureLayout &out = *ctx.outLayout;
-
-    // Phase 1: streaming combination.
-    auto phase1 = std::make_shared<StreamDma>(*this, 128);
-    for (VertexId v = 0; v < n; ++v) {
-        phase1->addPlan(in.planRowRead(v), MemOp::Read,
-                        TrafficClass::FeatureIn);
-    }
-    phase1->addRegion(AddressMap::kPsumBase,
-                      static_cast<std::uint64_t>(n) *
-                          denseRowLines(ctx.outWidth),
-                      MemOp::Write, TrafficClass::PartialSum);
-
-    const bool skip_input = ctx.isInputLayer && ctx.inSparsity > 0.90 &&
-                            cfg.firstLayerSparseInput;
-    const GemmCost gemm = systolicArray.gemm(
-        n, ctx.inWidth, ctx.outWidth,
-        (cfg.zeroSkipCombination || skip_input) ? ctx.inSparsity : 0.0);
-    combMacs += gemm.macs;
-    const Cycle comb_compute = gemm.cycles / cfg.combEngines;
-
-    // Phase 2 state, shared with the continuation callbacks.
-    auto xw_mask = std::make_shared<FeatureMask>(
-        FeatureMask::full(n, ctx.outWidth));
-    auto xw = std::make_shared<DenseLayout>(ctx.outWidth, cfg.sliceC);
-    xw->prepare(*xw_mask, AddressMap::kPsumBase);
-
-    const VertexId src_span = cfg.topologyTiling ? pickSrcSpan(*xw) : n;
-    const std::uint32_t pass_cols =
-        xw->supportsSlicing() ? xw->sliceWidth() : ctx.outWidth;
-    const auto psum_rows = static_cast<VertexId>(std::max<std::uint64_t>(
-        64, cfg.aggPsumBudgetBytes /
-                (static_cast<std::uint64_t>(pass_cols) * kFeatureBytes)));
-    const VertexId dst_span =
-        std::min({cfg.dstTileRows, n, psum_rows});
-    auto view = std::make_shared<TiledGraphView>(graph, dst_span,
-                                                 src_span);
-    const std::uint64_t s_lines = denseRowLines(ctx.outWidth);
-    const std::uint64_t s_stride = denseRowStride(ctx.outWidth);
-
-    auto ctl = std::make_shared<TileControl>();
-    ctl->numTiles = view->numDstTiles();
-
-    ctl->startTile = [&, ctl, view, xw, xw_mask, s_lines,
-                      s_stride](unsigned t) {
-        const Cycle agg_start = events.now();
-        ctl->agg = std::make_shared<TimingAgg>(
-            *this, *view, t, *xw, TrafficClass::FeatureIn);
-        ctl->agg->start([&, ctl, view, xw, xw_mask, t, agg_start,
-                         s_lines, s_stride] {
-            result.aggCycles += events.now() - agg_start;
-            const VertexId tile_begin = view->dstTileBegin(t);
-            const VertexId tile_end = view->dstTileEnd(t);
-            const VertexId rows = tile_end - tile_begin;
-            auto dma = std::make_shared<StreamDma>(*this, 128);
-            if (ctx.residual && !ctx.isInputLayer) {
-                dma->addRegion(AddressMap::kResidualBase +
-                                   static_cast<Addr>(tile_begin) *
-                                       s_stride,
-                               rows * s_lines, MemOp::Read,
-                               TrafficClass::FeatureIn);
-            }
-            if (ctx.residual) {
-                dma->addRegion(AddressMap::kResidualBase +
-                                   static_cast<Addr>(tile_begin) *
-                                       s_stride,
-                               rows * s_lines, MemOp::Write,
-                               TrafficClass::FeatureOut);
-            }
-            for (VertexId v = tile_begin; v < tile_end; ++v) {
-                dma->addPlan(out.planRowWrite(v), MemOp::Write,
-                             TrafficClass::FeatureOut);
-            }
-            dma->start(nullptr);
-            ctl->dmas.push_back(std::move(dma));
-            if (t + 1 < ctl->numTiles)
-                ctl->startTile(t + 1);
-        });
-    };
-
-    const Cycle phase1_start = events.now();
-    phase1->start([&, ctl, phase1_start, comb_compute] {
-        const Cycle ready =
-            std::max(events.now(), phase1_start + comb_compute);
-        result.combCycles += ready - phase1_start;
-        events.schedule(ready, [&, ctl] {
-            if (cfg.davc)
-                pinDavc(AddressMap::kPsumBase, ctx.outWidth);
-            ctl->startTile(0);
-        });
-    });
-    ctl->dmas.push_back(phase1);
-    events.run();
-    mem->cache().unpinAll();
-    result.cycles = events.now();
-    ctl->startTile = nullptr;
-    ctl->dmas.clear();
-    ctl->agg.reset();
-}
-
-void
-LayerEngine::timingColumnProduct(LayerResult &result)
-{
-    const VertexId n = ctx.graph->numVertices();
-    FeatureLayout &in = *ctx.inLayout;
-    FeatureLayout &out = *ctx.outLayout;
-
-    // Streaming input reads (combination) run concurrently with the
-    // column-product aggregation: AWB-GCN pipelines the two phases.
-    // One X pass per partial-sum strip (see fastColumnProduct).
-    const unsigned comb_strips = static_cast<unsigned>(divCeil(
-        ctx.outWidth,
-        cfg.sliceC == 0 ? ctx.outWidth
-                        : std::min(cfg.sliceC, ctx.outWidth)));
-    auto input_dma = std::make_shared<StreamDma>(*this, 128);
-    for (unsigned strip = 0; strip < comb_strips; ++strip) {
-        for (VertexId v = 0; v < n; ++v) {
-            input_dma->addPlan(in.planRowRead(v), MemOp::Read,
-                               TrafficClass::FeatureIn);
-        }
-    }
-    if (ctx.residual && !ctx.isInputLayer) {
-        input_dma->addRegion(AddressMap::kResidualBase,
-                             static_cast<std::uint64_t>(n) *
-                                 denseRowLines(ctx.outWidth),
-                             MemOp::Read, TrafficClass::FeatureIn);
-    }
-    const GemmCost gemm = systolicArray.gemm(
-        n, ctx.inWidth, ctx.outWidth,
-        cfg.zeroSkipCombination ? ctx.inSparsity : 0.0);
-    combMacs += gemm.macs;
-    const Cycle comb_compute = gemm.cycles / cfg.combEngines;
-    result.combCycles += comb_compute;
-
-    auto psum = std::make_shared<TimingPsum>(*this);
-    auto out_dma = std::make_shared<StreamDma>(*this, 128);
-    const Cycle start = events.now();
-
-    bool agg_finished = false;
-    psum->start([&, out_dma, start] {
-        agg_finished = true;
-        result.aggCycles += events.now() - start;
-        // Dirty partial sums flush as the S^{l+1} writeback, then
-        // the activated X^{l+1} streams out.
-        psumBuffer->flush();
-        for (VertexId v = 0; v < n; ++v) {
-            out_dma->addPlan(out.planRowWrite(v), MemOp::Write,
-                             TrafficClass::FeatureOut);
-        }
-        out_dma->start(nullptr);
-    });
-    input_dma->start(nullptr);
-    events.run();
-    SGCN_ASSERT(agg_finished, "column-product aggregation never drained");
-    result.cycles = std::max(events.now(), start + comb_compute);
-    (void)psum;
 }
 
 } // namespace sgcn

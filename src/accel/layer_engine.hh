@@ -1,6 +1,6 @@
 /**
  * @file
- * Single-layer execution engine.
+ * Single-layer execution façade.
  *
  * Simulates one GCN layer on one accelerator personality in either
  * of two modes sharing identical access streams:
@@ -13,29 +13,19 @@
  *    bounded outstanding-request windows through the timing cache
  *    and the banked HBM model; cycles are event time.
  *
- * Three dataflow shapes cover the personalities:
- *  - aggregation-first row product (SGCN, GCNAX, HyGCN intermediate
- *    layers)
- *  - combination-first row product (EnGN, I-GCN intermediate layers,
- *    and every row-product personality's input layer, where
- *    combination-first is universally better because the width
- *    shrinks, SIII-A)
- *  - column product (AWB-GCN)
+ * The actual dataflow simulation lives in the strategy layer
+ * (src/accel/dataflow/): LayerEngine owns the shared EngineContext,
+ * picks the strategy for the personality's DataflowKind from the
+ * registry (with the input-layer override of SIII-A: row-product
+ * personalities run their input layer combination-first), and
+ * finalizes the mode-independent statistics.
  */
 
 #ifndef SGCN_ACCEL_LAYER_ENGINE_HH
 #define SGCN_ACCEL_LAYER_ENGINE_HH
 
-#include <memory>
-#include <vector>
-
-#include "accel/config.hh"
+#include "accel/engine_context.hh"
 #include "accel/result.hh"
-#include "accel/workload.hh"
-#include "engine/systolic.hh"
-#include "graph/partition.hh"
-#include "mem/memory_system.hh"
-#include "sim/event_queue.hh"
 
 namespace sgcn
 {
@@ -50,100 +40,22 @@ class LayerEngine
     /** Run the layer and return its results. */
     LayerResult run(ExecutionMode mode);
 
-    // Timing-mode building blocks (public so the internal controller
-    // helpers can name them; not part of the stable API).
-    class TimingAgg;
-    class TimingPsum;
-    class StreamDma;
+    /** Dataflow a personality executes for a layer: the configured
+     *  kind, except that row-product personalities run their input
+     *  layer combination-first (SIII-A). The single source of the
+     *  override policy — callers that pre-validate registry entries
+     *  (runner.cc) derive from this too. */
+    static DataflowKind effectiveDataflow(const AccelConfig &config,
+                                          bool is_input_layer);
+
+    /** Dataflow actually executed for this engine's layer. */
+    DataflowKind effectiveDataflow() const;
 
   private:
-    // -- shared plumbing -------------------------------------------------
-
-    struct Snapshot
-    {
-        std::uint64_t dramLines = 0;
-        std::uint64_t cacheAccesses = 0;
-        std::uint64_t psumAccesses = 0;
-    };
-
-    /** Per-tile phase times for the two-stage pipeline. */
-    struct TilePhase
-    {
-        Cycle aggTime = 0;
-        Cycle combTime = 0;
-    };
-
-    Snapshot snapshot() const;
-
-    /** Roofline time for a phase given compute cycles and the
-     *  traffic delta since @p before. */
-    Cycle phaseCycles(Cycle compute, const Snapshot &before) const;
-
-    /** Lines of a dense row of @p width features. */
-    std::uint64_t denseRowLines(std::uint32_t width) const;
-
-    /** Count a whole dense region as stream traffic (fast mode). */
-    void streamDense(VertexId rows, std::uint32_t width, MemOp op,
-                     TrafficClass cls);
-
-    /** Count one plan as stream traffic (fast mode). */
-    void streamPlan(const AccessPlan &plan, MemOp op, TrafficClass cls);
-
-    /** Route one plan through the functional cache (fast mode). */
-    void cachePlan(const AccessPlan &plan, MemOp op, TrafficClass cls);
-
-    /** Sampled edge count for a (vertex, src-tile) edge range. */
-    std::uint32_t sampledEdges(std::uint32_t available) const;
-
-    /** Pin high-degree rows for EnGN's DAVC. */
-    void pinDavc(Addr base, std::uint32_t width);
-
-    /** Offline source-tile span from the static density estimate. */
-    VertexId pickSrcSpan(const FeatureLayout &layout) const;
-
-    /** Weight-matrix lines streamed once per layer. */
-    std::uint64_t weightLines() const;
-
-    /** Two-stage tile pipeline: agg(t) overlaps comb(t-1). */
-    static Cycle pipelineTiles(const std::vector<TilePhase> &tiles);
-
-    // -- fast mode -------------------------------------------------------
-
-    void fastAggFirst(LayerResult &result);
-    void fastCombFirst(LayerResult &result);
-    void fastColumnProduct(LayerResult &result);
-
-    /** Aggregation sweep of one destination tile (fast mode);
-     *  returns the bottleneck engine's compute cycles. */
-    Cycle sweepTileFast(const TiledGraphView &view, unsigned tile,
-                        FeatureLayout &layout, TrafficClass cls);
-
-    // -- timing mode -----------------------------------------------------
-
-    void timingAggFirst(LayerResult &result);
-    void timingCombFirst(LayerResult &result);
-    void timingColumnProduct(LayerResult &result);
-
-    friend class TimingAgg;
-    friend class TimingPsum;
-    friend class StreamDma;
-
     /** Finalize traffic/cache/mac stats common to both modes. */
-    void finalize(LayerResult &result, ExecutionMode mode);
+    void finalize(LayerResult &result);
 
-    const AccelConfig &cfg;
-    const LayerContext &ctx;
-    EventQueue events;
-    std::unique_ptr<MemorySystem> mem;
-    SystolicArray systolicArray;
-
-    /** Column-product partial-sum accumulator banks (AWB-GCN):
-     *  distinct from the shared cache, with their own throughput. */
-    std::unique_ptr<Cache> psumBuffer;
-
-    TrafficCounters fastStreamTraffic;
-    std::uint64_t aggMacs = 0;
-    std::uint64_t combMacs = 0;
+    EngineContext ec;
 };
 
 } // namespace sgcn

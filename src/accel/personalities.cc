@@ -10,7 +10,7 @@ makeSgcn()
 {
     AccelConfig config;
     config.name = "SGCN";
-    config.aggregationFirst = true;
+    config.dataflow = DataflowKind::AggFirstRowProduct;
     config.format = FormatKind::Beicsr;
     config.sliceC = 96;
     config.topologyTiling = true;
@@ -28,7 +28,7 @@ makeGcnax()
 {
     AccelConfig config;
     config.name = "GCNAX";
-    config.aggregationFirst = true;
+    config.dataflow = DataflowKind::AggFirstRowProduct;
     config.format = FormatKind::Dense;
     config.topologyTiling = true;
     config.sac = false;
@@ -44,7 +44,7 @@ makeHygcn()
 {
     AccelConfig config;
     config.name = "HyGCN";
-    config.aggregationFirst = true;
+    config.dataflow = DataflowKind::AggFirstRowProduct;
     config.format = FormatKind::Dense;
     // SVI-B: "HyGCN does not perform any tiling/slicing".
     config.topologyTiling = false;
@@ -60,8 +60,7 @@ makeAwbGcn()
 {
     AccelConfig config;
     config.name = "AWB-GCN";
-    config.aggregationFirst = false;
-    config.columnProduct = true;
+    config.dataflow = DataflowKind::ColumnProduct;
     config.format = FormatKind::Dense;
     config.topologyTiling = false;
     config.zeroSkipCombination = true;
@@ -88,7 +87,7 @@ makeEngn()
     // aggregation sweep without spilling X.W off chip; the traffic
     // shape matches an aggregation-first row product with vertex
     // (destination) tiling only, plus the degree-aware vertex cache.
-    config.aggregationFirst = true;
+    config.dataflow = DataflowKind::AggFirstRowProduct;
     config.format = FormatKind::Dense;
     // SVI-B: "limited vertex tiling": destination tiling only.
     config.topologyTiling = false;
@@ -108,7 +107,7 @@ makeIgcn()
     // combination on chip; we model it as the tiled row product on
     // the islandized (BFS-reordered) topology, which reproduces its
     // balanced Fig. 14 access profile.
-    config.aggregationFirst = true;
+    config.dataflow = DataflowKind::AggFirstRowProduct;
     config.format = FormatKind::Dense;
     config.topologyTiling = true;
     config.islandReorder = true;

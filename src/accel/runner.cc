@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "accel/dataflow/registry.hh"
 #include "accel/layer_engine.hh"
 #include "gcn/sparsity_model.hh"
 #include "graph/reorder.hh"
@@ -15,6 +16,13 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
            const NetworkSpec &net, const RunOptions &opts)
 {
     SGCN_ASSERT(net.layers >= 2, "need at least two layers");
+
+    // Fail early, by name, if any dataflow this run will execute is
+    // missing from the registry (the input layer may run a different
+    // strategy than the configured kind, SIII-A).
+    dataflowFor(LayerEngine::effectiveDataflow(config, false));
+    if (opts.includeInputLayer)
+        dataflowFor(LayerEngine::effectiveDataflow(config, true));
 
     RunResult run;
     run.accelName = config.name;

@@ -1,0 +1,58 @@
+#include "accel/timing/stream_dma.hh"
+
+namespace sgcn
+{
+
+StreamDma::StreamDma(EngineContext &engine_ctx, unsigned window)
+    : ec(engine_ctx), window(window)
+{
+}
+
+void
+StreamDma::addPlan(const AccessPlan &plan, MemOp op, TrafficClass cls)
+{
+    for (unsigned r = 0; r < plan.numRuns; ++r)
+        runs.push_back(Run{plan.runs[r].addr, plan.runs[r].lines, op,
+                           cls});
+}
+
+void
+StreamDma::addRegion(Addr base, std::uint64_t lines, MemOp op,
+                     TrafficClass cls)
+{
+    runs.push_back(Run{base, lines, op, cls});
+}
+
+void
+StreamDma::start(std::function<void()> on_done)
+{
+    done = std::move(on_done);
+    started = true;
+    issue();
+}
+
+void
+StreamDma::issue()
+{
+    while (outstanding < window && !runs.empty()) {
+        Run &run = runs.front();
+        const Addr line = run.addr + cursor * kCachelineBytes;
+        ++outstanding;
+        ec.mem->dram().access(MemRequest{line, run.op, run.cls},
+                              [this] {
+                                  --outstanding;
+                                  issue();
+                              });
+        if (++cursor == run.lines) {
+            runs.pop_front();
+            cursor = 0;
+        }
+    }
+    if (started && runs.empty() && outstanding == 0 && done) {
+        auto cb = std::move(done);
+        done = nullptr;
+        cb();
+    }
+}
+
+} // namespace sgcn

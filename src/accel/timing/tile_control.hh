@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared mutable state for the timing-mode tile-sequencing
+ * controllers used by the row-product dataflows: keeps the current
+ * aggregation engine, the in-flight output DMAs, and the
+ * combination-completion times that gate the ping-pong psum buffers.
+ */
+
+#ifndef SGCN_ACCEL_TIMING_TILE_CONTROL_HH
+#define SGCN_ACCEL_TIMING_TILE_CONTROL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "accel/timing/stream_dma.hh"
+#include "accel/timing/timing_agg.hh"
+
+namespace sgcn
+{
+
+/** Tile-sequencing state shared across continuation callbacks. */
+struct TileControl
+{
+    unsigned numTiles = 0;
+    std::vector<Cycle> combDone;
+    Cycle combFreeAt = 0;
+    std::shared_ptr<TimingAgg> agg;
+    std::vector<std::shared_ptr<StreamDma>> dmas;
+    std::function<void(unsigned)> startTile;
+
+    /** Break the ctl -> startTile -> ctl ownership cycle. */
+    void
+    release()
+    {
+        startTile = nullptr;
+        dmas.clear();
+        agg.reset();
+    }
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_TIMING_TILE_CONTROL_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Event-driven row-product aggregation engine (timing mode).
+ *
+ * Each engine walks its vertex schedule with a bounded number of
+ * in-flight work items; feature lines go through the timing cache,
+ * topology lines stream from DRAM, and completed items occupy the
+ * engine's SIMD lanes for ceil(values / lanes) cycles. All memory
+ * and event-queue interaction goes through the public EngineContext
+ * interface.
+ */
+
+#ifndef SGCN_ACCEL_TIMING_TIMING_AGG_HH
+#define SGCN_ACCEL_TIMING_TIMING_AGG_HH
+
+#include <functional>
+#include <vector>
+
+#include "accel/engine_context.hh"
+
+namespace sgcn
+{
+
+/** Event-driven aggregation of one destination tile. */
+class TimingAgg
+{
+  public:
+    /** @param ec shared per-layer state
+     *  @param view tiled topology
+     *  @param tile destination-tile index swept by this instance
+     *  @param layout layout of the aggregated feature matrix
+     *  @param cls traffic class of the feature reads */
+    TimingAgg(EngineContext &ec, const TiledGraphView &view,
+              unsigned tile, FeatureLayout &layout, TrafficClass cls);
+
+    /** Begin issuing; @p on_done fires when every engine drains. */
+    void start(std::function<void()> on_done);
+
+  private:
+    struct Item
+    {
+        AccessPlan feat;
+        AccessPlan topo;
+        std::uint32_t values = 0;
+    };
+
+    struct EngineState
+    {
+        std::vector<VertexId> order;
+        unsigned slice = 0;
+        unsigned srcTile = 0;
+        std::size_t vi = 0;
+        VertexId curV = 0;
+        std::uint32_t edge = 0;
+        std::uint32_t walk = 0;
+        double stride = 1.0;
+        bool vertexLoaded = false;
+        unsigned outstanding = 0;
+        Cycle computeFreeAt = 0;
+        bool exhausted = false;
+    };
+
+    bool nextItem(EngineState &es, Item &item);
+    void tryIssue(unsigned e);
+    void itemDone(unsigned e, std::uint32_t values);
+    void checkDone();
+
+    EngineContext &ec;
+    const TiledGraphView &view;
+    FeatureLayout &layout;
+    TrafficClass cls;
+    std::vector<EngineState> engines;
+    std::function<void()> done;
+    bool signalled = false;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_TIMING_TIMING_AGG_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Event-driven column-product aggregation engine (timing mode,
+ * AWB-GCN): a shared cursor over (source vertex, out-edge) pairs;
+ * each item read-modify-writes the destination's partial-sum strip
+ * through the accumulator banks. Requires the EngineContext's
+ * psumBuffer (present for ColumnProduct personalities).
+ */
+
+#ifndef SGCN_ACCEL_TIMING_TIMING_PSUM_HH
+#define SGCN_ACCEL_TIMING_TIMING_PSUM_HH
+
+#include <functional>
+#include <vector>
+
+#include "accel/engine_context.hh"
+
+namespace sgcn
+{
+
+/** Event-driven column-product aggregation over the whole layer. */
+class TimingPsum
+{
+  public:
+    explicit TimingPsum(EngineContext &ec);
+
+    /** Begin issuing; @p on_done fires when every engine drains. */
+    void start(std::function<void()> on_done);
+
+  private:
+    struct EngineState
+    {
+        unsigned outstanding = 0;
+        Cycle computeFreeAt = 0;
+    };
+
+    bool nextEdge(VertexId &dst, AccessPlan &topo);
+    void tryIssue(unsigned e);
+    void itemDone(unsigned e, std::uint32_t values);
+    void checkDone();
+
+    EngineContext &ec;
+    std::vector<EngineState> engines;
+    std::uint64_t psumStride = 0;
+    std::uint32_t stripWidth = 0;
+    unsigned strips = 0;
+    unsigned strip = 0;
+    VertexId u = 0;
+    std::uint32_t edge = 0;
+    std::uint32_t walk = 0;
+    double stride = 1.0;
+    bool vertexLoaded = false;
+    bool exhausted = false;
+    bool signalled = false;
+    std::function<void()> done;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_TIMING_TIMING_PSUM_HH

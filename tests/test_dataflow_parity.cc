@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Parity tests for the dataflow-strategy layer.
+ *
+ * The fast-path golden values below were captured from the
+ * pre-refactor monolithic LayerEngine on the small Cora fixture
+ * (instantiateDataset("CR", 0.1), default NetworkSpec, intermediate
+ * layer 1), and the strategy architecture reproduced them
+ * bit-identically when it landed. They pin the access streams of all
+ * three dataflows: a change here means the simulated traffic or MAC
+ * counts moved, which must be an intentional model change, not a
+ * refactoring accident.
+ *
+ * The timing-mode assertions mirror the agreement bounds of
+ * test_accel.cc: both modes issue the same access streams (traffic
+ * within 15%, MACs exactly equal); single-layer cycle counts agree
+ * within a loose factor (the fast roofline has no warm-up or
+ * queueing effects, so per-layer gaps run larger than the
+ * network-level speedup agreement).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/layer_engine.hh"
+#include "accel/personalities.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+/** Golden fast-path counts of one dataflow on the Cora fixture. */
+struct GoldenLayer
+{
+    std::uint64_t topologyRead;
+    std::uint64_t featureInRead;
+    std::uint64_t featureOutWrite;
+    std::uint64_t weightRead;
+    std::uint64_t psumRead;
+    std::uint64_t psumWrite;
+    std::uint64_t macs;
+    Cycle aggCycles;
+    Cycle combCycles;
+    Cycle cycles;
+};
+
+constexpr GoldenLayer kGoldenAggFirst = {
+    2433, 40082, 39901, 4096, 0, 0, 108210433, 9005, 16536, 18685};
+constexpr GoldenLayer kGoldenCombFirst = {
+    2818, 73026, 39901, 4096, 0, 26208, 109387264, 17792, 33063, 37417};
+constexpr GoldenLayer kGoldenColumnProduct = {
+    2433, 52416, 52416, 4096, 26208, 0, 47746048, 26816, 8892, 28951};
+
+struct DataflowParity : ::testing::Test
+{
+    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.1);
+    NetworkSpec net;
+
+    LayerResult
+    runLayer(const AccelConfig &config, ExecutionMode mode)
+    {
+        LayerContext ctx =
+            makeIntermediateLayer(cora, cora.graph, config, net, 1);
+        LayerEngine engine(config, ctx);
+        return engine.run(mode);
+    }
+
+    static AccelConfig
+    combFirstConfig()
+    {
+        AccelConfig config = makeSgcn();
+        config.dataflow = DataflowKind::CombFirstRowProduct;
+        return config;
+    }
+
+    void
+    expectGolden(const LayerResult &r, const GoldenLayer &g)
+    {
+        EXPECT_EQ(r.traffic.readLines[static_cast<unsigned>(
+                      TrafficClass::Topology)],
+                  g.topologyRead);
+        EXPECT_EQ(r.traffic.readLines[static_cast<unsigned>(
+                      TrafficClass::FeatureIn)],
+                  g.featureInRead);
+        EXPECT_EQ(r.traffic.writeLines[static_cast<unsigned>(
+                      TrafficClass::FeatureOut)],
+                  g.featureOutWrite);
+        EXPECT_EQ(r.traffic.readLines[static_cast<unsigned>(
+                      TrafficClass::Weight)],
+                  g.weightRead);
+        EXPECT_EQ(r.traffic.readLines[static_cast<unsigned>(
+                      TrafficClass::PartialSum)],
+                  g.psumRead);
+        EXPECT_EQ(r.traffic.writeLines[static_cast<unsigned>(
+                      TrafficClass::PartialSum)],
+                  g.psumWrite);
+        EXPECT_EQ(r.macs, g.macs);
+        EXPECT_EQ(r.aggCycles, g.aggCycles);
+        EXPECT_EQ(r.combCycles, g.combCycles);
+        EXPECT_EQ(r.cycles, g.cycles);
+    }
+
+    void
+    expectModesAgree(const AccelConfig &config)
+    {
+        const LayerResult fast = runLayer(config, ExecutionMode::Fast);
+        const LayerResult timing =
+            runLayer(config, ExecutionMode::Timing);
+        // Identical access streams: exactly the same MAC work...
+        EXPECT_EQ(fast.macs, timing.macs);
+        // ...and off-chip totals within the eviction-order tolerance
+        // test_accel.cc uses.
+        const double traffic_ratio =
+            static_cast<double>(timing.traffic.totalLines()) /
+            static_cast<double>(fast.traffic.totalLines());
+        EXPECT_NEAR(traffic_ratio, 1.0, 0.15);
+        // Single-layer cycles agree within a loose factor.
+        const double cycle_ratio =
+            static_cast<double>(timing.cycles) /
+            static_cast<double>(fast.cycles);
+        EXPECT_LT(std::abs(std::log(cycle_ratio)), std::log(4.0));
+    }
+};
+
+TEST_F(DataflowParity, AggFirstFastMatchesGolden)
+{
+    expectGolden(runLayer(makeSgcn(), ExecutionMode::Fast),
+                 kGoldenAggFirst);
+}
+
+TEST_F(DataflowParity, CombFirstFastMatchesGolden)
+{
+    expectGolden(runLayer(combFirstConfig(), ExecutionMode::Fast),
+                 kGoldenCombFirst);
+}
+
+TEST_F(DataflowParity, ColumnProductFastMatchesGolden)
+{
+    expectGolden(runLayer(makeAwbGcn(), ExecutionMode::Fast),
+                 kGoldenColumnProduct);
+}
+
+TEST_F(DataflowParity, AggFirstModesAgree)
+{
+    expectModesAgree(makeSgcn());
+}
+
+TEST_F(DataflowParity, CombFirstModesAgree)
+{
+    expectModesAgree(combFirstConfig());
+}
+
+TEST_F(DataflowParity, ColumnProductModesAgree)
+{
+    expectModesAgree(makeAwbGcn());
+}
+
+TEST_F(DataflowParity, InputLayerRunsCombFirst)
+{
+    // SIII-A: row-product personalities run their input layer
+    // combination-first because the width shrinks.
+    const AccelConfig config = makeSgcn();
+    LayerContext input = makeInputLayer(cora, cora.graph, config, net);
+    LayerEngine engine(config, input);
+    EXPECT_EQ(engine.effectiveDataflow(),
+              DataflowKind::CombFirstRowProduct);
+
+    LayerContext mid =
+        makeIntermediateLayer(cora, cora.graph, config, net, 1);
+    LayerEngine mid_engine(config, mid);
+    EXPECT_EQ(mid_engine.effectiveDataflow(),
+              DataflowKind::AggFirstRowProduct);
+}
+
+} // namespace
+} // namespace sgcn

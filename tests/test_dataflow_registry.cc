@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the dataflow strategy registry: the three built-ins are
+ * registered, runtime registration extends and restores cleanly, and
+ * a personality naming an unregistered dataflow fails with a clear
+ * error instead of crashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dataflow/registry.hh"
+#include "accel/layer_engine.hh"
+#include "accel/personalities.hh"
+#include "accel/runner.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+/** A DataflowKind value no strategy is registered under. */
+constexpr auto kBogusKind = static_cast<DataflowKind>(0xEF);
+
+TEST(DataflowRegistry, BuiltinsAreRegistered)
+{
+    const Dataflow *agg =
+        findDataflow(DataflowKind::AggFirstRowProduct);
+    const Dataflow *comb =
+        findDataflow(DataflowKind::CombFirstRowProduct);
+    const Dataflow *col = findDataflow(DataflowKind::ColumnProduct);
+    ASSERT_NE(agg, nullptr);
+    ASSERT_NE(comb, nullptr);
+    ASSERT_NE(col, nullptr);
+    EXPECT_STREQ(agg->name(), "aggregation-first row product");
+    EXPECT_STREQ(comb->name(), "combination-first row product");
+    EXPECT_STREQ(col->name(), "column product");
+    // Every shipped personality resolves through the registry.
+    for (const AccelConfig &config : allPersonalities())
+        EXPECT_NE(findDataflow(config.dataflow), nullptr)
+            << config.name;
+}
+
+TEST(DataflowRegistry, MissingKindIsNull)
+{
+    EXPECT_EQ(findDataflow(kBogusKind), nullptr);
+}
+
+TEST(DataflowRegistryDeathTest, LookupOfMissingKindFailsClearly)
+{
+    EXPECT_EXIT(dataflowFor(kBogusKind),
+                ::testing::ExitedWithCode(1),
+                "no dataflow strategy registered");
+}
+
+TEST(DataflowRegistryDeathTest, PersonalityWithMissingDataflowFails)
+{
+    // A personality whose dataflow is missing from the registry must
+    // fail by name before any simulation state is built, not crash
+    // mid-run.
+    AccelConfig config = makeSgcn();
+    config.dataflow = kBogusKind;
+    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.05);
+    NetworkSpec net;
+    EXPECT_EXIT(runNetwork(config, cora, net),
+                ::testing::ExitedWithCode(1),
+                "no dataflow strategy registered");
+}
+
+/** Minimal strategy standing in for a hypothetical fourth dataflow. */
+class StubDataflow final : public Dataflow
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "stub";
+    }
+
+    void
+    run(EngineContext &ec, LayerResult &result) const override
+    {
+        (void)ec;
+        result.aggCycles = 12345;
+    }
+};
+
+TEST(DataflowRegistry, RuntimeRegistrationExtendsTheEngine)
+{
+    auto previous =
+        registerDataflow(kBogusKind, std::make_unique<StubDataflow>());
+    EXPECT_EQ(previous, nullptr);
+
+    AccelConfig config = makeSgcn();
+    config.dataflow = kBogusKind;
+    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.05);
+    NetworkSpec net;
+    LayerContext ctx =
+        makeIntermediateLayer(cora, cora.graph, config, net, 1);
+    LayerEngine engine(config, ctx);
+    const LayerResult result = engine.run(ExecutionMode::Fast);
+    EXPECT_EQ(result.aggCycles, 12345u);
+
+    // Removing the entry restores the missing-kind behaviour.
+    auto stub = registerDataflow(kBogusKind, nullptr);
+    EXPECT_NE(stub, nullptr);
+    EXPECT_EQ(findDataflow(kBogusKind), nullptr);
+}
+
+} // namespace
+} // namespace sgcn

@@ -119,7 +119,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(TableI, PersonalityFlags)
 {
     const AccelConfig sgcn = makeSgcn();
-    EXPECT_TRUE(sgcn.aggregationFirst);
+    EXPECT_TRUE(sgcn.aggregationFirst());
     EXPECT_TRUE(sgcn.compressedFeatures());
     EXPECT_EQ(sgcn.format, FormatKind::Beicsr);
     EXPECT_TRUE(sgcn.sac);
@@ -132,11 +132,11 @@ TEST(TableI, PersonalityFlags)
     EXPECT_FALSE(gcnax.sac);
 
     const AccelConfig hygcn = makeHygcn();
-    EXPECT_TRUE(hygcn.aggregationFirst);
+    EXPECT_TRUE(hygcn.aggregationFirst());
     EXPECT_FALSE(hygcn.topologyTiling);
 
     const AccelConfig awb = makeAwbGcn();
-    EXPECT_TRUE(awb.columnProduct);
+    EXPECT_TRUE(awb.columnProduct());
     EXPECT_TRUE(awb.zeroSkipCombination);
     EXPECT_FALSE(awb.compressedFeatures());
 
