@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_substrate.dir/bench/ablation_substrate.cc.o"
+  "CMakeFiles/ablation_substrate.dir/bench/ablation_substrate.cc.o.d"
+  "ablation_substrate"
+  "ablation_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_accelerator.dir/examples/custom_accelerator.cpp.o"
+  "CMakeFiles/example_custom_accelerator.dir/examples/custom_accelerator.cpp.o.d"
+  "example_custom_accelerator"
+  "example_custom_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

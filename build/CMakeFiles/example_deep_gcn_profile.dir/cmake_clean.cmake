@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deep_gcn_profile.dir/examples/deep_gcn_profile.cpp.o"
+  "CMakeFiles/example_deep_gcn_profile.dir/examples/deep_gcn_profile.cpp.o.d"
+  "example_deep_gcn_profile"
+  "example_deep_gcn_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deep_gcn_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

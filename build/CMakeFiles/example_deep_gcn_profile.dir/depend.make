@@ -1,0 +1,2 @@
+# Empty dependencies file for example_deep_gcn_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_format_explorer.dir/examples/format_explorer.cpp.o"
+  "CMakeFiles/example_format_explorer.dir/examples/format_explorer.cpp.o.d"
+  "example_format_explorer"
+  "example_format_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_format_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

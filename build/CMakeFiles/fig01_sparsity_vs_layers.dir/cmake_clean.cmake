@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sparsity_vs_layers.dir/bench/fig01_sparsity_vs_layers.cc.o"
+  "CMakeFiles/fig01_sparsity_vs_layers.dir/bench/fig01_sparsity_vs_layers.cc.o.d"
+  "fig01_sparsity_vs_layers"
+  "fig01_sparsity_vs_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sparsity_vs_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_sparsity_profile.dir/bench/fig02_sparsity_profile.cc.o"
+  "CMakeFiles/fig02_sparsity_profile.dir/bench/fig02_sparsity_profile.cc.o.d"
+  "fig02_sparsity_profile"
+  "fig02_sparsity_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_sparsity_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

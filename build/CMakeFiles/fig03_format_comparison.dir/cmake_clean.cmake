@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_format_comparison.dir/bench/fig03_format_comparison.cc.o"
+  "CMakeFiles/fig03_format_comparison.dir/bench/fig03_format_comparison.cc.o.d"
+  "fig03_format_comparison"
+  "fig03_format_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_format_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

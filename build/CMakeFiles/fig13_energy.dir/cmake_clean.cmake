@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_energy.dir/bench/fig13_energy.cc.o"
+  "CMakeFiles/fig13_energy.dir/bench/fig13_energy.cc.o.d"
+  "fig13_energy"
+  "fig13_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

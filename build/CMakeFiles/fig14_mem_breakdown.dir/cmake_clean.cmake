@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mem_breakdown.dir/bench/fig14_mem_breakdown.cc.o"
+  "CMakeFiles/fig14_mem_breakdown.dir/bench/fig14_mem_breakdown.cc.o.d"
+  "fig14_mem_breakdown"
+  "fig14_mem_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mem_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

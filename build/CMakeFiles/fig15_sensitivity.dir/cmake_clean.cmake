@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sensitivity.dir/bench/fig15_sensitivity.cc.o"
+  "CMakeFiles/fig15_sensitivity.dir/bench/fig15_sensitivity.cc.o.d"
+  "fig15_sensitivity"
+  "fig15_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_variants.dir/bench/fig16_variants.cc.o"
+  "CMakeFiles/fig16_variants.dir/bench/fig16_variants.cc.o.d"
+  "fig16_variants"
+  "fig16_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

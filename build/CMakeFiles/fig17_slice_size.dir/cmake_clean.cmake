@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_slice_size.dir/bench/fig17_slice_size.cc.o"
+  "CMakeFiles/fig17_slice_size.dir/bench/fig17_slice_size.cc.o.d"
+  "fig17_slice_size"
+  "fig17_slice_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_slice_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_scalability.dir/bench/fig18_scalability.cc.o"
+  "CMakeFiles/fig18_scalability.dir/bench/fig18_scalability.cc.o.d"
+  "fig18_scalability"
+  "fig18_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_sparsity_sweep.dir/bench/fig19_sparsity_sweep.cc.o"
+  "CMakeFiles/fig19_sparsity_sweep.dir/bench/fig19_sparsity_sweep.cc.o.d"
+  "fig19_sparsity_sweep"
+  "fig19_sparsity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_sparsity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_formats.dir/bench/micro_formats.cc.o"
+  "CMakeFiles/micro_formats.dir/bench/micro_formats.cc.o.d"
+  "micro_formats"
+  "micro_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/config.cc" "CMakeFiles/sgcn_lib.dir/src/accel/config.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/config.cc.o.d"
+  "/root/repo/src/accel/dataflow/agg_first.cc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/agg_first.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/agg_first.cc.o.d"
+  "/root/repo/src/accel/dataflow/column_product.cc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/column_product.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/column_product.cc.o.d"
+  "/root/repo/src/accel/dataflow/comb_first.cc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/comb_first.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/comb_first.cc.o.d"
+  "/root/repo/src/accel/dataflow/registry.cc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/registry.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/registry.cc.o.d"
+  "/root/repo/src/accel/dataflow/row_product_common.cc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/row_product_common.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/dataflow/row_product_common.cc.o.d"
+  "/root/repo/src/accel/engine_context.cc" "CMakeFiles/sgcn_lib.dir/src/accel/engine_context.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/engine_context.cc.o.d"
+  "/root/repo/src/accel/layer_engine.cc" "CMakeFiles/sgcn_lib.dir/src/accel/layer_engine.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/layer_engine.cc.o.d"
+  "/root/repo/src/accel/personalities.cc" "CMakeFiles/sgcn_lib.dir/src/accel/personalities.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/personalities.cc.o.d"
+  "/root/repo/src/accel/report.cc" "CMakeFiles/sgcn_lib.dir/src/accel/report.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/report.cc.o.d"
+  "/root/repo/src/accel/runner.cc" "CMakeFiles/sgcn_lib.dir/src/accel/runner.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/runner.cc.o.d"
+  "/root/repo/src/accel/timing/stream_dma.cc" "CMakeFiles/sgcn_lib.dir/src/accel/timing/stream_dma.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/timing/stream_dma.cc.o.d"
+  "/root/repo/src/accel/timing/timing_agg.cc" "CMakeFiles/sgcn_lib.dir/src/accel/timing/timing_agg.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/timing/timing_agg.cc.o.d"
+  "/root/repo/src/accel/timing/timing_psum.cc" "CMakeFiles/sgcn_lib.dir/src/accel/timing/timing_psum.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/timing/timing_psum.cc.o.d"
+  "/root/repo/src/accel/workload.cc" "CMakeFiles/sgcn_lib.dir/src/accel/workload.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/accel/workload.cc.o.d"
+  "/root/repo/src/core/beicsr.cc" "CMakeFiles/sgcn_lib.dir/src/core/beicsr.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/core/beicsr.cc.o.d"
+  "/root/repo/src/core/compressor.cc" "CMakeFiles/sgcn_lib.dir/src/core/compressor.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/core/compressor.cc.o.d"
+  "/root/repo/src/core/prefix_sum.cc" "CMakeFiles/sgcn_lib.dir/src/core/prefix_sum.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/core/prefix_sum.cc.o.d"
+  "/root/repo/src/core/sac.cc" "CMakeFiles/sgcn_lib.dir/src/core/sac.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/core/sac.cc.o.d"
+  "/root/repo/src/core/sparse_aggregator.cc" "CMakeFiles/sgcn_lib.dir/src/core/sparse_aggregator.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/core/sparse_aggregator.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "CMakeFiles/sgcn_lib.dir/src/energy/energy_model.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/energy/energy_model.cc.o.d"
+  "/root/repo/src/engine/systolic.cc" "CMakeFiles/sgcn_lib.dir/src/engine/systolic.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/engine/systolic.cc.o.d"
+  "/root/repo/src/formats/blocked_ellpack.cc" "CMakeFiles/sgcn_lib.dir/src/formats/blocked_ellpack.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/formats/blocked_ellpack.cc.o.d"
+  "/root/repo/src/formats/bsr.cc" "CMakeFiles/sgcn_lib.dir/src/formats/bsr.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/formats/bsr.cc.o.d"
+  "/root/repo/src/formats/coo.cc" "CMakeFiles/sgcn_lib.dir/src/formats/coo.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/formats/coo.cc.o.d"
+  "/root/repo/src/formats/csr.cc" "CMakeFiles/sgcn_lib.dir/src/formats/csr.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/formats/csr.cc.o.d"
+  "/root/repo/src/formats/dense.cc" "CMakeFiles/sgcn_lib.dir/src/formats/dense.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/formats/dense.cc.o.d"
+  "/root/repo/src/formats/format.cc" "CMakeFiles/sgcn_lib.dir/src/formats/format.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/formats/format.cc.o.d"
+  "/root/repo/src/gcn/feature_matrix.cc" "CMakeFiles/sgcn_lib.dir/src/gcn/feature_matrix.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/gcn/feature_matrix.cc.o.d"
+  "/root/repo/src/gcn/reference.cc" "CMakeFiles/sgcn_lib.dir/src/gcn/reference.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/gcn/reference.cc.o.d"
+  "/root/repo/src/gcn/sparsity_model.cc" "CMakeFiles/sgcn_lib.dir/src/gcn/sparsity_model.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/gcn/sparsity_model.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "CMakeFiles/sgcn_lib.dir/src/graph/csr_graph.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "CMakeFiles/sgcn_lib.dir/src/graph/datasets.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/sgcn_lib.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/io.cc" "CMakeFiles/sgcn_lib.dir/src/graph/io.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/graph/io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "CMakeFiles/sgcn_lib.dir/src/graph/partition.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/graph/partition.cc.o.d"
+  "/root/repo/src/graph/reorder.cc" "CMakeFiles/sgcn_lib.dir/src/graph/reorder.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/graph/reorder.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "CMakeFiles/sgcn_lib.dir/src/mem/cache.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "CMakeFiles/sgcn_lib.dir/src/mem/dram.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "CMakeFiles/sgcn_lib.dir/src/mem/memory_system.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/mem/memory_system.cc.o.d"
+  "/root/repo/src/sim/cli.cc" "CMakeFiles/sgcn_lib.dir/src/sim/cli.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/sim/cli.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/sgcn_lib.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "CMakeFiles/sgcn_lib.dir/src/sim/logging.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/sim/logging.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "CMakeFiles/sgcn_lib.dir/src/sim/stats.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "CMakeFiles/sgcn_lib.dir/src/sim/table.cc.o" "gcc" "CMakeFiles/sgcn_lib.dir/src/sim/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsgcn_lib.a"
+)

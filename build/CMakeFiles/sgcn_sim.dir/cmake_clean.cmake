@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgcn_sim.dir/tools/sgcn_sim.cc.o"
+  "CMakeFiles/sgcn_sim.dir/tools/sgcn_sim.cc.o.d"
+  "sgcn_sim"
+  "sgcn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgcn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

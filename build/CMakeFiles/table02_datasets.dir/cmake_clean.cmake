@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_datasets.dir/bench/table02_datasets.cc.o"
+  "CMakeFiles/table02_datasets.dir/bench/table02_datasets.cc.o.d"
+  "table02_datasets"
+  "table02_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

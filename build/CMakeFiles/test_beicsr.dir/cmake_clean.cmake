@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beicsr.dir/tests/test_beicsr.cc.o"
+  "CMakeFiles/test_beicsr.dir/tests/test_beicsr.cc.o.d"
+  "test_beicsr"
+  "test_beicsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beicsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow_parity.dir/tests/test_dataflow_parity.cc.o"
+  "CMakeFiles/test_dataflow_parity.dir/tests/test_dataflow_parity.cc.o.d"
+  "test_dataflow_parity"
+  "test_dataflow_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

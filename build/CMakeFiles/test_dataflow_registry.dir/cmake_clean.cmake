@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow_registry.dir/tests/test_dataflow_registry.cc.o"
+  "CMakeFiles/test_dataflow_registry.dir/tests/test_dataflow_registry.cc.o.d"
+  "test_dataflow_registry"
+  "test_dataflow_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_functional.dir/tests/test_e2e_functional.cc.o"
+  "CMakeFiles/test_e2e_functional.dir/tests/test_e2e_functional.cc.o.d"
+  "test_e2e_functional"
+  "test_e2e_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

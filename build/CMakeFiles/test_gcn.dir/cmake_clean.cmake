@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcn.dir/tests/test_gcn.cc.o"
+  "CMakeFiles/test_gcn.dir/tests/test_gcn.cc.o.d"
+  "test_gcn"
+  "test_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_report.dir/tests/test_io_report.cc.o"
+  "CMakeFiles/test_io_report.dir/tests/test_io_report.cc.o.d"
+  "test_io_report"
+  "test_io_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsity_sweep.dir/tests/test_sparsity_sweep.cc.o"
+  "CMakeFiles/test_sparsity_sweep.dir/tests/test_sparsity_sweep.cc.o.d"
+  "test_sparsity_sweep"
+  "test_sparsity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
