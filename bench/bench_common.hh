@@ -8,6 +8,8 @@
  *   --sampled N          simulated intermediate layers (default 4)
  *   --scale X            workload scale factor (or SGCN_BENCH_SCALE)
  *   --datasets CR,CS,... subset of datasets
+ *   --jobs N             sweep worker threads (default: all hardware
+ *                        threads; 1 restores the serial path)
  */
 
 #ifndef SGCN_BENCH_BENCH_COMMON_HH
@@ -21,8 +23,10 @@
 #include "accel/personalities.hh"
 #include "accel/runner.hh"
 #include "sim/cli.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
+#include "sim/thread_pool.hh"
 
 namespace sgcn::bench
 {
@@ -46,6 +50,8 @@ struct BenchOptions
             static_cast<unsigned>(cli.getInt("sampled", 4));
         options.net.layers =
             static_cast<unsigned>(cli.getInt("layers", 28));
+        options.run.jobs = static_cast<unsigned>(
+            cli.getInt("jobs", ThreadPool::hardwareJobs()));
         options.scale = cli.scale();
 
         const std::string list = cli.getString("datasets", "");
@@ -67,14 +73,28 @@ banner(const char *figure, const BenchOptions &options)
 {
     std::printf("SGCN reproduction — %s\n", figure);
     std::printf("mode=%s layers=%u sampled=%u scale=%.2f "
-                "(vertex cap %u)\n\n",
+                "(vertex cap %u) jobs=%u\n\n",
                 options.run.mode == ExecutionMode::Timing ? "timing"
                                                           : "fast",
                 options.net.layers,
                 options.run.sampledIntermediateLayers, options.scale,
                 static_cast<unsigned>(
                     static_cast<double>(kDatasetVertexCap) *
-                    options.scale));
+                    options.scale),
+                ThreadPool::resolveJobs(options.run.jobs));
+}
+
+/** Index of the personality named @p name, for pulling a baseline
+ *  run back out of an input-ordered runAll result vector. */
+inline std::size_t
+personalityIndex(const std::vector<AccelConfig> &configs,
+                 const std::string &name)
+{
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i].name == name)
+            return i;
+    }
+    fatal("no personality named ", name, " in the sweep set");
 }
 
 /** Geomean over per-dataset speedups, ignoring non-positives. */

@@ -32,6 +32,8 @@ main(int argc, char **argv)
         header.push_back(config.name);
     layers_table.header(header);
 
+    const std::size_t baseline_at =
+        personalityIndex(personalities, "GCNAX");
     for (unsigned depth : {7u, 14u, 28u, 56u, 112u}) {
         NetworkSpec net = options.net;
         net.layers = depth;
@@ -39,14 +41,11 @@ main(int argc, char **argv)
         for (const char *abbrev : abbrevs) {
             const Dataset dataset = instantiateDataset(
                 datasetByAbbrev(abbrev), options.scale);
-            const RunResult baseline = runNetwork(
-                personalityByName("GCNAX"), dataset, net, options.run);
-            for (std::size_t p = 0; p < personalities.size(); ++p) {
-                const RunResult run = runNetwork(personalities[p],
-                                                 dataset, net,
-                                                 options.run);
-                speedups[p].push_back(speedupOver(baseline, run));
-            }
+            const auto runs =
+                runAll(personalities, dataset, net, options.run);
+            for (std::size_t p = 0; p < personalities.size(); ++p)
+                speedups[p].push_back(
+                    speedupOver(runs[baseline_at], runs[p]));
         }
         std::vector<std::string> row{std::to_string(depth)};
         for (const auto &series : speedups)
@@ -61,21 +60,18 @@ main(int argc, char **argv)
                       "cache size (CR, CS, PM)");
     cache_table.header(header);
     for (std::uint64_t kb : {256u, 512u, 1024u, 2048u, 4096u}) {
+        std::vector<AccelConfig> sized = personalities;
+        for (auto &config : sized)
+            config.cache.sizeBytes = kb * 1024;
         std::vector<std::vector<double>> speedups(personalities.size());
         for (const char *abbrev : abbrevs) {
             const Dataset dataset = instantiateDataset(
                 datasetByAbbrev(abbrev), options.scale);
-            AccelConfig baseline_config = makeGcnax();
-            baseline_config.cache.sizeBytes = kb * 1024;
-            const RunResult baseline = runNetwork(
-                baseline_config, dataset, options.net, options.run);
-            for (std::size_t p = 0; p < personalities.size(); ++p) {
-                AccelConfig config = personalities[p];
-                config.cache.sizeBytes = kb * 1024;
-                const RunResult run = runNetwork(
-                    config, dataset, options.net, options.run);
-                speedups[p].push_back(speedupOver(baseline, run));
-            }
+            const auto runs =
+                runAll(sized, dataset, options.net, options.run);
+            for (std::size_t p = 0; p < sized.size(); ++p)
+                speedups[p].push_back(
+                    speedupOver(runs[baseline_at], runs[p]));
         }
         std::vector<std::string> row{std::to_string(kb) + "KB"};
         for (const auto &series : speedups)

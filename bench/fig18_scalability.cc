@@ -29,9 +29,13 @@ main(int argc, char **argv)
     table.header({"#engines", "HBM2 speedup", "HBM2 BW util",
                   "HBM1 speedup", "HBM1 BW util"});
 
-    double hbm2_base = 0.0, hbm1_base = 0.0;
-    for (unsigned engines : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        std::vector<std::string> row{std::to_string(engines)};
+    // Build the full engines x memory-type cross product up front and
+    // fan it out in one runAll; results come back in input order, so
+    // entry 2*e is HBM2 and 2*e+1 is HBM1 for the e-th engine count.
+    const std::vector<unsigned> engine_counts{1u, 2u, 4u, 8u, 16u,
+                                              32u};
+    std::vector<AccelConfig> configs;
+    for (unsigned engines : engine_counts) {
         for (const DramConfig &dram :
              {DramConfig::hbm2(), DramConfig::hbm1()}) {
             AccelConfig config = makeSgcn();
@@ -40,14 +44,20 @@ main(int argc, char **argv)
             config.dram = dram;
             // Cache ports scale with the engine count.
             config.cacheLinesPerCycle = engines;
-            const RunResult run =
-                runNetwork(config, dataset, options.net, options.run);
-            double &base = dram.burstCycles == 2 ? hbm2_base
-                                                 : hbm1_base;
-            if (engines == 1)
-                base = static_cast<double>(run.total.cycles);
-            row.push_back(Table::num(
-                base / static_cast<double>(run.total.cycles), 2));
+            configs.push_back(std::move(config));
+        }
+    }
+    const auto runs =
+        runAll(configs, dataset, options.net, options.run);
+
+    for (std::size_t e = 0; e < engine_counts.size(); ++e) {
+        std::vector<std::string> row{std::to_string(engine_counts[e])};
+        for (std::size_t m = 0; m < 2; ++m) {
+            const RunResult &run = runs[2 * e + m];
+            // The 1-engine run of the same memory type (entry m) is
+            // the speedup baseline; speedupOver guards zero cycles.
+            row.push_back(
+                Table::num(speedupOver(runs[m], run), 2));
             row.push_back(Table::percent(run.total.bwUtil));
         }
         table.row(row);

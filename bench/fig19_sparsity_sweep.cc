@@ -10,10 +10,13 @@
 
 #include "bench_common.hh"
 
+#include <iterator>
+
 #include "accel/layer_engine.hh"
 #include "accel/workload.hh"
 #include "core/beicsr.hh"
 #include "gcn/sparsity_model.hh"
+#include "sim/thread_pool.hh"
 
 using namespace sgcn;
 using namespace sgcn::bench;
@@ -82,24 +85,44 @@ main(int argc, char **argv)
     Table table("Fig. 19: speedup over Dense vs feature sparsity");
     table.header({"sparsity", "Dense", "CSR", "SGCN"});
 
-    for (int pct = 5; pct <= 95; pct += 10) {
-        const double sparsity = pct / 100.0;
+    // Flatten the whole (sparsity x dataset x format) product and
+    // fan every synthetic layer out across the job pool; each run
+    // seeds its own RNGs, so order of execution cannot matter.
+    std::vector<int> pcts;
+    for (int pct = 5; pct <= 95; pct += 10)
+        pcts.push_back(pct);
+    std::vector<Dataset> datasets;
+    for (const char *abbrev : abbrevs)
+        datasets.push_back(instantiateDataset(datasetByAbbrev(abbrev),
+                                              options.scale));
+    const AccelConfig *formats[] = {&dense, &csr, &sgcn};
+    const std::size_t num_formats = std::size(formats);
+
+    std::vector<Cycle> cycles(pcts.size() * datasets.size() *
+                              num_formats);
+    parallelFor(
+        options.run.jobs, cycles.size(), [&](std::size_t i) {
+            const std::size_t f = i % num_formats;
+            const std::size_t d = (i / num_formats) % datasets.size();
+            const std::size_t s = i / (num_formats * datasets.size());
+            cycles[i] = syntheticLayer(*formats[f], datasets[d],
+                                       pcts[s] / 100.0,
+                                       options.run.mode)
+                            .cycles;
+        });
+
+    for (std::size_t s = 0; s < pcts.size(); ++s) {
         std::vector<double> csr_speedups, sgcn_speedups;
-        for (const char *abbrev : abbrevs) {
-            const Dataset dataset = instantiateDataset(
-                datasetByAbbrev(abbrev), options.scale);
-            const LayerResult base = syntheticLayer(
-                dense, dataset, sparsity, options.run.mode);
-            const LayerResult csr_run = syntheticLayer(
-                csr, dataset, sparsity, options.run.mode);
-            const LayerResult sgcn_run = syntheticLayer(
-                sgcn, dataset, sparsity, options.run.mode);
-            csr_speedups.push_back(static_cast<double>(base.cycles) /
-                                   csr_run.cycles);
-            sgcn_speedups.push_back(static_cast<double>(base.cycles) /
-                                    sgcn_run.cycles);
+        for (std::size_t d = 0; d < datasets.size(); ++d) {
+            const std::size_t at =
+                (s * datasets.size() + d) * num_formats;
+            const double base = static_cast<double>(cycles[at]);
+            csr_speedups.push_back(
+                base / static_cast<double>(cycles[at + 1]));
+            sgcn_speedups.push_back(
+                base / static_cast<double>(cycles[at + 2]));
         }
-        table.row({std::to_string(pct) + "%", "1.00",
+        table.row({std::to_string(pcts[s]) + "%", "1.00",
                    Table::num(geomean(csr_speedups), 2),
                    Table::num(geomean(sgcn_speedups), 2)});
     }

@@ -1,6 +1,8 @@
 #include "accel/dataflow/registry.hh"
 
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "accel/dataflow/agg_first.hh"
@@ -34,11 +36,23 @@ registry()
     return entries;
 }
 
+/** Guards the map against registration racing parallel-sweep
+ *  lookups. Map nodes are stable, so a Dataflow* handed out under
+ *  the shared lock stays valid unless its own kind is re-registered
+ *  — which the registry contract forbids once simulations run. */
+std::shared_mutex &
+registryMutex()
+{
+    static std::shared_mutex m;
+    return m;
+}
+
 } // namespace
 
 const Dataflow *
 findDataflow(DataflowKind kind)
 {
+    std::shared_lock<std::shared_mutex> lock(registryMutex());
     const Registry &r = registry();
     const auto it = r.find(kind);
     return it == r.end() ? nullptr : it->second.get();
@@ -61,6 +75,7 @@ dataflowFor(DataflowKind kind)
 std::unique_ptr<Dataflow>
 registerDataflow(DataflowKind kind, std::unique_ptr<Dataflow> strategy)
 {
+    std::unique_lock<std::shared_mutex> lock(registryMutex());
     Registry &r = registry();
     const auto it = r.find(kind);
     std::unique_ptr<Dataflow> previous;

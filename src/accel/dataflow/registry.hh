@@ -7,6 +7,12 @@
  * product) are registered on first use; additional strategies — a
  * fourth dataflow personality, or an instrumented stand-in under
  * test — can be registered at runtime.
+ *
+ * Thread safety: lookups take a shared lock and may run concurrently
+ * (parallel sweeps hit this path from every worker). Registration
+ * takes an exclusive lock but must still finish before simulations
+ * fan out — replacing a kind invalidates the strategy pointer a
+ * running engine may hold for that kind.
  */
 
 #ifndef SGCN_ACCEL_DATAFLOW_REGISTRY_HH

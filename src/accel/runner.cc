@@ -7,6 +7,7 @@
 #include "gcn/sparsity_model.hh"
 #include "graph/reorder.hh"
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace sgcn
 {
@@ -93,17 +94,33 @@ std::vector<RunResult>
 runAll(const std::vector<AccelConfig> &configs, const Dataset &dataset,
        const NetworkSpec &net, const RunOptions &opts)
 {
-    std::vector<RunResult> results;
-    results.reserve(configs.size());
-    for (const auto &config : configs)
-        results.push_back(runNetwork(config, dataset, net, opts));
+    // Resolve every dataflow before fanning out: registration is
+    // startup-only (see dataflow/registry.hh), so a missing strategy
+    // should fail on the caller thread, not inside a worker.
+    for (const auto &config : configs) {
+        dataflowFor(LayerEngine::effectiveDataflow(config, false));
+        if (opts.includeInputLayer)
+            dataflowFor(LayerEngine::effectiveDataflow(config, true));
+    }
+
+    std::vector<RunResult> results(configs.size());
+    parallelFor(opts.jobs, configs.size(), [&](std::size_t i) {
+        results[i] = runNetwork(configs[i], dataset, net, opts);
+    });
     return results;
 }
 
 double
 speedupOver(const RunResult &baseline, const RunResult &contender)
 {
-    SGCN_ASSERT(contender.total.cycles > 0);
+    SGCN_ASSERT(baseline.total.cycles > 0,
+                "baseline run '", baseline.accelName, "' on ",
+                baseline.datasetAbbrev,
+                " simulated zero cycles; speedup is undefined");
+    SGCN_ASSERT(contender.total.cycles > 0,
+                "contender run '", contender.accelName, "' on ",
+                contender.datasetAbbrev,
+                " simulated zero cycles; speedup is undefined");
     return static_cast<double>(baseline.total.cycles) /
            static_cast<double>(contender.total.cycles);
 }

@@ -33,13 +33,26 @@ struct RunOptions
 
     /** Simulate the dataset-input layer. */
     bool includeInputLayer = true;
+
+    /**
+     * Worker threads for the runAll fan-out: 1 runs serially on the
+     * caller thread (the default, so library behaviour is unchanged),
+     * 0 uses every hardware thread, N uses at most N. Results are
+     * deterministic and input-ordered regardless of the value.
+     */
+    unsigned jobs = 1;
 };
 
 /** Simulate @p net on @p dataset with accelerator @p config. */
 RunResult runNetwork(const AccelConfig &config, const Dataset &dataset,
                      const NetworkSpec &net, const RunOptions &opts = {});
 
-/** Run several personalities on one dataset. */
+/**
+ * Run several personalities on one dataset. With opts.jobs != 1 the
+ * simulations fan out across a thread pool; results keep the input
+ * order and are bit-identical to the serial path (each simulation
+ * owns all of its state — see src/sim/thread_pool.hh).
+ */
 std::vector<RunResult> runAll(const std::vector<AccelConfig> &configs,
                               const Dataset &dataset,
                               const NetworkSpec &net,

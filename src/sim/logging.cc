@@ -2,18 +2,40 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace sgcn
 {
 namespace detail
 {
 
+namespace
+{
+
+/**
+ * One mutex across every sink so lines from parallel sweep workers
+ * never interleave mid-message (each message is already a single
+ * fprintf, but POSIX only locks per call per stream — warn-then-die
+ * sequences and stdout/stderr ordering still need this).
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     (void)file;
     (void)line;
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     std::abort();
 }
 
@@ -22,19 +44,24 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     (void)file;
     (void)line;
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

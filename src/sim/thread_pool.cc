@@ -1,0 +1,94 @@
+#include "sim/thread_pool.hh"
+
+#include <algorithm>
+
+namespace sgcn
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::max(1u, threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock, [this] {
+                return stopping || !tasks.empty();
+            });
+            if (tasks.empty())
+                return;
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        // packaged_task routes any exception into the future.
+        task();
+    }
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+unsigned
+ThreadPool::resolveJobs(unsigned jobs)
+{
+    return jobs ? jobs : hardwareJobs();
+}
+
+void
+parallelFor(unsigned jobs, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    const std::size_t threads =
+        std::min<std::size_t>(ThreadPool::resolveJobs(jobs), count);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    ThreadPool pool(static_cast<unsigned>(threads));
+    std::vector<std::future<void>> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        pending.push_back(pool.submit([&fn, i] { fn(i); }));
+
+    // Wait for everything before rethrowing so the pool never
+    // outlives live references, then fail on the lowest index just
+    // like the serial loop would.
+    std::exception_ptr first;
+    for (auto &done : pending) {
+        try {
+            done.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace sgcn

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bounded fixed-size thread pool for fanning independent simulations
+ * out across cores (parallel runAll, bench sweeps).
+ *
+ * Deliberately work-stealing-free: one locked FIFO feeds N workers.
+ * Sweep jobs are whole-layer or whole-network simulations — seconds
+ * each — so queue contention is irrelevant, and the simple design
+ * keeps results deterministic: callers hold one future per input
+ * index and merge on their own thread in input order.
+ */
+
+#ifndef SGCN_SIM_THREAD_POOL_HH
+#define SGCN_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sgcn
+{
+
+/** Fixed set of worker threads draining a single task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned
+    size() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Enqueue @p fn; the returned future completes with its result —
+     * or its exception — once a worker has run it.
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>>
+    submit(F fn)
+    {
+        using Result = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::move(fn));
+        std::future<Result> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            tasks.push([task] { (*task)(); });
+        }
+        available.notify_one();
+        return result;
+    }
+
+    /** A `jobs` knob value resolved to a thread count: 0 means "all
+     *  hardware threads". */
+    static unsigned resolveJobs(unsigned jobs);
+
+    /** std::thread::hardware_concurrency with a fallback of 1. */
+    static unsigned hardwareJobs();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex;
+    std::condition_variable available;
+    std::queue<std::function<void()>> tasks;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+/**
+ * Run fn(0), ..., fn(count - 1) across up to @p jobs threads; inline
+ * on the caller thread when either is 1 (or @p jobs resolves to 1).
+ * Blocks until every index ran. Exceptions are collected per index
+ * and the lowest-index one is rethrown, so failures are as
+ * deterministic as the serial loop's.
+ */
+void parallelFor(unsigned jobs, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace sgcn
+
+#endif // SGCN_SIM_THREAD_POOL_HH

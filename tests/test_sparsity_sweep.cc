@@ -131,6 +131,34 @@ TEST(SparsitySweepExtra, RunnerHonoursInputLayerToggle)
     EXPECT_EQ(a.total.cycles - a.inputLayer.cycles, b.total.cycles);
 }
 
+TEST(SparsitySweepExtra, ParallelSweepMatchesSerialSweep)
+{
+    // The jobs knob must not change what a sweep computes: fanning
+    // the personality sweep out across every hardware thread returns
+    // the same totals in the same input order as the serial loop.
+    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    NetworkSpec net;
+    RunOptions serial;
+    serial.sampledIntermediateLayers = 2;
+    RunOptions fanned = serial;
+    fanned.jobs = 0; // all hardware threads
+
+    const std::vector<AccelConfig> configs{makeGcnax(), makeSgcn(),
+                                           makeAwbGcn()};
+    const auto a = runAll(configs, cora, net, serial);
+    const auto b = runAll(configs, cora, net, fanned);
+    ASSERT_EQ(a.size(), configs.size());
+    ASSERT_EQ(b.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(a[i].accelName, configs[i].name);
+        EXPECT_EQ(b[i].accelName, configs[i].name);
+        EXPECT_EQ(a[i].total.cycles, b[i].total.cycles);
+        EXPECT_EQ(a[i].total.macs, b[i].total.macs);
+        EXPECT_EQ(a[i].total.traffic.totalLines(),
+                  b[i].total.traffic.totalLines());
+    }
+}
+
 TEST(SparsitySweepExtra, SamplingMoreLayersConverges)
 {
     // Extrapolated totals from 4 vs 8 sampled layers agree within a

@@ -27,6 +27,7 @@
 #include "graph/io.hh"
 #include "sim/cli.hh"
 #include "sim/table.hh"
+#include "sim/thread_pool.hh"
 
 using namespace sgcn;
 
@@ -54,6 +55,8 @@ runOptions(const Cli &cli)
     opts.sampledIntermediateLayers =
         static_cast<unsigned>(cli.getInt("sampled", 4));
     opts.includeInputLayer = cli.getBool("input-layer", true);
+    opts.jobs = static_cast<unsigned>(
+        cli.getInt("jobs", ThreadPool::hardwareJobs()));
     return opts;
 }
 
@@ -167,14 +170,24 @@ cmdSweep(const Cli &cli)
                 std::string(dataset.spec.abbrev));
     table.header({knob, "GCNAX cycles", "SGCN cycles", "speedup"});
 
-    auto run_pair = [&](const AccelConfig &gcnax,
-                        const AccelConfig &sgcn, const NetworkSpec &net,
-                        const std::string &label) {
-        const RunResult a = runNetwork(gcnax, dataset, net, opts);
-        const RunResult b = runNetwork(sgcn, dataset, net, opts);
-        table.row({label, std::to_string(a.total.cycles),
-                   std::to_string(b.total.cycles),
-                   Table::ratio(speedupOver(a, b))});
+    // Queue the whole (knob value x accelerator) product, then fan
+    // it out in one parallelFor so --jobs N uses the full pool
+    // instead of two-wide pairs; rows are emitted from the
+    // input-ordered result vector afterwards.
+    struct SweepCell
+    {
+        AccelConfig config;
+        NetworkSpec net;
+    };
+    std::vector<SweepCell> cells;
+    std::vector<std::string> labels;
+    auto queue_pair = [&](const AccelConfig &gcnax,
+                          const AccelConfig &sgcn,
+                          const NetworkSpec &net,
+                          const std::string &label) {
+        cells.push_back({gcnax, net});
+        cells.push_back({sgcn, net});
+        labels.push_back(label);
     };
 
     if (knob == "cache") {
@@ -183,7 +196,8 @@ cmdSweep(const Cli &cli)
             AccelConfig sgcn = makeSgcn();
             gcnax.cache.sizeBytes = kb * 1024;
             sgcn.cache.sizeBytes = kb * 1024;
-            run_pair(gcnax, sgcn, base_net, std::to_string(kb) + "KB");
+            queue_pair(gcnax, sgcn, base_net,
+                       std::to_string(kb) + "KB");
         }
     } else if (knob == "engines") {
         for (unsigned engines : {1u, 2u, 4u, 8u, 16u, 32u}) {
@@ -194,25 +208,39 @@ cmdSweep(const Cli &cli)
                 config->combEngines = engines;
                 config->cacheLinesPerCycle = engines;
             }
-            run_pair(gcnax, sgcn, base_net, std::to_string(engines));
+            queue_pair(gcnax, sgcn, base_net,
+                       std::to_string(engines));
         }
     } else if (knob == "layers") {
         for (unsigned layers : {7u, 14u, 28u, 56u, 112u}) {
             NetworkSpec net = base_net;
             net.layers = layers;
-            run_pair(makeGcnax(), makeSgcn(), net,
-                     std::to_string(layers));
+            queue_pair(makeGcnax(), makeSgcn(), net,
+                       std::to_string(layers));
         }
     } else if (knob == "slice") {
         for (std::uint32_t c : {32u, 64u, 96u, 128u, 256u}) {
             AccelConfig sgcn = makeSgcn();
             sgcn.sliceC = c;
-            run_pair(makeGcnax(), sgcn, base_net,
-                     "C=" + std::to_string(c));
+            queue_pair(makeGcnax(), sgcn, base_net,
+                       "C=" + std::to_string(c));
         }
     } else {
         fatal("unknown --knob: ", knob,
               " (cache|engines|layers|slice)");
+    }
+
+    std::vector<RunResult> runs(cells.size());
+    parallelFor(opts.jobs, cells.size(), [&](std::size_t i) {
+        runs[i] = runNetwork(cells[i].config, dataset, cells[i].net,
+                             opts);
+    });
+    for (std::size_t k = 0; k < labels.size(); ++k) {
+        const RunResult &a = runs[2 * k];
+        const RunResult &b = runs[2 * k + 1];
+        table.row({labels[k], std::to_string(a.total.cycles),
+                   std::to_string(b.total.cycles),
+                   Table::ratio(speedupOver(a, b))});
     }
     table.print();
     return 0;
@@ -272,7 +300,8 @@ usage()
         "--accels A,B; --mode fast|timing;\n"
         "            --layers N --hidden N --agg gcn|gin|sage "
         "--cache-kb N --engines N\n"
-        "            --dram hbm1|hbm2 --csv FILE --stats\n"
+        "            --dram hbm1|hbm2 --csv FILE --stats "
+        "--jobs N (default: all hardware threads)\n"
         "  sweep     --knob cache|engines|layers|slice --dataset ...\n"
         "  describe  --accel SGCN|GCNAX|HyGCN|AWB-GCN|EnGN|I-GCN\n"
         "  datasets  [--scale X]\n"
