@@ -10,6 +10,8 @@
  *   --datasets CR,CS,... subset of datasets
  *   --jobs N             sweep worker threads (default: all hardware
  *                        threads; 1 restores the serial path)
+ *   --pipeline           inter-layer overlapped totals (default off;
+ *                        serial isolated-layer extrapolation)
  */
 
 #ifndef SGCN_BENCH_BENCH_COMMON_HH
@@ -52,6 +54,8 @@ struct BenchOptions
             static_cast<unsigned>(cli.getInt("layers", 28));
         options.run.jobs = static_cast<unsigned>(
             cli.getInt("jobs", ThreadPool::hardwareJobs()));
+        options.run.interLayerOverlap =
+            cli.getBool("pipeline", false);
         options.scale = cli.scale();
 
         const std::string list = cli.getString("datasets", "");
@@ -73,7 +77,7 @@ banner(const char *figure, const BenchOptions &options)
 {
     std::printf("SGCN reproduction — %s\n", figure);
     std::printf("mode=%s layers=%u sampled=%u scale=%.2f "
-                "(vertex cap %u) jobs=%u\n\n",
+                "(vertex cap %u) jobs=%u pipeline=%s\n\n",
                 options.run.mode == ExecutionMode::Timing ? "timing"
                                                           : "fast",
                 options.net.layers,
@@ -81,7 +85,8 @@ banner(const char *figure, const BenchOptions &options)
                 static_cast<unsigned>(
                     static_cast<double>(kDatasetVertexCap) *
                     options.scale),
-                ThreadPool::resolveJobs(options.run.jobs));
+                ThreadPool::resolveJobs(options.run.jobs),
+                options.run.interLayerOverlap ? "on" : "off");
 }
 
 /** Index of the personality named @p name, for pulling a baseline

@@ -71,6 +71,18 @@ AggFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
     }
     ec.mem->cache().unpinAll();
     result.cycles = EngineContext::pipelineTiles(tiles);
+
+    // Phase timeline under the tile pipeline: aggregation streams
+    // from cycle 0, combination is paced to end with the layer, and
+    // the drain is the final tile's fused output pass.
+    const EngineContext::TilePhase sums =
+        EngineContext::sumTilePhases(tiles);
+    result.schedule.aggregation = {0, sums.aggTime};
+    result.schedule.combination = {result.cycles - sums.combTime,
+                                   result.cycles};
+    result.schedule.outputDrain = {
+        result.cycles - (tiles.empty() ? 0 : tiles.back().combTime),
+        result.cycles};
 }
 
 void
@@ -98,10 +110,12 @@ AggFirstDataflow::runTiming(EngineContext &ec,
         ec.events.schedule(std::max(ec.events.now(), gate),
                            [&, ctl, t] {
             const Cycle agg_start = ec.events.now();
+            ctl->aggTrace.markStart(agg_start);
             ctl->agg = std::make_shared<TimingAgg>(
                 ec, view, t, in, TrafficClass::FeatureIn);
             ctl->agg->start([&, ctl, t, agg_start] {
                 result.aggCycles += ec.events.now() - agg_start;
+                ctl->aggTrace.markEnd(ec.events.now());
                 const VertexId tile_begin = view.dstTileBegin(t);
                 const VertexId tile_end = view.dstTileEnd(t);
                 const VertexId rows = tile_end - tile_begin;
@@ -117,13 +131,18 @@ AggFirstDataflow::runTiming(EngineContext &ec,
                 ctl->combFreeAt = comb_start + comb_cycles;
                 ctl->combDone[t] = ctl->combFreeAt;
                 result.combCycles += comb_cycles;
+                ctl->combTrace.markStart(comb_start);
+                ctl->combTrace.markEnd(ctl->combFreeAt);
 
                 ec.events.schedule(ctl->combFreeAt,
                                    [&, ctl, tile_begin, tile_end] {
+                    ctl->drainTrace.markStart(ec.events.now());
                     auto dma = std::make_shared<StreamDma>(ec, 128);
                     queueTileOutputDma(ec, *dma, tile_begin, tile_end,
                                        out);
-                    dma->start(nullptr);
+                    dma->start([&, ctl] {
+                        ctl->drainTrace.markEnd(ec.events.now());
+                    });
                     ctl->dmas.push_back(std::move(dma));
                 });
 
@@ -132,9 +151,18 @@ AggFirstDataflow::runTiming(EngineContext &ec,
             });
         });
     };
+    const Cycle base = ec.layerBase;
     ctl->startTile(0);
     ec.events.run();
-    result.cycles = std::max(ec.events.now(), ctl->combFreeAt);
+    const Cycle end = std::max(ec.events.now(), ctl->combFreeAt);
+    result.cycles = end - base;
+    result.schedule.aggregation = ctl->aggTrace.span(base);
+    result.schedule.combination = ctl->combTrace.span(base);
+    // The drain owns the layer's tail: the last event in the queue
+    // is its final write-back (or the combination engine freeing).
+    result.schedule.outputDrain =
+        ctl->drainTrace.span(base, result.cycles);
+    result.schedule.outputDrain.end = result.cycles;
     ctl->release();
 }
 

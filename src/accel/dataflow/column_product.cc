@@ -112,6 +112,7 @@ ColumnProductDataflow::runFast(EngineContext &ec,
         }
     }
     // Dirty partial sums flush as the S^{l+1} writeback...
+    const EngineContext::Snapshot drain_before = ec.snapshot();
     ec.psumBuffer->flush();
     // ...and X^{l+1} is emitted once after activation.
     std::uint64_t serialized_write_lines = 0;
@@ -131,6 +132,20 @@ ColumnProductDataflow::runFast(EngineContext &ec,
     // Combination and aggregation are pipelined end to end.
     result.cycles = std::max(comb_time, agg_time) +
                     std::min(comb_time, agg_time) / 8;
+
+    // Phase timeline: the input stream and the zero-skipping GEMM
+    // are one phase from cycle 0; the strip aggregation is paced to
+    // end with the layer; the drain is the psum flush plus the
+    // X^{l+1} write stream at the aggregation tail.
+    const Cycle drain_time = std::min<Cycle>(
+        agg_time, serialized_write_lines * ec.cfg.dram.burstCycles +
+                      ec.phaseCycles(0, drain_before));
+    result.schedule.inputDma = {0, comb_time};
+    result.schedule.combination = {0, comb_time};
+    result.schedule.aggregation = {result.cycles - agg_time,
+                                   result.cycles};
+    result.schedule.outputDrain = {result.cycles - drain_time,
+                                   result.cycles};
 }
 
 void
@@ -168,12 +183,19 @@ ColumnProductDataflow::runTiming(EngineContext &ec,
 
     auto psum = std::make_shared<TimingPsum>(ec);
     auto out_dma = std::make_shared<StreamDma>(ec, 128);
-    const Cycle start = ec.events.now();
+    // The phase base is the layer's start on the shared timeline,
+    // not whatever events.now() happened to be at construction
+    // (ROADMAP phase1/DMA accounting audit).
+    const Cycle start = ec.layerBase;
 
     bool agg_finished = false;
+    Cycle agg_end = start;
+    Cycle drain_start = start;
     psum->start([&, out_dma, start] {
         agg_finished = true;
         result.aggCycles += ec.events.now() - start;
+        agg_end = ec.events.now();
+        drain_start = ec.events.now();
         // Dirty partial sums flush as the S^{l+1} writeback, then
         // the activated X^{l+1} streams out.
         ec.psumBuffer->flush();
@@ -187,7 +209,16 @@ ColumnProductDataflow::runTiming(EngineContext &ec,
     ec.events.run();
     SGCN_ASSERT(agg_finished,
                 "column-product aggregation never drained");
-    result.cycles = std::max(ec.events.now(), start + comb_compute);
+    const Cycle end = std::max(ec.events.now(), start + comb_compute);
+    result.cycles = end - start;
+
+    // The input stream feeds the zero-skipping GEMM from the layer
+    // start; aggregation and the flush/write-out drain follow their
+    // observed event times.
+    result.schedule.inputDma = {0, comb_compute};
+    result.schedule.combination = {0, comb_compute};
+    result.schedule.aggregation = {0, agg_end - start};
+    result.schedule.outputDrain = {drain_start - start, result.cycles};
 }
 
 } // namespace sgcn

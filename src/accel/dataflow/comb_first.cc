@@ -98,6 +98,17 @@ CombFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
 
     ec.mem->cache().unpinAll();
     result.cycles = comb_time + EngineContext::pipelineTiles(tiles);
+
+    // Phase timeline: the streaming combination runs first, the
+    // tiled aggregation follows, and the drain is the final tile's
+    // output pass (paced to end with the layer).
+    const Cycle agg_total =
+        EngineContext::sumTilePhases(tiles).aggTime;
+    result.schedule.combination = {0, comb_time};
+    result.schedule.aggregation = {comb_time, comb_time + agg_total};
+    result.schedule.outputDrain = {
+        result.cycles - (tiles.empty() ? 0 : tiles.back().combTime),
+        result.cycles};
 }
 
 void
@@ -146,26 +157,36 @@ CombFirstDataflow::runTiming(EngineContext &ec,
 
     ctl->startTile = [&, ctl, view, xw, xw_mask](unsigned t) {
         const Cycle agg_start = ec.events.now();
+        ctl->aggTrace.markStart(agg_start);
         ctl->agg = std::make_shared<TimingAgg>(
             ec, *view, t, *xw, TrafficClass::FeatureIn);
         ctl->agg->start([&, ctl, view, xw, xw_mask, t, agg_start] {
             result.aggCycles += ec.events.now() - agg_start;
+            ctl->aggTrace.markEnd(ec.events.now());
             const VertexId tile_begin = view->dstTileBegin(t);
             const VertexId tile_end = view->dstTileEnd(t);
+            ctl->drainTrace.markStart(ec.events.now());
             auto dma = std::make_shared<StreamDma>(ec, 128);
             queueTileOutputDma(ec, *dma, tile_begin, tile_end, out);
-            dma->start(nullptr);
+            dma->start([&, ctl] {
+                ctl->drainTrace.markEnd(ec.events.now());
+            });
             ctl->dmas.push_back(std::move(dma));
             if (t + 1 < ctl->numTiles)
                 ctl->startTile(t + 1);
         });
     };
 
-    const Cycle phase1_start = ec.events.now();
+    // Phase 1 starts at the layer base, not at engine construction:
+    // with layers chained on one timeline the two are no longer the
+    // same cycle (ROADMAP phase1/DMA accounting audit).
+    const Cycle phase1_start = ec.layerBase;
     phase1->start([&, ctl, phase1_start, comb_compute] {
         const Cycle ready =
             std::max(ec.events.now(), phase1_start + comb_compute);
         result.combCycles += ready - phase1_start;
+        ctl->combTrace.markStart(phase1_start);
+        ctl->combTrace.markEnd(ready);
         ec.events.schedule(ready, [&, ctl] {
             if (ec.cfg.davc)
                 ec.pinDavc(AddressMap::kPsumBase, ec.layer.outWidth);
@@ -175,7 +196,12 @@ CombFirstDataflow::runTiming(EngineContext &ec,
     ctl->dmas.push_back(phase1);
     ec.events.run();
     ec.mem->cache().unpinAll();
-    result.cycles = ec.events.now();
+    result.cycles = ec.events.now() - ec.layerBase;
+    result.schedule.combination = ctl->combTrace.span(ec.layerBase);
+    result.schedule.aggregation = ctl->aggTrace.span(ec.layerBase);
+    result.schedule.outputDrain =
+        ctl->drainTrace.span(ec.layerBase, result.cycles);
+    result.schedule.outputDrain.end = result.cycles;
     ctl->release();
 }
 

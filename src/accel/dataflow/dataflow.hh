@@ -40,8 +40,16 @@ class Dataflow
     virtual const char *name() const = 0;
 
     /** Simulate one layer in ec.mode, accumulating into @p result.
-     *  The caller (LayerEngine) finalizes weight traffic and the
-     *  mode-independent statistics afterwards. */
+     *
+     *  Besides the merged totals, every strategy must fill
+     *  result.schedule with the layer's phase timeline (layer-local,
+     *  cycle 0 = the layer start; timing paths measure against
+     *  ec.layerBase) such that schedule.criticalEnd() equals
+     *  result.cycles — the network pipeline chains these schedules
+     *  across layers. The caller (LayerEngine) finalizes weight
+     *  traffic, prepends the weight stream as the schedule's
+     *  input-DMA prefix, and computes the mode-independent
+     *  statistics afterwards. */
     virtual void run(EngineContext &ec, LayerResult &result) const = 0;
 };
 

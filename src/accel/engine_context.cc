@@ -152,6 +152,17 @@ EngineContext::pinDavc(Addr base, std::uint32_t width)
     }
 }
 
+EngineContext::TilePhase
+EngineContext::sumTilePhases(const std::vector<TilePhase> &tiles)
+{
+    TilePhase sums;
+    for (const TilePhase &tile : tiles) {
+        sums.aggTime += tile.aggTime;
+        sums.combTime += tile.combTime;
+    }
+    return sums;
+}
+
 Cycle
 EngineContext::pipelineTiles(const std::vector<TilePhase> &tiles)
 {
@@ -162,17 +173,12 @@ EngineContext::pipelineTiles(const std::vector<TilePhase> &tiles)
     // while the aggregators continue (SV-F). The slower phase sets
     // the pace; the pipeline fill is one sub-block of the first
     // tile (the psum buffers hold several blocks per tile).
-    Cycle agg_total = 0;
-    Cycle comb_total = 0;
-    for (const TilePhase &tile : tiles) {
-        agg_total += tile.aggTime;
-        comb_total += tile.combTime;
-    }
+    const TilePhase sums = sumTilePhases(tiles);
     constexpr unsigned kBlocksPerTile = 8;
     const Cycle fill = std::min(tiles.front().aggTime,
                                 tiles.front().combTime) /
                        kBlocksPerTile;
-    return std::max(agg_total, comb_total) + fill;
+    return std::max(sums.aggTime, sums.combTime) + fill;
 }
 
 } // namespace sgcn

@@ -103,6 +103,10 @@ struct EngineContext
      *  cannot desynchronize. */
     std::uint32_t psumStripWidth() const;
 
+    /** Component-wise sums of per-tile phase times (the totals the
+     *  tile pipeline and the layer schedules are built from). */
+    static TilePhase sumTilePhases(const std::vector<TilePhase> &tiles);
+
     /** Two-stage tile pipeline: agg(t) overlaps comb(t-1). */
     static Cycle pipelineTiles(const std::vector<TilePhase> &tiles);
 
@@ -114,6 +118,16 @@ struct EngineContext
     /** Mode the current run() executes in; set by the layer engine
      *  before dispatching to the strategy. */
     ExecutionMode mode = ExecutionMode::Fast;
+
+    /** Event-queue time at which the current layer run began; set by
+     *  the layer engine before dispatching to the strategy. Timing
+     *  paths measure every phase relative to this base instead of
+     *  capturing events.now() ad hoc at engine construction — the
+     *  construction-time capture was only correct while each layer
+     *  owned a private queue starting at cycle 0, and silently breaks
+     *  the moment layers share a timeline (ROADMAP phase1/DMA
+     *  accounting audit). */
+    Cycle layerBase = 0;
 
     EventQueue events;
     std::unique_ptr<MemorySystem> mem;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "accel/dataflow/registry.hh"
+#include "sim/logging.hh"
 
 namespace sgcn
 {
@@ -37,6 +38,7 @@ LayerEngine::run(ExecutionMode mode)
 {
     LayerResult result;
     ec.mode = mode;
+    ec.layerBase = ec.events.now();
     dataflowFor(effectiveDataflow()).run(ec, result);
     finalize(result);
     return result;
@@ -50,8 +52,23 @@ LayerEngine::finalize(LayerResult &result)
     const std::uint64_t w_lines = ec.weightLines();
     ec.fastStreamTraffic.add(MemOp::Read, TrafficClass::Weight,
                              w_lines);
-    result.cycles +=
+    const Cycle w_cycles =
         w_lines * ec.cfg.dram.burstCycles / ec.cfg.dram.channels;
+    result.cycles += w_cycles;
+
+    // The weight stream is the schedule's input-DMA prefix: W^l
+    // prefetches ahead of the first feature read, which is the
+    // window the network pipeline hides behind the previous layer's
+    // output drain. Shifting the strategy-reported phases keeps the
+    // schedule consistent with the serialized total.
+    result.schedule.shift(w_cycles);
+    result.schedule.inputDma.start = 0;
+    SGCN_ASSERT(result.schedule.wellOrdered() &&
+                    result.schedule.criticalEnd() == result.cycles,
+                "dataflow '",
+                dataflowFor(effectiveDataflow()).name(),
+                "' reported a layer schedule inconsistent with its "
+                "cycle total");
 
     result.traffic = ec.mem->offChipTraffic();
     result.traffic.merge(ec.fastStreamTraffic);

@@ -1,0 +1,62 @@
+#include "accel/pipeline/layer_pipeline.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+const PipelinedLayer &
+NetworkSchedule::bottleneckStage() const
+{
+    SGCN_ASSERT(!stages.empty(),
+                "bottleneckStage() on an empty network schedule");
+    const PipelinedLayer *bottleneck = &stages.front();
+    for (const PipelinedLayer &stage : stages) {
+        if (stage.steadyCost() > bottleneck->steadyCost())
+            bottleneck = &stage;
+    }
+    return *bottleneck;
+}
+
+Cycle
+LayerPipeline::advanceBetween(const LayerSchedule &prev,
+                              const LayerSchedule &next)
+{
+    // Engine exclusivity: one set of agg/comb engines.
+    const Cycle engines =
+        prev.computeEnd() > next.computeStart()
+            ? prev.computeEnd() - next.computeStart()
+            : 0;
+    // Feature dependence: the next layer's first feature read waits
+    // for X^{l+1}'s drain to finish (double-buffer swap).
+    const Cycle features =
+        prev.outputReadyAt() > next.firstFeatureRead()
+            ? prev.outputReadyAt() - next.firstFeatureRead()
+            : 0;
+    return std::min(std::max(engines, features), prev.criticalEnd());
+}
+
+void
+LayerPipeline::append(const LayerSchedule &schedule, double repeats)
+{
+    SGCN_ASSERT(repeats >= 1.0,
+                "cannot append less than one layer repetition");
+    PipelinedLayer stage;
+    stage.schedule = schedule;
+    stage.repeats = repeats;
+    stage.advance =
+        repeats > 1.0 ? advanceBetween(schedule, schedule) : 0;
+    if (!net.stages.empty()) {
+        const PipelinedLayer &prev = net.stages.back();
+        stage.offset =
+            prev.lastOffset() + static_cast<double>(advanceBetween(
+                                    prev.schedule, schedule));
+    }
+    totalAccum = std::max(totalAccum, stage.end());
+    net.totalCycles = static_cast<Cycle>(totalAccum);
+    net.stages.push_back(stage);
+}
+
+} // namespace sgcn

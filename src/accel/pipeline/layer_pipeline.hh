@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Inter-layer network pipeline: chains per-layer phase schedules on
+ * one shared timeline.
+ *
+ * Deep GCNs stream compressed-sparse features from one layer into
+ * the next, so layer l+1 need not wait for layer l's full serialized
+ * total: its input-DMA prefix (weight prefetch before the first
+ * feature read, LayerSchedule::inputDma) hides behind layer l's
+ * output drain, the way LW-GCN and Accel-GCN decouple memory
+ * streaming from compute. Two constraints place layer l+1 on the
+ * shared timeline:
+ *
+ *  - Engine exclusivity: one set of aggregation/combination engines,
+ *    so l+1's first compute phase waits for l's last compute phase.
+ *  - Feature dependence: X^{l+1} is double-buffered (SAC streaming
+ *    model) — l+1's first feature read waits for l's output drain to
+ *    finish, i.e. the double-buffer swap point.
+ *
+ * The offset between consecutive repetitions of the same schedule is
+ * the steady-state pipelined per-layer cost, which runNetwork uses
+ * to extrapolate sampled intermediate layers to the architectural
+ * depth instead of summing isolated layer totals.
+ */
+
+#ifndef SGCN_ACCEL_PIPELINE_LAYER_PIPELINE_HH
+#define SGCN_ACCEL_PIPELINE_LAYER_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/result.hh"
+
+namespace sgcn
+{
+
+/** One stage of the network timeline: a layer schedule repeated
+ *  @p repeats times. Repeats may be fractional: a sampling stratum
+ *  extrapolating to depth A with k samples repeats its midpoint
+ *  layer A/k times, exactly the factor the serial extrapolation
+ *  scales by, so serial and pipelined totals share one basis. */
+struct PipelinedLayer
+{
+    /** Global start of the first repetition (fractional repeats of
+     *  earlier stages make offsets fractional too). */
+    double offset = 0.0;
+
+    /** Offset delta between consecutive repetitions (the stage's
+     *  steady-state per-layer cost; 0 when repeats == 1). */
+    Cycle advance = 0;
+
+    double repeats = 1.0;
+
+    /** The repeated layer's local timeline. */
+    LayerSchedule schedule;
+
+    /** Global start of the last repetition. */
+    double
+    lastOffset() const
+    {
+        return offset + (repeats - 1.0) * static_cast<double>(advance);
+    }
+
+    /** Global time the stage fully completes. */
+    double
+    end() const
+    {
+        return lastOffset() +
+               static_cast<double>(schedule.criticalEnd());
+    }
+
+    /** Per-layer cost this stage contributes in steady state: the
+     *  repeat advance when it extrapolates, its full critical path
+     *  when it runs once. */
+    Cycle
+    steadyCost() const
+    {
+        return repeats > 1.0 ? advance : schedule.criticalEnd();
+    }
+};
+
+/** Whole-network phase timeline with overlap-aware totals. */
+struct NetworkSchedule
+{
+    std::vector<PipelinedLayer> stages;
+
+    /** Overlap-aware total: the last stage's completion. Never
+     *  exceeds the unoverlapped sum of repeats x critical path —
+     *  every inter-layer advance is bounded by the predecessor's
+     *  critical path — so the caller's serial total (runNetwork's
+     *  extrapolation, which shares the fractional-repeats basis) is
+     *  an upper bound. That serial total stays the caller's single
+     *  source of truth; this type does not duplicate it. */
+    Cycle totalCycles = 0;
+
+    /** The stage with the largest steadyCost() (the pipeline
+     *  bottleneck); stages.empty() must be checked by the caller. */
+    const PipelinedLayer &bottleneckStage() const;
+};
+
+/** Builds a NetworkSchedule by appending layers front to back. */
+class LayerPipeline
+{
+  public:
+    /**
+     * Cycles layer @p next must start after layer @p prev on the
+     * shared timeline (>= 0, <= prev.criticalEnd(); the difference
+     * from prev.criticalEnd() is the overlap won).
+     */
+    static Cycle advanceBetween(const LayerSchedule &prev,
+                                const LayerSchedule &next);
+
+    /** Append @p repeats (>= 1, possibly fractional) back-to-back
+     *  instances of @p schedule. */
+    void append(const LayerSchedule &schedule, double repeats = 1.0);
+
+    /** The finished timeline. */
+    const NetworkSchedule &schedule() const { return net; }
+
+  private:
+    NetworkSchedule net;
+
+    /** Double accumulator behind totalCycles, so fractional repeats
+     *  do not compound rounding. */
+    double totalAccum = 0.0;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_PIPELINE_LAYER_PIPELINE_HH

@@ -16,7 +16,9 @@ runResultCsvHeader()
            "lines_feature_out,lines_weight,lines_partial_sum,"
            "cache_accesses,cache_hits,macs,bw_util,"
            "energy_compute_j,energy_cache_j,energy_dram_j,"
-           "tdp_w,area_mm2";
+           "tdp_w,area_mm2,pipelined,serial_cycles,"
+           "overlap_saved_cycles,steady_advance_cycles,"
+           "critical_phase";
 }
 
 std::string
@@ -36,7 +38,13 @@ runResultCsvRow(const RunResult &run)
        << ',' << run.total.macs << ',' << run.total.bwUtil << ','
        << run.energy.computeJ << ',' << run.energy.cacheJ << ','
        << run.energy.dramJ << ',' << run.tdpWatts << ','
-       << run.areaMm2;
+       << run.areaMm2 << ',' << (run.pipeline.enabled ? 1 : 0) << ','
+       << run.pipeline.serialCycles << ','
+       << run.pipeline.overlapSavedCycles << ','
+       << run.pipeline.steadyStateAdvance << ','
+       << (run.pipeline.enabled
+               ? layerPhaseName(run.pipeline.criticalPhase)
+               : "");
     return os.str();
 }
 
@@ -80,7 +88,30 @@ runResultStats(const RunResult &run)
     stats["energy.total_j"] = run.energy.total();
     stats["power.tdp_w"] = run.tdpWatts;
     stats["area.mm2"] = run.areaMm2;
+    if (run.pipeline.enabled) {
+        stats["pipeline.serial_cycles"] =
+            static_cast<double>(run.pipeline.serialCycles);
+        stats["pipeline.overlap_saved_cycles"] =
+            static_cast<double>(run.pipeline.overlapSavedCycles);
+        stats["pipeline.steady_advance_cycles"] =
+            static_cast<double>(run.pipeline.steadyStateAdvance);
+    }
     return stats;
+}
+
+std::string
+pipelineSummaryLine(const RunResult &run)
+{
+    if (!run.pipeline.enabled)
+        return "";
+    std::ostringstream os;
+    os << run.accelName << ": " << run.pipeline.pipelinedCycles
+       << " cycles pipelined vs " << run.pipeline.serialCycles
+       << " serial (saved " << run.pipeline.overlapSavedCycles
+       << ", steady-state advance "
+       << run.pipeline.steadyStateAdvance << "/layer, critical phase "
+       << layerPhaseName(run.pipeline.criticalPhase) << ")";
+    return os.str();
 }
 
 } // namespace sgcn

@@ -30,6 +30,9 @@ void writeRunsCsv(const std::vector<RunResult> &runs,
 /** Flatten a run into named scalar statistics. */
 StatSet runResultStats(const RunResult &run);
 
+/** One-line pipelining summary ("" when the run was serial). */
+std::string pipelineSummaryLine(const RunResult &run);
+
 } // namespace sgcn
 
 #endif // SGCN_ACCEL_REPORT_HH

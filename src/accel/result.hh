@@ -6,6 +6,7 @@
 #ifndef SGCN_ACCEL_RESULT_HH
 #define SGCN_ACCEL_RESULT_HH
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,139 @@
 
 namespace sgcn
 {
+
+/** Half-open [start, end) interval of one phase on a layer-local
+ *  timeline (cycle 0 = the layer's start). */
+struct PhaseSpan
+{
+    Cycle start = 0;
+    Cycle end = 0;
+
+    Cycle duration() const { return end - start; }
+    bool wellOrdered() const { return start <= end; }
+
+    void
+    shift(Cycle by)
+    {
+        start += by;
+        end += by;
+    }
+};
+
+/** The four phases of a layer schedule. */
+enum class LayerPhase : std::uint8_t
+{
+    InputDma,
+    Aggregation,
+    Combination,
+    OutputDrain,
+};
+
+/** Human-readable phase name. */
+constexpr const char *
+layerPhaseName(LayerPhase phase)
+{
+    switch (phase) {
+      case LayerPhase::InputDma:
+        return "input-dma";
+      case LayerPhase::Aggregation:
+        return "aggregation";
+      case LayerPhase::Combination:
+        return "combination";
+      case LayerPhase::OutputDrain:
+        return "output-drain";
+    }
+    return "invalid";
+}
+
+/**
+ * Phase-level timeline of one simulated layer.
+ *
+ * Every dataflow strategy reports when its input DMA, aggregation,
+ * combination, and output drain ran on a layer-local timeline
+ * (cycle 0 = the layer's start, i.e. EngineContext::layerBase in
+ * timing mode). Phases may overlap each other — the row-product
+ * tile pipeline runs aggregation and combination concurrently — but
+ * the latest end always equals LayerResult::cycles, so the serial
+ * totals and the schedule cannot drift apart.
+ *
+ * The network pipeline (src/accel/pipeline/) chains these schedules
+ * across layers: the input-DMA prefix (weight prefetch before the
+ * first feature read) is what hides behind the previous layer's
+ * output drain.
+ */
+struct LayerSchedule
+{
+    /** Weight/topology prefetch ahead of the first feature read. */
+    PhaseSpan inputDma;
+
+    PhaseSpan aggregation;
+    PhaseSpan combination;
+    PhaseSpan outputDrain;
+
+    /** First cycle the layer consumes its input features X^l. */
+    Cycle
+    firstFeatureRead() const
+    {
+        return std::min(aggregation.start, combination.start);
+    }
+
+    /** Interval the shared agg/comb engines are occupied. */
+    Cycle computeStart() const { return firstFeatureRead(); }
+
+    Cycle
+    computeEnd() const
+    {
+        return std::max(aggregation.end, combination.end);
+    }
+
+    /** X^{l+1} fully written back (double-buffer swap point). */
+    Cycle outputReadyAt() const { return outputDrain.end; }
+
+    /** Latest phase end; equals LayerResult::cycles. */
+    Cycle
+    criticalEnd() const
+    {
+        return std::max({inputDma.end, aggregation.end,
+                         combination.end, outputDrain.end});
+    }
+
+    /** The longest phase (critical path of the layer). */
+    LayerPhase
+    longestPhase() const
+    {
+        LayerPhase phase = LayerPhase::InputDma;
+        Cycle longest = inputDma.duration();
+        const auto consider = [&](LayerPhase p, Cycle d) {
+            if (d > longest) {
+                longest = d;
+                phase = p;
+            }
+        };
+        consider(LayerPhase::Aggregation, aggregation.duration());
+        consider(LayerPhase::Combination, combination.duration());
+        consider(LayerPhase::OutputDrain, outputDrain.duration());
+        return phase;
+    }
+
+    /** Every phase interval is ordered (start <= end). */
+    bool
+    wellOrdered() const
+    {
+        return inputDma.wellOrdered() && aggregation.wellOrdered() &&
+               combination.wellOrdered() && outputDrain.wellOrdered();
+    }
+
+    /** Move the whole timeline @p by cycles later. */
+    void
+    shift(Cycle by)
+    {
+        inputDma.shift(by);
+        aggregation.shift(by);
+        combination.shift(by);
+        outputDrain.shift(by);
+    }
+};
 
 /** Outcome of simulating one GCN layer on one accelerator. */
 struct LayerResult
@@ -32,6 +166,11 @@ struct LayerResult
 
     /** Fraction of DRAM bandwidth used over the layer. */
     double bwUtil = 0.0;
+
+    /** Phase timeline of this layer. Only meaningful on a
+     *  per-simulated-layer result: merge()/scale() leave it alone,
+     *  so extrapolated totals carry the default (empty) schedule. */
+    LayerSchedule schedule;
 
     void
     merge(const LayerResult &other)
@@ -70,6 +209,33 @@ struct LayerResult
     }
 };
 
+/**
+ * Summary of the inter-layer pipelined timeline, filled by
+ * runNetwork when RunOptions::interLayerOverlap is on (the full
+ * chained timeline lives in src/accel/pipeline/).
+ */
+struct PipelineStats
+{
+    /** True when the run's totals are overlap-aware. */
+    bool enabled = false;
+
+    /** What the serial (isolated-layer) model reports. */
+    Cycle serialCycles = 0;
+
+    /** Overlap-aware total (== RunResult::total.cycles when on). */
+    Cycle pipelinedCycles = 0;
+
+    /** serialCycles - pipelinedCycles. */
+    Cycle overlapSavedCycles = 0;
+
+    /** Steady-state per-layer cost of the bottleneck stratum: the
+     *  offset between consecutive repetitions of its layer. */
+    Cycle steadyStateAdvance = 0;
+
+    /** Longest phase of the bottleneck stratum's layer schedule. */
+    LayerPhase criticalPhase = LayerPhase::InputDma;
+};
+
 /** Outcome of a whole-network simulation. */
 struct RunResult
 {
@@ -84,6 +250,9 @@ struct RunResult
 
     /** The sampled intermediate layers as simulated. */
     std::vector<LayerResult> sampledLayers;
+
+    /** Inter-layer pipelining summary (enabled=false when off). */
+    PipelineStats pipeline;
 
     /** Dynamic energy and peak power. */
     EnergyBreakdown energy;

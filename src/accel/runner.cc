@@ -1,9 +1,8 @@
 #include "accel/runner.hh"
 
-#include <string>
-
 #include "accel/dataflow/registry.hh"
 #include "accel/layer_engine.hh"
+#include "accel/pipeline/layer_pipeline.hh"
 #include "gcn/sparsity_model.hh"
 #include "graph/reorder.hh"
 #include "sim/logging.hh"
@@ -12,11 +11,48 @@
 namespace sgcn
 {
 
+namespace
+{
+
+/**
+ * Chain the simulated layer schedules on one shared timeline,
+ * extrapolating each sampled intermediate layer over its sampling
+ * stratum: with k samples of depth A, each midpoint layer repeats
+ * A/k times at its steady-state advance. The fractional A/k is
+ * exactly the factor the serial extrapolation scales by, so the
+ * pipelined total is bounded by the serial total it replaces.
+ */
+NetworkSchedule
+chainSampledSchedules(const RunResult &run, unsigned arch_intermediate,
+                      bool include_input_layer)
+{
+    LayerPipeline pipeline;
+    if (include_input_layer)
+        pipeline.append(run.inputLayer.schedule);
+    const auto strata =
+        static_cast<unsigned>(run.sampledLayers.size());
+    SGCN_ASSERT(strata >= 1 && strata <= arch_intermediate,
+                "inter-layer pipeline needs at least one sampled "
+                "intermediate layer per stratum (sampled ",
+                strata, " of ", arch_intermediate, ")");
+    const double repeats =
+        static_cast<double>(arch_intermediate) / strata;
+    for (unsigned i = 0; i < strata; ++i)
+        pipeline.append(run.sampledLayers[i].schedule, repeats);
+    return pipeline.schedule();
+}
+
+} // namespace
+
 RunResult
 runNetwork(const AccelConfig &config, const Dataset &dataset,
            const NetworkSpec &net, const RunOptions &opts)
 {
     SGCN_ASSERT(net.layers >= 2, "need at least two layers");
+    SGCN_ASSERT(opts.sampledIntermediateLayers >= 1,
+                "RunOptions::sampledIntermediateLayers must be >= 1: "
+                "a zero-sample run would silently report "
+                "input-layer-only totals");
 
     // Fail early, by name, if any dataflow this run will execute is
     // missing from the registry (the input layer may run a different
@@ -60,10 +96,31 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
         run.sampledLayers.push_back(layer);
         sampled_sum.merge(layer);
     }
-    if (!indices.empty()) {
-        sampled_sum.scale(static_cast<double>(arch_intermediate) /
-                          static_cast<double>(indices.size()));
-        run.total.merge(sampled_sum);
+    sampled_sum.scale(static_cast<double>(arch_intermediate) /
+                      static_cast<double>(indices.size()));
+    run.total.merge(sampled_sum);
+
+    if (opts.interLayerOverlap) {
+        // Replace the serial cycle extrapolation with the chained
+        // timeline. Work counts (traffic, MACs, cache accesses) are
+        // timeline-independent and keep the serial extrapolation.
+        const NetworkSchedule sched = chainSampledSchedules(
+            run, arch_intermediate, opts.includeInputLayer);
+        SGCN_ASSERT(sched.totalCycles <= run.total.cycles,
+                    "pipelined total (", sched.totalCycles,
+                    ") exceeds the serial total (", run.total.cycles,
+                    ") it replaces: a layer schedule must be "
+                    "inconsistent with its cycle count");
+        run.pipeline.enabled = true;
+        run.pipeline.serialCycles = run.total.cycles;
+        run.pipeline.pipelinedCycles = sched.totalCycles;
+        run.pipeline.overlapSavedCycles =
+            run.total.cycles - sched.totalCycles;
+        const PipelinedLayer &bottleneck = sched.bottleneckStage();
+        run.pipeline.steadyStateAdvance = bottleneck.steadyCost();
+        run.pipeline.criticalPhase =
+            bottleneck.schedule.longestPhase();
+        run.total.cycles = sched.totalCycles;
     }
 
     if (run.total.cycles > 0) {
@@ -74,8 +131,8 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
                       static_cast<double>(run.total.cycles)));
     }
 
-    const bool hbm1 = std::string(config.dram.name) == "HBM1";
-    EnergyModel energy_model({}, hbm1);
+    EnergyModel energy_model(
+        {}, config.dram.generation == DramGeneration::Hbm1);
     RunCounts counts;
     counts.macs = run.total.macs;
     counts.cacheAccesses = run.total.cacheAccesses;

@@ -8,6 +8,11 @@
  * (DESIGN.md SS6). The input layer is never extrapolated, so
  * NELL-style first-layer effects amortize over the network exactly
  * as in the paper (SVI-B).
+ *
+ * With RunOptions::interLayerOverlap the cycle extrapolation is
+ * overlap-aware instead: each sampled layer's phase schedule repeats
+ * over its stratum on the shared network timeline built by
+ * src/accel/pipeline/layer_pipeline.hh.
  */
 
 #ifndef SGCN_ACCEL_RUNNER_HH
@@ -33,6 +38,18 @@ struct RunOptions
 
     /** Simulate the dataset-input layer. */
     bool includeInputLayer = true;
+
+    /**
+     * Chain layers on one shared timeline (src/accel/pipeline/):
+     * layer l+1's input-DMA prefix overlaps layer l's output drain,
+     * gated on double-buffered output-feature availability, and the
+     * depth extrapolation uses the steady-state pipelined per-layer
+     * advance. Off (the default) reproduces the serial isolated-sum
+     * totals bit-identically; on changes cycles (and the stats
+     * derived from them) only — traffic, MAC, and cache counts stay
+     * identical. RunResult::pipeline reports what the overlap won.
+     */
+    bool interLayerOverlap = false;
 
     /**
      * Worker threads for the runAll fan-out: 1 runs serially on the

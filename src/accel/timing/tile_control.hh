@@ -9,15 +9,51 @@
 #ifndef SGCN_ACCEL_TIMING_TILE_CONTROL_HH
 #define SGCN_ACCEL_TIMING_TILE_CONTROL_HH
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "accel/result.hh"
 #include "accel/timing/stream_dma.hh"
 #include "accel/timing/timing_agg.hh"
 
 namespace sgcn
 {
+
+/** Observed [first-start, last-end] of one phase across tiles. */
+struct PhaseTrace
+{
+    Cycle start = 0;
+    Cycle end = 0;
+    bool seen = false;
+
+    void
+    markStart(Cycle at)
+    {
+        if (!seen) {
+            start = at;
+            end = at;
+            seen = true;
+        }
+    }
+
+    void
+    markEnd(Cycle at)
+    {
+        end = std::max(end, at);
+    }
+
+    /** As a layer-local span relative to @p base (empty spans pin to
+     *  @p fallback so they stay well-ordered inside the layer). */
+    PhaseSpan
+    span(Cycle base, Cycle fallback = 0) const
+    {
+        if (!seen)
+            return PhaseSpan{fallback, fallback};
+        return PhaseSpan{start - base, end - base};
+    }
+};
 
 /** Tile-sequencing state shared across continuation callbacks. */
 struct TileControl
@@ -28,6 +64,11 @@ struct TileControl
     std::shared_ptr<TimingAgg> agg;
     std::vector<std::shared_ptr<StreamDma>> dmas;
     std::function<void(unsigned)> startTile;
+
+    /** Phase traces for the layer schedule (timing mode). */
+    PhaseTrace aggTrace;
+    PhaseTrace combTrace;
+    PhaseTrace drainTrace;
 
     /** Break the ctl -> startTile -> ctl ownership cycle. */
     void

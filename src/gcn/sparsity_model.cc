@@ -102,7 +102,13 @@ sparsityProfile(const DatasetSpec &dataset, const NetworkSpec &net)
 std::vector<unsigned>
 sampleLayerIndices(unsigned architectural, unsigned simulated)
 {
-    SGCN_ASSERT(architectural >= 1 && simulated >= 1);
+    SGCN_ASSERT(architectural >= 1,
+                "cannot sample layers from a network with no "
+                "intermediate layers");
+    SGCN_ASSERT(simulated >= 1,
+                "sampling zero intermediate layers would make the "
+                "extrapolated network totals cover the input layer "
+                "only");
     simulated = std::min(simulated, architectural);
     std::vector<unsigned> indices;
     indices.reserve(simulated);

@@ -19,6 +19,7 @@ DramConfig::hbm1()
 {
     DramConfig config;
     config.name = "HBM1";
+    config.generation = DramGeneration::Hbm1;
     // Half the per-channel bandwidth of HBM2: 128 GB/s peak.
     config.burstCycles = 4;
     return config;

@@ -25,11 +25,22 @@
 namespace sgcn
 {
 
+/** DRAM generation; consumed by the energy model (per-line pJ). */
+enum class DramGeneration : std::uint8_t
+{
+    Hbm2,
+    Hbm1,
+};
+
 /** DRAM configuration; presets for HBM1 and HBM2 below. */
 struct DramConfig
 {
-    /** Human-readable module name. */
+    /** Human-readable module name (display only — behaviour keys on
+     *  the explicit fields, never on this string). */
     const char *name = "HBM2";
+
+    /** Generation of the part (energy model per-line cost). */
+    DramGeneration generation = DramGeneration::Hbm2;
 
     /** Independent channels (Table III: 8). */
     unsigned channels = 8;

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The inter-layer pipeline: with RunOptions::interLayerOverlap off,
+ * runNetwork must reproduce the serial isolated-sum totals
+ * bit-identically; with it on, cycles must drop strictly below the
+ * serial sum while staying above the longest single layer, and the
+ * work counts (traffic, MACs, cache accesses) must not move at all.
+ * Layer schedules themselves must be well-ordered for every builtin
+ * dataflow in both execution modes, and the overlapped path must be
+ * safe inside the jobs>1 fan-out (this binary carries the "thread"
+ * ctest label and runs under the ThreadSanitizer CI job).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/layer_engine.hh"
+#include "accel/personalities.hh"
+#include "accel/pipeline/layer_pipeline.hh"
+#include "accel/runner.hh"
+#include "sim/thread_pool.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+void
+expectCountsIdentical(const LayerResult &a, const LayerResult &b)
+{
+    for (unsigned c = 0; c < kNumTrafficClasses; ++c) {
+        EXPECT_EQ(a.traffic.readLines[c], b.traffic.readLines[c]);
+        EXPECT_EQ(a.traffic.writeLines[c], b.traffic.writeLines[c]);
+    }
+    EXPECT_EQ(a.cacheAccesses, b.cacheAccesses);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.macs, b.macs);
+}
+
+/** The serial extrapolation recomputed from the per-layer results,
+ *  mirroring runNetwork's documented DESIGN.md SS6 arithmetic. */
+Cycle
+serialTotalCycles(const RunResult &run, unsigned arch_intermediate)
+{
+    Cycle sampled_sum = 0;
+    for (const auto &layer : run.sampledLayers)
+        sampled_sum += layer.cycles;
+    const auto extrapolated = static_cast<Cycle>(
+        static_cast<double>(sampled_sum) *
+        (static_cast<double>(arch_intermediate) /
+         static_cast<double>(run.sampledLayers.size())));
+    return run.inputLayer.cycles + extrapolated;
+}
+
+struct Pipeline : ::testing::Test
+{
+    NetworkSpec net;
+    RunOptions serial;
+    RunOptions overlapped;
+
+    void
+    SetUp() override
+    {
+        serial.sampledIntermediateLayers = 2;
+        overlapped = serial;
+        overlapped.interLayerOverlap = true;
+    }
+};
+
+TEST_F(Pipeline, OverlapOffReproducesSerialTotals)
+{
+    const Dataset cora =
+        instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    for (const AccelConfig &config : allPersonalities()) {
+        const RunResult run = runNetwork(config, cora, net, serial);
+        EXPECT_FALSE(run.pipeline.enabled);
+        EXPECT_EQ(run.total.cycles,
+                  serialTotalCycles(run, net.layers - 1))
+            << config.name;
+        // The default options must still mean "serial".
+        const RunResult defaults = runNetwork(config, cora, net,
+                                              RunOptions{
+                                                  .mode = serial.mode,
+                                                  .sampledIntermediateLayers =
+                                                      serial.sampledIntermediateLayers,
+                                              });
+        EXPECT_EQ(run.total.cycles, defaults.total.cycles)
+            << config.name;
+        expectCountsIdentical(run.total, defaults.total);
+    }
+}
+
+TEST_F(Pipeline, OverlapBoundsAndInvariantCounts)
+{
+    for (const char *abbrev : {"CR", "CS"}) {
+        const Dataset dataset =
+            instantiateDataset(datasetByAbbrev(abbrev), 0.08);
+        for (const AccelConfig &config : allPersonalities()) {
+            const RunResult off =
+                runNetwork(config, dataset, net, serial);
+            const RunResult on =
+                runNetwork(config, dataset, net, overlapped);
+
+            // Work is timeline-independent.
+            expectCountsIdentical(off.total, on.total);
+            EXPECT_EQ(off.total.aggCycles, on.total.aggCycles);
+            EXPECT_EQ(off.total.combCycles, on.total.combCycles);
+
+            // Cycles: strictly below the serial sum (the weight
+            // prefetch of every layer hides behind its predecessor's
+            // drain), at or above the longest single layer.
+            EXPECT_LT(on.total.cycles, off.total.cycles)
+                << config.name << " on " << abbrev;
+            Cycle longest_layer = off.inputLayer.cycles;
+            for (const auto &layer : off.sampledLayers)
+                longest_layer = std::max(longest_layer, layer.cycles);
+            EXPECT_GE(on.total.cycles, longest_layer)
+                << config.name << " on " << abbrev;
+
+            // The summary must agree with the totals.
+            EXPECT_TRUE(on.pipeline.enabled);
+            EXPECT_EQ(on.pipeline.pipelinedCycles, on.total.cycles);
+            EXPECT_EQ(on.pipeline.serialCycles, off.total.cycles);
+            EXPECT_EQ(on.pipeline.overlapSavedCycles,
+                      off.total.cycles - on.total.cycles);
+            EXPECT_GT(on.pipeline.steadyStateAdvance, 0u);
+        }
+    }
+}
+
+void
+expectWellOrderedSchedule(const LayerResult &layer, const char *what)
+{
+    const LayerSchedule &s = layer.schedule;
+    EXPECT_TRUE(s.wellOrdered()) << what;
+    // The weight prefetch prefix exists and leads the timeline.
+    EXPECT_EQ(s.inputDma.start, 0u) << what;
+    EXPECT_GT(s.inputDma.end, 0u) << what;
+    // The drain cannot lead the aggregation it empties.
+    EXPECT_GE(s.outputDrain.start, s.aggregation.start) << what;
+    EXPECT_GE(s.outputDrain.end, s.aggregation.start) << what;
+    // Schedule and totals cannot drift apart.
+    EXPECT_EQ(s.criticalEnd(), layer.cycles) << what;
+    EXPECT_EQ(s.outputReadyAt(), layer.cycles) << what;
+    // Compute begins after the prefetch window opens.
+    EXPECT_GT(s.firstFeatureRead(), 0u) << what;
+    EXPECT_LE(s.computeStart(), s.computeEnd()) << what;
+}
+
+TEST_F(Pipeline, SchedulesWellOrderedForEveryDataflowAndMode)
+{
+    const Dataset cora =
+        instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    for (const AccelConfig &config : allPersonalities()) {
+        for (ExecutionMode mode :
+             {ExecutionMode::Fast, ExecutionMode::Timing}) {
+            RunOptions opts = serial;
+            opts.mode = mode;
+            const RunResult run = runNetwork(config, cora, net, opts);
+            const std::string label =
+                config.name +
+                (mode == ExecutionMode::Timing ? "/timing" : "/fast");
+            expectWellOrderedSchedule(run.inputLayer,
+                                      (label + " input").c_str());
+            for (const auto &layer : run.sampledLayers)
+                expectWellOrderedSchedule(
+                    layer, (label + " intermediate").c_str());
+        }
+    }
+}
+
+TEST_F(Pipeline, LayerPipelineChainingInvariants)
+{
+    LayerSchedule a;
+    a.inputDma = {0, 100};
+    a.aggregation = {100, 500};
+    a.combination = {300, 700};
+    a.outputDrain = {600, 800};
+
+    // Self-chaining: the repeat advance hides the input-DMA prefix
+    // behind the drain, never more than the full layer.
+    const Cycle self = LayerPipeline::advanceBetween(a, a);
+    EXPECT_EQ(self, a.criticalEnd() - a.firstFeatureRead());
+    EXPECT_LE(self, a.criticalEnd());
+
+    LayerPipeline pipeline;
+    pipeline.append(a, 10);
+    const NetworkSchedule &net_sched = pipeline.schedule();
+    EXPECT_EQ(net_sched.totalCycles, 9 * self + a.criticalEnd());
+    EXPECT_LT(net_sched.totalCycles, 10 * a.criticalEnd());
+
+    // A dependent layer whose compute starts immediately cannot
+    // overlap at all: the advance degenerates to the full layer.
+    LayerSchedule eager = a;
+    eager.aggregation.start = 0;
+    EXPECT_EQ(LayerPipeline::advanceBetween(a, eager),
+              a.criticalEnd());
+}
+
+TEST_F(Pipeline, OverlappedRunsInsideJobsFanOut)
+{
+    // The overlapped path inside the jobs>1 fan-out: same results as
+    // the serial fan-out, in order, without racing (TSan CI job).
+    const Dataset cora =
+        instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    const auto configs = allPersonalities();
+    RunOptions fanned = overlapped;
+    fanned.jobs = 8;
+
+    const auto expected = runAll(configs, cora, net, overlapped);
+    const auto actual = runAll(configs, cora, net, fanned);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i].accelName, configs[i].name);
+        EXPECT_EQ(actual[i].total.cycles, expected[i].total.cycles);
+        EXPECT_EQ(actual[i].pipeline.overlapSavedCycles,
+                  expected[i].pipeline.overlapSavedCycles);
+        expectCountsIdentical(actual[i].total, expected[i].total);
+    }
+}
+
+} // namespace
+} // namespace sgcn

@@ -55,6 +55,7 @@ runOptions(const Cli &cli)
     opts.sampledIntermediateLayers =
         static_cast<unsigned>(cli.getInt("sampled", 4));
     opts.includeInputLayer = cli.getBool("input-layer", true);
+    opts.interLayerOverlap = cli.getBool("pipeline", false);
     opts.jobs = static_cast<unsigned>(
         cli.getInt("jobs", ThreadPool::hardwareJobs()));
     return opts;
@@ -142,6 +143,14 @@ cmdRun(const Cli &cli)
                    Table::percent(run.total.bwUtil)});
     }
     table.print();
+
+    if (opts.interLayerOverlap) {
+        std::printf("\n");
+        for (const auto &run : results) {
+            std::printf("%s\n",
+                        pipelineSummaryLine(run).c_str());
+        }
+    }
 
     if (cli.has("stats")) {
         for (const auto &run : results) {
@@ -302,6 +311,8 @@ usage()
         "--cache-kb N --engines N\n"
         "            --dram hbm1|hbm2 --csv FILE --stats "
         "--jobs N (default: all hardware threads)\n"
+        "            --pipeline (overlap layers on one timeline; "
+        "see README \"Inter-layer pipelining\")\n"
         "  sweep     --knob cache|engines|layers|slice --dataset ...\n"
         "  describe  --accel SGCN|GCNAX|HyGCN|AWB-GCN|EnGN|I-GCN\n"
         "  datasets  [--scale X]\n"
