@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "graph/generators.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"

@@ -1,7 +1,5 @@
 #include "accel/timing/timing_agg.hh"
 
-#include <memory>
-
 #include "core/sac.hh"
 #include "sim/logging.hh"
 
@@ -60,22 +58,21 @@ TimingAgg::nextItem(EngineState &es, Item &item)
                 continue;
             }
             es.curV = es.order[es.vi];
-            const auto nbrs = view.tileNeighbors(es.curV, es.srcTile);
+            es.nbrs = view.tileNeighbors(es.curV, es.srcTile);
             es.walk = ec.sampledEdges(
-                static_cast<std::uint32_t>(nbrs.size()));
+                static_cast<std::uint32_t>(es.nbrs.size()));
             if (es.walk == 0) {
                 ++es.vi;
                 continue;
             }
-            es.stride = static_cast<double>(nbrs.size()) / es.walk;
+            es.stride = static_cast<double>(es.nbrs.size()) / es.walk;
             es.edge = 0;
             es.vertexLoaded = true;
         }
 
-        const auto nbrs = view.tileNeighbors(es.curV, es.srcTile);
         const auto pick = static_cast<std::size_t>(
             static_cast<double>(es.edge) * es.stride);
-        const VertexId u = nbrs[pick];
+        const VertexId u = es.nbrs[pick];
         item.feat = layout.planSliceRead(u, es.slice);
         item.values = layout.sliceValues(u, es.slice);
         item.topo = AccessPlan{};
@@ -106,24 +103,27 @@ TimingAgg::tryIssue(unsigned e)
         if (!nextItem(es, item))
             break;
         ++es.outstanding;
-        const auto total_lines = static_cast<unsigned>(
-            item.feat.totalLines() + item.topo.totalLines());
-        SGCN_ASSERT(total_lines > 0);
-        auto joint = std::make_shared<unsigned>(total_lines);
+        SGCN_ASSERT(item.feat.numRuns > 0 || item.topo.numRuns > 0);
         const std::uint32_t values = item.values;
-        auto on_line = [this, e, joint, values] {
-            if (--*joint == 0)
-                itemDone(e, values);
-        };
-        item.topo.forEachLine([&](Addr line) {
-            ec.mem->dram().access(
-                MemRequest{line, MemOp::Read, TrafficClass::Topology},
-                on_line);
-        });
-        item.feat.forEachLine([&](Addr line) {
-            ec.mem->access(MemRequest{line, MemOp::Read, cls},
-                           on_line);
-        });
+        MemCallback on_item([this, e, values] { itemDone(e, values); });
+        // Topology streams from DRAM, features go through the cache
+        // hierarchy; a pooled two-way join replaces the per-line
+        // closures when the item carries both.
+        if (item.topo.numRuns > 0 && item.feat.numRuns > 0) {
+            BurstPool::Node *join = joins.join(2, std::move(on_item));
+            ec.mem->dram().accessBurst(item.topo, MemOp::Read,
+                                       TrafficClass::Topology,
+                                       BurstPool::part(join));
+            ec.mem->accessPlan(item.feat, MemOp::Read, cls,
+                               BurstPool::part(join));
+        } else if (item.topo.numRuns > 0) {
+            ec.mem->dram().accessBurst(item.topo, MemOp::Read,
+                                       TrafficClass::Topology,
+                                       std::move(on_item));
+        } else {
+            ec.mem->accessPlan(item.feat, MemOp::Read, cls,
+                               std::move(on_item));
+        }
     }
 }
 

@@ -14,9 +14,11 @@
 #define SGCN_ACCEL_TIMING_TIMING_AGG_HH
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "accel/engine_context.hh"
+#include "mem/burst.hh"
 
 namespace sgcn
 {
@@ -51,6 +53,9 @@ class TimingAgg
         unsigned srcTile = 0;
         std::size_t vi = 0;
         VertexId curV = 0;
+        /** Neighbour span of (curV, srcTile), cached at vertex load
+         *  instead of re-resolved for every sampled edge. */
+        std::span<const VertexId> nbrs;
         std::uint32_t edge = 0;
         std::uint32_t walk = 0;
         double stride = 1.0;
@@ -70,6 +75,8 @@ class TimingAgg
     FeatureLayout &layout;
     TrafficClass cls;
     std::vector<EngineState> engines;
+    /** Joins the topology and feature bursts of in-flight items. */
+    BurstPool joins;
     std::function<void()> done;
     bool signalled = false;
 };

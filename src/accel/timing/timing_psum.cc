@@ -1,7 +1,5 @@
 #include "accel/timing/timing_psum.hh"
 
-#include <memory>
-
 #include "sim/logging.hh"
 
 namespace sgcn
@@ -94,28 +92,25 @@ TimingPsum::tryIssue(unsigned e)
                 kFeatureBytes);
 
         ++es.outstanding;
-        const auto total = static_cast<unsigned>(
-            2 * strip_plan.totalLines() + topo.totalLines());
-        auto joint = std::make_shared<unsigned>(total);
         const std::uint32_t values = end_col - begin_col;
-        auto on_line = [this, e, joint, values] {
-            if (--*joint == 0)
-                itemDone(e, values);
-        };
-        topo.forEachLine([&](Addr line) {
-            ec.mem->dram().access(
-                MemRequest{line, MemOp::Read, TrafficClass::Topology},
-                on_line);
-        });
-        strip_plan.forEachLine([&](Addr line) {
-            ec.psumBuffer->access(
-                MemRequest{line, MemOp::Read, TrafficClass::PartialSum},
-                on_line);
-            ec.psumBuffer->access(
-                MemRequest{line, MemOp::Write,
-                           TrafficClass::PartialSum},
-                on_line);
-        });
+        MemCallback on_item([this, e, values] { itemDone(e, values); });
+        // The strip is always non-empty; the topology plan exists
+        // only on a vertex's first sampled edge. Topology streams
+        // from DRAM first, then the strip read-modify-writes the
+        // accumulator banks, exactly as the per-line path issued.
+        if (topo.numRuns > 0) {
+            BurstPool::Node *join = joins.join(2, std::move(on_item));
+            ec.mem->dram().accessBurst(topo, MemOp::Read,
+                                       TrafficClass::Topology,
+                                       BurstPool::part(join));
+            ec.psumBuffer->accessBurstRmw(strip_plan,
+                                          TrafficClass::PartialSum,
+                                          BurstPool::part(join));
+        } else {
+            ec.psumBuffer->accessBurstRmw(strip_plan,
+                                          TrafficClass::PartialSum,
+                                          std::move(on_item));
+        }
     }
 }
 

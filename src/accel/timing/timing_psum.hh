@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "accel/engine_context.hh"
+#include "mem/burst.hh"
 
 namespace sgcn
 {
@@ -41,6 +42,8 @@ class TimingPsum
 
     EngineContext &ec;
     std::vector<EngineState> engines;
+    /** Joins the topology and partial-sum bursts of one item. */
+    BurstPool joins;
     std::uint64_t psumStride = 0;
     std::uint32_t stripWidth = 0;
     unsigned strips = 0;

@@ -26,44 +26,6 @@ formatKindName(FormatKind kind)
     }
 }
 
-void
-AccessPlan::addBytes(Addr addr, std::uint64_t bytes)
-{
-    if (bytes == 0)
-        return;
-    const Addr first = alignDown(addr, kCachelineBytes);
-    addLines(first,
-             static_cast<std::uint32_t>(linesTouched(addr, bytes)));
-}
-
-void
-AccessPlan::addLines(Addr line_addr, std::uint32_t lines)
-{
-    if (lines == 0)
-        return;
-    SGCN_ASSERT(isAligned(line_addr, kCachelineBytes));
-    if (numRuns > 0) {
-        Run &last = runs[numRuns - 1];
-        const Addr last_end =
-            last.addr + static_cast<Addr>(last.lines) * kCachelineBytes;
-        if (last_end == line_addr) {
-            last.lines += lines;
-            return;
-        }
-    }
-    SGCN_ASSERT(numRuns < kMaxRuns, "access plan overflow");
-    runs[numRuns++] = Run{line_addr, lines};
-}
-
-std::uint64_t
-AccessPlan::totalLines() const
-{
-    std::uint64_t total = 0;
-    for (unsigned r = 0; r < numRuns; ++r)
-        total += runs[r].lines;
-    return total;
-}
-
 FeatureLayout::FeatureLayout(std::uint32_t feature_width,
                              std::uint32_t slice_width)
     : width(feature_width),

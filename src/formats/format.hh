@@ -12,11 +12,11 @@
 #ifndef SGCN_FORMATS_FORMAT_HH
 #define SGCN_FORMATS_FORMAT_HH
 
-#include <array>
 #include <cstdint>
 #include <memory>
 
 #include "gcn/feature_matrix.hh"
+#include "mem/access_plan.hh"
 #include "sim/types.hh"
 
 namespace sgcn
@@ -37,45 +37,6 @@ enum class FormatKind
 
 /** Human-readable format name. */
 const char *formatKindName(FormatKind kind);
-
-/**
- * A cacheline-granular access plan: up to kMaxRuns contiguous runs
- * of lines. Contiguous additions merge, so plans stay tiny.
- */
-struct AccessPlan
-{
-    static constexpr unsigned kMaxRuns = 16;
-
-    struct Run
-    {
-        Addr addr = 0;       //!< line-aligned start address
-        std::uint32_t lines = 0;
-    };
-
-    std::array<Run, kMaxRuns> runs;
-    unsigned numRuns = 0;
-
-    /** Append the lines touched by [addr, addr+bytes). */
-    void addBytes(Addr addr, std::uint64_t bytes);
-
-    /** Append a pre-aligned run of lines, merging when contiguous. */
-    void addLines(Addr line_addr, std::uint32_t lines);
-
-    /** Total lines in the plan. */
-    std::uint64_t totalLines() const;
-
-    /** Invoke @p fn for every line address in order. */
-    template <typename Fn>
-    void
-    forEachLine(Fn &&fn) const
-    {
-        for (unsigned r = 0; r < numRuns; ++r) {
-            for (std::uint32_t i = 0; i < runs[r].lines; ++i)
-                fn(runs[r].addr +
-                   static_cast<Addr>(i) * kCachelineBytes);
-        }
-    }
-};
 
 /**
  * Abstract feature-matrix layout bound to a non-zero mask.

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Process-wide memo of preprocessed (reordered) graph topologies.
+ *
+ * Sweeps call runNetwork once per (personality, dataset) pair, and
+ * every I-GCN-style personality re-derives bfsIslandOrder and
+ * re-permutes the same dataset graph from scratch — O(V+E) work plus
+ * allocations that dwarf the lookup. The cache keys on a full
+ * content fingerprint of the topology (vertex/edge counts, row
+ * pointers, column indices), so islandization runs once per dataset
+ * per process instead of once per config x run, including across
+ * distinct Dataset instantiations of the same graph.
+ *
+ * Thread-safe: concurrent lookups of the same graph (runAll with
+ * jobs > 1) block on one shared computation instead of duplicating
+ * it. Cached graphs are immutable and handed out as shared_ptr, so
+ * entries stay valid however long a run holds them, and clear() is
+ * always safe.
+ */
+
+#ifndef SGCN_GRAPH_PREPROCESS_CACHE_HH
+#define SGCN_GRAPH_PREPROCESS_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "graph/csr_graph.hh"
+
+namespace sgcn
+{
+
+/** Reorder schemes the cache can memoize (keyed alongside the
+ *  topology fingerprint). */
+enum class ReorderKind : std::uint8_t
+{
+    /** I-GCN islandization: permute by bfsIslandOrder. */
+    BfsIslands,
+};
+
+/** Memo of reordered graphs; see file comment. */
+class PreprocessCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /** The process-wide instance used by runNetwork. */
+    static PreprocessCache &instance();
+
+    /**
+     * The @p kind-reordered version of @p graph, computed on first
+     * use and shared afterwards. Bit-identical to computing the
+     * reorder inline (the permutation is deterministic).
+     */
+    std::shared_ptr<const CsrGraph> reordered(const CsrGraph &graph,
+                                              ReorderKind kind);
+
+    /** Shorthand for reordered(graph, ReorderKind::BfsIslands). */
+    std::shared_ptr<const CsrGraph>
+    islandized(const CsrGraph &graph)
+    {
+        return reordered(graph, ReorderKind::BfsIslands);
+    }
+
+    /** Hit/miss counters (a blocked concurrent lookup counts as a
+     *  hit: the work ran once). */
+    Stats stats() const;
+
+    /** Cached entries. */
+    std::size_t size() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    /** 128-bit content fingerprint + kind; collision-safe in any
+     *  realistic sweep. */
+    struct Key
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        ReorderKind kind = ReorderKind::BfsIslands;
+
+        bool
+        operator<(const Key &other) const
+        {
+            if (lo != other.lo)
+                return lo < other.lo;
+            if (hi != other.hi)
+                return hi < other.hi;
+            return kind < other.kind;
+        }
+    };
+
+    static Key fingerprint(const CsrGraph &graph, ReorderKind kind);
+
+    using Entry = std::shared_future<std::shared_ptr<const CsrGraph>>;
+
+    mutable std::mutex mutex;
+    std::map<Key, Entry> entries;
+    Stats counters;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_GRAPH_PREPROCESS_CACHE_HH

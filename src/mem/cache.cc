@@ -14,18 +14,20 @@ Cache::Cache(const CacheConfig &config, Dram &dram_module,
     SGCN_ASSERT(num_sets > 0 && isPowerOfTwo(num_sets),
                 "cache sets must be a power of two, got ", num_sets);
     sets.assign(num_sets, std::vector<Line>(cfg.ways));
+    setMask = num_sets - 1;
+    setShift = log2Floor(num_sets);
 }
 
 std::uint64_t
 Cache::setIndex(Addr line_addr) const
 {
-    return (line_addr / kCachelineBytes) % sets.size();
+    return (line_addr / kCachelineBytes) & setMask;
 }
 
 std::uint64_t
 Cache::tagOf(Addr line_addr) const
 {
-    return (line_addr / kCachelineBytes) / sets.size();
+    return (line_addr / kCachelineBytes) >> setShift;
 }
 
 Cache::LookupResult
@@ -185,6 +187,43 @@ Cache::access(const MemRequest &request, MemCallback done)
     }
 
     startMiss(request, std::move(done));
+}
+
+void
+Cache::accessBurst(const AccessPlan &plan, MemOp op, TrafficClass cls,
+                   MemCallback done)
+{
+    const std::uint64_t total = plan.totalLines();
+    if (total == 0) {
+        if (done)
+            done();
+        return;
+    }
+    BurstPool::Node *node =
+        bursts.join(static_cast<std::uint32_t>(total), std::move(done));
+    plan.forEachLine([&](Addr line) {
+        access(MemRequest{line, op, cls}, BurstPool::part(node));
+    });
+}
+
+void
+Cache::accessBurstRmw(const AccessPlan &plan, TrafficClass cls,
+                      MemCallback done)
+{
+    const std::uint64_t total = plan.totalLines();
+    if (total == 0) {
+        if (done)
+            done();
+        return;
+    }
+    BurstPool::Node *node = bursts.join(
+        static_cast<std::uint32_t>(2 * total), std::move(done));
+    plan.forEachLine([&](Addr line) {
+        access(MemRequest{line, MemOp::Read, cls},
+               BurstPool::part(node));
+        access(MemRequest{line, MemOp::Write, cls},
+               BurstPool::part(node));
+    });
 }
 
 void

@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace sgcn
@@ -57,19 +59,110 @@ Dram::decode(Addr line_addr, unsigned &channel, unsigned &bank,
     row = row_global / cfg.banksPerChannel;
 }
 
+unsigned
+Dram::decodeChannel(Addr line_addr) const
+{
+    return static_cast<unsigned>((line_addr / cfg.interleaveBytes) %
+                                 cfg.channels);
+}
+
 void
 Dram::access(const MemRequest &request, MemCallback done)
 {
     SGCN_ASSERT(isAligned(request.lineAddr, kCachelineBytes),
                 "DRAM request not line-aligned: ", request.lineAddr);
+    counters.add(request.op, request.cls);
+    ++outstanding;
     unsigned channel_idx, bank_idx;
     std::uint64_t row;
     decode(request.lineAddr, channel_idx, bank_idx, row);
-    counters.add(request.op, request.cls);
-    ++outstanding;
-    channelState[channel_idx].queue.push_back(
-        Pending{request, std::move(done), events.now()});
+    channelState[channel_idx].queue.push_back(Pending{
+        request, std::move(done), events.now(), bank_idx, row});
     activateScheduler(channel_idx);
+}
+
+void
+Dram::enqueueRun(Addr first_line, std::uint32_t lines, MemOp op,
+                 TrafficClass cls, BurstPool::Node *node)
+{
+    SGCN_ASSERT(isAligned(first_line, kCachelineBytes),
+                "DRAM run not line-aligned: ", first_line);
+    counters.add(op, cls, lines);
+    outstanding += lines;
+    const Cycle now = events.now();
+    Addr line = first_line;
+    std::uint32_t remaining = lines;
+    while (remaining > 0) {
+        // Lines up to the next channel-interleave boundary share a
+        // channel and advance contiguously through that channel's
+        // local address space: decode the chunk's first line, then
+        // derive bank/row incrementally (they change only when the
+        // local address crosses a row boundary, which row-sized
+        // power-of-two geometry makes an exact alignment test).
+        // Scheduler kicks stay in per-line order because a push
+        // alone never schedules an event.
+        const Addr boundary =
+            alignDown(line, cfg.interleaveBytes) + cfg.interleaveBytes;
+        const std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(remaining,
+                                    (boundary - line) /
+                                        kCachelineBytes));
+        unsigned channel_idx, bank_idx;
+        std::uint64_t row;
+        decode(line, channel_idx, bank_idx, row);
+        const std::uint64_t stripe = line / cfg.interleaveBytes;
+        std::uint64_t local =
+            (stripe / cfg.channels) * cfg.interleaveBytes +
+            (line % cfg.interleaveBytes);
+        Channel &channel = channelState[channel_idx];
+        for (std::uint32_t i = 0; i < chunk; ++i) {
+            const Addr line_addr =
+                line + static_cast<Addr>(i) * kCachelineBytes;
+            if (i > 0) {
+                local += kCachelineBytes;
+                if ((local & (cfg.rowBytes - 1)) == 0) {
+                    const std::uint64_t row_global =
+                        local / cfg.rowBytes;
+                    bank_idx = static_cast<unsigned>(
+                        row_global % cfg.banksPerChannel);
+                    row = row_global / cfg.banksPerChannel;
+                }
+            }
+            channel.queue.push_back(
+                Pending{MemRequest{line_addr, op, cls},
+                        BurstPool::part(node), now, bank_idx, row});
+        }
+        activateScheduler(channel_idx);
+        line += static_cast<Addr>(chunk) * kCachelineBytes;
+        remaining -= chunk;
+    }
+}
+
+void
+Dram::accessBurst(const AccessPlan &plan, MemOp op, TrafficClass cls,
+                  MemCallback done)
+{
+    const std::uint64_t total = plan.totalLines();
+    if (total == 0) {
+        if (done)
+            done();
+        return;
+    }
+    BurstPool::Node *node =
+        bursts.join(static_cast<std::uint32_t>(total), std::move(done));
+    for (unsigned r = 0; r < plan.numRuns; ++r)
+        enqueueRun(plan.runs[r].addr, plan.runs[r].lines, op, cls,
+                   node);
+}
+
+void
+Dram::accessRun(Addr first_line, std::uint32_t lines, MemOp op,
+                TrafficClass cls, MemCallback each)
+{
+    if (lines == 0)
+        return;
+    BurstPool::Node *node = bursts.fanout(lines, std::move(each));
+    enqueueRun(first_line, lines, op, cls, node);
 }
 
 void
@@ -105,12 +198,9 @@ Dram::dispatch(unsigned channel_idx)
     bool pick_is_hit = false;
     Cycle earliest_ready = std::numeric_limits<Cycle>::max();
     for (std::size_t i = 0; i < window; ++i) {
-        unsigned req_channel, bank_idx;
-        std::uint64_t row;
-        decode(channel.queue[i].request.lineAddr, req_channel,
-               bank_idx, row);
-        const Bank &bank = channel.banks[bank_idx];
-        const bool hit = bank.rowOpen && bank.openRow == row;
+        const Pending &pending = channel.queue[i];
+        const Bank &bank = channel.banks[pending.bank];
+        const bool hit = bank.rowOpen && bank.openRow == pending.row;
         // A miss needs an activate slot (tFAW) on top of the bank.
         const Cycle ready_at =
             hit ? bank.readyAt : std::max(bank.readyAt, faw_ready);
@@ -150,30 +240,24 @@ Dram::dispatch(unsigned channel_idx)
         std::uint64_t candidate_row = 0;
         for (std::size_t i = 0; i < window2 && candidate == window2;
              ++i) {
-            unsigned req_channel, bank_idx;
-            std::uint64_t row;
-            decode(channel.queue[i].request.lineAddr, req_channel,
-                   bank_idx, row);
-            Bank &bank = channel.banks[bank_idx];
+            const Pending &pending = channel.queue[i];
+            Bank &bank = channel.banks[pending.bank];
             if (bank.readyAt > now)
                 continue;
-            if (bank.rowOpen && bank.openRow == row)
+            if (bank.rowOpen && bank.openRow == pending.row)
                 continue; // a hit; the CAS path will take it
             candidate = i;
-            candidate_bank = bank_idx;
-            candidate_row = row;
+            candidate_bank = pending.bank;
+            candidate_row = pending.row;
         }
         if (candidate != window2) {
             Bank &bank = channel.banks[candidate_bank];
             bool open_row_still_wanted = false;
             if (bank.rowOpen) {
                 for (std::size_t i = 0; i < window2; ++i) {
-                    unsigned req_channel, bank_idx;
-                    std::uint64_t row;
-                    decode(channel.queue[i].request.lineAddr,
-                           req_channel, bank_idx, row);
-                    if (bank_idx == candidate_bank &&
-                        row == bank.openRow) {
+                    const Pending &pending = channel.queue[i];
+                    if (pending.bank == candidate_bank &&
+                        pending.row == bank.openRow) {
                         open_row_still_wanted = true;
                         break;
                     }
@@ -208,10 +292,8 @@ Dram::issueRequest(Channel &channel, std::size_t pick)
     channel.queue.erase(channel.queue.begin() +
                         static_cast<std::ptrdiff_t>(pick));
 
-    unsigned req_channel, bank_idx;
-    std::uint64_t row;
-    decode(pending.request.lineAddr, req_channel, bank_idx, row);
-    Bank &bank = channel.banks[bank_idx];
+    const std::uint64_t row = pending.row;
+    Bank &bank = channel.banks[pending.bank];
 
     Cycle access_latency;
     if (bank.rowOpen && bank.openRow == row) {

@@ -18,6 +18,8 @@
 #include <deque>
 #include <vector>
 
+#include "mem/access_plan.hh"
+#include "mem/burst.hh"
 #include "mem/mem_request.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -106,6 +108,28 @@ class Dram
     /** Enqueue a timing request; @p done fires at completion. */
     void access(const MemRequest &request, MemCallback done);
 
+    /**
+     * Enqueue every line of @p plan in order; @p done fires exactly
+     * once, when the last line's burst finishes (immediately, if the
+     * plan is empty). Request-for-request equivalent to calling
+     * access() per line — same queue order, counters, and timing —
+     * but decodes once per channel-interleave chunk (consecutive
+     * lines that land in the same row), books traffic per run, and
+     * joins completions through a pooled counter instead of a
+     * per-line heap closure.
+     */
+    void accessBurst(const AccessPlan &plan, MemOp op,
+                     TrafficClass cls, MemCallback done);
+
+    /**
+     * Enqueue @p lines consecutive cachelines from @p first_line;
+     * @p each fires once per completed line (`lines` times total,
+     * stored once). The windowed-stream analogue of accessBurst for
+     * issuers that re-issue on every line completion (StreamDma).
+     */
+    void accessRun(Addr first_line, std::uint32_t lines, MemOp op,
+                   TrafficClass cls, MemCallback each);
+
     /** Total requests still queued or in flight. */
     std::uint64_t inFlight() const { return outstanding; }
 
@@ -139,6 +163,10 @@ class Dram
         MemRequest request;
         MemCallback done;
         Cycle enqueued;
+        /** Decoded at enqueue so the FR-FCFS scan (which revisits
+         *  every queued request many times) never re-divides. */
+        unsigned bank;
+        std::uint64_t row;
     };
 
     struct Bank
@@ -150,6 +178,13 @@ class Dram
 
     struct Channel
     {
+        // Move-only: Pending holds a move-only callback, and
+        // vector relocation must pick the (throwing) deque move
+        // over the deleted copy.
+        Channel() = default;
+        Channel(Channel &&) = default;
+        Channel &operator=(Channel &&) = default;
+
         std::deque<Pending> queue;
         std::vector<Bank> banks;
         Cycle busFreeAt = 0;
@@ -170,6 +205,15 @@ class Dram
     void decode(Addr line_addr, unsigned &channel, unsigned &bank,
                 std::uint64_t &row) const;
 
+    /** Channel of @p line_addr (the only decode component enqueuing
+     *  needs; bank/row are re-derived at dispatch). */
+    unsigned decodeChannel(Addr line_addr) const;
+
+    /** Enqueue one run of lines with per-line callbacks minted from
+     *  @p node (shared burst/fanout state). */
+    void enqueueRun(Addr first_line, std::uint32_t lines, MemOp op,
+                    TrafficClass cls, BurstPool::Node *node);
+
     /** Kick the per-channel scheduler if it is idle. */
     void activateScheduler(unsigned channel_idx);
 
@@ -181,6 +225,7 @@ class Dram
 
     DramConfig cfg;
     EventQueue &events;
+    BurstPool bursts;
     std::vector<Channel> channelState;
     TrafficCounters counters;
     std::uint64_t outstanding = 0;

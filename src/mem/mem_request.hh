@@ -10,8 +10,7 @@
 #ifndef SGCN_MEM_MEM_REQUEST_HH
 #define SGCN_MEM_MEM_REQUEST_HH
 
-#include <functional>
-
+#include "sim/small_function.hh"
 #include "sim/types.hh"
 
 namespace sgcn
@@ -30,8 +29,16 @@ struct MemRequest
     TrafficClass cls = TrafficClass::FeatureIn;
 };
 
-/** Completion callback invoked when a timing request finishes. */
-using MemCallback = std::function<void()>;
+/** Inline capture budget of a memory completion callback: engine
+ *  item completions and burst-join handles are at most a couple of
+ *  pointers plus a word (see kEventCaptureBytes for how this nests
+ *  inside event callbacks without spilling). */
+constexpr std::size_t kMemCaptureBytes = 32;
+
+/** Completion callback invoked when a timing request finishes.
+ *  Move-only with inline capture storage; never heap-allocates for
+ *  captures up to kMemCaptureBytes. */
+using MemCallback = SmallFunction<kMemCaptureBytes>;
 
 /** Per-traffic-class line counters (64B lines). */
 struct TrafficCounters

@@ -22,6 +22,17 @@ MemorySystem::access(const MemRequest &request, MemCallback done)
     cacheModel->access(request, std::move(done));
 }
 
+void
+MemorySystem::accessPlan(const AccessPlan &plan, MemOp op,
+                         TrafficClass cls, MemCallback done)
+{
+    if (bypasses(cls)) {
+        dramModel->accessBurst(plan, op, cls, std::move(done));
+        return;
+    }
+    cacheModel->accessBurst(plan, op, cls, std::move(done));
+}
+
 bool
 MemorySystem::accessFunctional(const MemRequest &request)
 {

@@ -14,6 +14,7 @@
 #include <array>
 #include <memory>
 
+#include "mem/access_plan.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "sim/event_queue.hh"
@@ -30,6 +31,17 @@ class MemorySystem
 
     /** Route a timing request through the hierarchy. */
     void access(const MemRequest &request, MemCallback done);
+
+    /**
+     * Route every line of @p plan through the hierarchy, in order;
+     * @p done fires exactly once, when the last line completes
+     * (immediately if the plan is empty). Line-for-line equivalent
+     * to calling access() per line — same events, same counters —
+     * without a per-line closure or join counter (see
+     * Dram::accessBurst / Cache::accessBurst).
+     */
+    void accessPlan(const AccessPlan &plan, MemOp op,
+                    TrafficClass cls, MemCallback done);
 
     /** Route a functional request; returns true on cache hit. */
     bool accessFunctional(const MemRequest &request);

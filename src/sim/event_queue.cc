@@ -1,47 +1,152 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace sgcn
 {
+
+std::uint32_t
+EventQueue::acquireSlot(Callback cb)
+{
+    std::uint32_t slot;
+    if (freeSlots.empty()) {
+        slot = static_cast<std::uint32_t>(slots.size());
+        slots.push_back(std::move(cb));
+    } else {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+        slots[slot] = std::move(cb);
+    }
+    return slot;
+}
+
+void
+EventQueue::markBucket(std::size_t bucket)
+{
+    bucketBits[bucket >> 6] |= 1ULL << (bucket & 63);
+}
+
+void
+EventQueue::clearBucket(std::size_t bucket)
+{
+    bucketBits[bucket >> 6] &= ~(1ULL << (bucket & 63));
+}
 
 void
 EventQueue::schedule(Cycle when, Callback cb)
 {
     SGCN_ASSERT(when >= currentCycle,
                 "scheduling into the past: ", when, " < ", currentCycle);
-    heap.push(Entry{when, nextSeq++, std::move(cb)});
+    const std::uint32_t slot = acquireSlot(std::move(cb));
+    const std::uint64_t seq = nextSeq++;
+    ++pendingCount;
+    if (when - currentCycle < kWheelSpan) {
+        // Within the horizon every bucket holds at most one distinct
+        // cycle, and appends arrive in seq order, so position in the
+        // bucket is FIFO order.
+        const std::size_t bucket = when & kWheelMask;
+        wheel[bucket].push_back(WheelEvent{seq, slot});
+        markBucket(bucket);
+    } else {
+        farHeap.push_back(FarEvent{when, seq, slot});
+        std::push_heap(farHeap.begin(), farHeap.end(), Later{});
+    }
+}
+
+Cycle
+EventQueue::nearTime() const
+{
+    const std::size_t b0 = currentCycle & kWheelMask;
+    const std::size_t base_word = b0 >> 6;
+    // Scan the non-empty bitmap cyclically from b0: the first word
+    // masked to bits >= b0, then the following words, then the first
+    // word's wrapped-around bits < b0.
+    for (std::size_t w = 0; w <= kBitmapWords; ++w) {
+        const std::size_t word_idx =
+            (base_word + w) & (kBitmapWords - 1);
+        std::uint64_t bits = bucketBits[word_idx];
+        if (w == 0) {
+            bits &= ~std::uint64_t{0} << (b0 & 63);
+        } else if (w == kBitmapWords) {
+            const std::size_t low = b0 & 63;
+            bits &= low ? ((std::uint64_t{1} << low) - 1) : 0;
+        }
+        if (bits != 0) {
+            const std::size_t bucket =
+                (word_idx << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            return currentCycle + ((bucket - b0) & kWheelMask);
+        }
+    }
+    return std::numeric_limits<Cycle>::max();
 }
 
 Cycle
 EventQueue::nextTime() const
 {
-    if (heap.empty())
-        return std::numeric_limits<Cycle>::max();
-    return heap.top().when;
+    const Cycle near = nearTime();
+    const Cycle far = farHeap.empty()
+                          ? std::numeric_limits<Cycle>::max()
+                          : farHeap.front().when;
+    return std::min(near, far);
 }
 
 bool
 EventQueue::step()
 {
-    if (heap.empty())
+    if (pendingCount == 0)
         return false;
-    // Move the callback out before popping so it may schedule more
-    // events (including at the current time) safely.
-    Entry entry = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
-    currentCycle = entry.when;
+
+    const Cycle t_near = nearTime();
+    const Cycle t_far = farHeap.empty()
+                            ? std::numeric_limits<Cycle>::max()
+                            : farHeap.front().when;
+
+    std::uint32_t slot;
+    if (t_far <= t_near) {
+        // Ties drain the far heap first: a far event of this cycle
+        // was necessarily scheduled before every wheel event of this
+        // cycle (it predates the horizon reaching the cycle), so its
+        // seq is smaller.
+        currentCycle = t_far;
+        std::pop_heap(farHeap.begin(), farHeap.end(), Later{});
+        slot = farHeap.back().slot;
+        farHeap.pop_back();
+    } else {
+        currentCycle = t_near;
+        slot = wheel[currentCycle & kWheelMask][activePos++].slot;
+    }
+
+    --pendingCount;
     ++executedCount;
-    entry.cb();
+    // Move the callback out and free its slot before invoking so the
+    // callback may schedule more events (including at the current
+    // time, reusing the slot) safely.
+    Callback cb = std::move(slots[slot]);
+    freeSlots.push_back(slot);
+    cb();
+
+    // Retire the active bucket once fully drained (the callback may
+    // have appended same-cycle events behind the cursor, in which
+    // case it stays live) so the bitmap only marks undrained work.
+    auto &bucket = wheel[currentCycle & kWheelMask];
+    if (activePos != 0 && activePos == bucket.size()) {
+        bucket.clear();
+        activePos = 0;
+        clearBucket(currentCycle & kWheelMask);
+    }
     return true;
 }
 
 Cycle
 EventQueue::run(Cycle limit)
 {
-    while (!heap.empty() && heap.top().when <= limit)
+    while (pendingCount != 0 && nextTime() <= limit)
         step();
-    if (currentCycle < limit && heap.empty())
+    if (currentCycle < limit && pendingCount == 0)
         return currentCycle;
     currentCycle = std::max(currentCycle, std::min(limit, nextTime()));
     return currentCycle;

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the preprocessed-graph memo (graph/preprocess_cache.hh):
+ * cached islandization must be bit-identical to computing it inline,
+ * shared across configs and runs, computed once under concurrency
+ * (the runAll jobs>1 fan-out), and safe against distinct graphs.
+ * Runs under the TSan CI job (labelled `thread` in CMakeLists).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "accel/personalities.hh"
+#include "accel/runner.hh"
+#include "graph/generators.hh"
+#include "graph/preprocess_cache.hh"
+#include "graph/reorder.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+CsrGraph
+testGraph(std::uint64_t seed, VertexId vertices = 600)
+{
+    ClusteredGraphParams params;
+    params.vertices = vertices;
+    params.avgDegree = 6.0;
+    params.seed = seed;
+    return clusteredGraph(params);
+}
+
+TEST(PreprocessCache, MatchesInlineIslandization)
+{
+    PreprocessCache::instance().clear();
+    const CsrGraph graph = testGraph(1);
+    const CsrGraph direct = graph.permuted(bfsIslandOrder(graph));
+    const auto cached = PreprocessCache::instance().islandized(graph);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cached->numVertices(), direct.numVertices());
+    EXPECT_EQ(cached->numEdges(), direct.numEdges());
+    EXPECT_EQ(cached->rowPointers(), direct.rowPointers());
+    EXPECT_EQ(cached->columnIndices(), direct.columnIndices());
+}
+
+TEST(PreprocessCache, SecondLookupHits)
+{
+    PreprocessCache &cache = PreprocessCache::instance();
+    cache.clear();
+    const CsrGraph graph = testGraph(2);
+    const auto first = cache.islandized(graph);
+    const auto second = cache.islandized(graph);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // An identical copy of the graph (same content, different
+    // object) shares the entry: keying is by content, not address.
+    const CsrGraph copy = testGraph(2);
+    EXPECT_EQ(cache.islandized(copy).get(), first.get());
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(PreprocessCache, DistinctGraphsGetDistinctEntries)
+{
+    PreprocessCache &cache = PreprocessCache::instance();
+    cache.clear();
+    const CsrGraph a = testGraph(3);
+    const CsrGraph b = testGraph(4);
+    const auto ra = cache.islandized(a);
+    const auto rb = cache.islandized(b);
+    EXPECT_NE(ra.get(), rb.get());
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    // Entries handed out before clear() stay valid.
+    EXPECT_EQ(ra->numVertices(), a.numVertices());
+}
+
+TEST(PreprocessCache, ConcurrentLookupsComputeOnce)
+{
+    PreprocessCache &cache = PreprocessCache::instance();
+    cache.clear();
+    const CsrGraph graph = testGraph(5, 1500);
+
+    constexpr unsigned kThreads = 8;
+    std::vector<std::shared_ptr<const CsrGraph>> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            results[t] = cache.islandized(graph);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(results[t].get(), results[0].get());
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, kThreads - 1);
+}
+
+TEST(PreprocessCache, IslandPersonalityRunsBitIdenticalWarmOrCold)
+{
+    // End to end: an I-GCN run with a cold cache (computes the
+    // reorder) and a warm cache (reuses it) must agree exactly.
+    PreprocessCache::instance().clear();
+    const Dataset dataset =
+        instantiateDataset(datasetByAbbrev("CR"), 0.05);
+    const AccelConfig config = makeIgcn();
+    ASSERT_TRUE(config.islandReorder);
+    NetworkSpec net;
+    net.layers = 4;
+    RunOptions opts;
+    opts.sampledIntermediateLayers = 1;
+    opts.mode = ExecutionMode::Timing;
+
+    const RunResult cold = runNetwork(config, dataset, net, opts);
+    EXPECT_GE(PreprocessCache::instance().stats().misses, 1u);
+    const RunResult warm = runNetwork(config, dataset, net, opts);
+    EXPECT_GE(PreprocessCache::instance().stats().hits, 1u);
+
+    EXPECT_EQ(cold.total.cycles, warm.total.cycles);
+    EXPECT_EQ(cold.total.macs, warm.total.macs);
+    EXPECT_EQ(cold.total.traffic.totalLines(),
+              warm.total.traffic.totalLines());
+    EXPECT_EQ(cold.total.cacheAccesses, warm.total.cacheAccesses);
+}
+
+} // namespace
+} // namespace sgcn

@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "sim/cli.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/small_function.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "sim/types.hh"
@@ -259,6 +262,196 @@ TEST(EventQueue, ExecutedCount)
         queue.schedule(i, [] {});
     queue.run();
     EXPECT_EQ(queue.executed(), 3u);
+}
+
+TEST(EventQueue, SameCycleFifoAcrossHorizons)
+{
+    // Interleave near (wheel) and far (heap) events landing on the
+    // same cycles: execution must follow global schedule order per
+    // cycle regardless of which structure held the event.
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(1000, [&] { order.push_back(0); }); // far
+    queue.schedule(1000, [&] { order.push_back(1); }); // far
+    queue.schedule(800, [&] {
+        // From cycle 800, cycle 1000 is inside the wheel horizon.
+        queue.schedule(1000, [&] { order.push_back(2); }); // near
+        queue.schedule(999, [&] { order.push_back(-1); });
+    });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2}));
+    EXPECT_EQ(queue.now(), 1000u);
+    EXPECT_EQ(queue.executed(), 5u);
+}
+
+TEST(EventQueue, SameCycleFifoUnderNestedScheduling)
+{
+    // Events scheduled for the current cycle from inside a callback
+    // run this cycle, after everything already queued for it.
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, [&] {
+        order.push_back(0);
+        queue.schedule(5, [&] { order.push_back(2); });
+    });
+    queue.schedule(5, [&] { order.push_back(1); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(queue.now(), 5u);
+}
+
+TEST(EventQueue, StepAndPendingSemantics)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.step());
+    EXPECT_EQ(queue.nextTime(), std::numeric_limits<Cycle>::max());
+    int fired = 0;
+    queue.schedule(2, [&] { ++fired; });
+    queue.schedule(2, [&] { ++fired; });
+    queue.schedule(700, [&] { ++fired; }); // beyond the wheel horizon
+    EXPECT_EQ(queue.pending(), 3u);
+    EXPECT_EQ(queue.nextTime(), 2u);
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.pending(), 2u);
+    EXPECT_EQ(queue.now(), 2u);
+    EXPECT_TRUE(queue.step());
+    EXPECT_EQ(queue.nextTime(), 700u);
+    EXPECT_TRUE(queue.step());
+    EXPECT_FALSE(queue.step());
+    EXPECT_EQ(fired, 3);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.executed(), 3u);
+}
+
+TEST(EventQueue, RunLimitBetweenFarEvents)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.schedule(100, [&] { ++fired; });
+    queue.schedule(5000, [&] { ++fired; });
+    // The limit itself has no event: time parks at the limit.
+    EXPECT_EQ(queue.run(2000), 2000u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(queue.pending(), 1u);
+    // Scheduling relative to the parked time still works.
+    queue.scheduleAfter(1, [&] { ++fired; });
+    queue.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(queue.now(), 5000u);
+}
+
+TEST(EventQueue, SpilledCapturesExecuteInOrder)
+{
+    // Captures larger than the inline budget go through the slab
+    // spill path; ordering and content must be unaffected.
+    EventQueue queue;
+    struct Fat
+    {
+        std::uint64_t payload[12]; // 96 B > kEventCaptureBytes
+    };
+    std::vector<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        Fat fat{};
+        fat.payload[0] = i;
+        fat.payload[11] = 100 + i;
+        queue.schedule(4, [&seen, fat] {
+            seen.push_back(fat.payload[0]);
+            seen.push_back(fat.payload[11]);
+        });
+    }
+    queue.run();
+    ASSERT_EQ(seen.size(), 16u);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(seen[2 * i], i);
+        EXPECT_EQ(seen[2 * i + 1], 100 + i);
+    }
+}
+
+TEST(SmallFunction, InlineAndSpilledInvocation)
+{
+    SmallFunction<16> empty;
+    EXPECT_FALSE(static_cast<bool>(empty));
+
+    int hits = 0;
+    SmallFunction<16> small([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(small));
+    EXPECT_FALSE(small.spilled());
+    small();
+    EXPECT_EQ(hits, 1);
+
+    std::uint64_t payload[8] = {7, 0, 0, 0, 0, 0, 0, 9};
+    std::uint64_t sum = 0;
+    SmallFunction<16> fat([&sum, payload] {
+        sum += payload[0] + payload[7];
+    });
+    EXPECT_TRUE(fat.spilled());
+    fat();
+    EXPECT_EQ(sum, 16u);
+}
+
+TEST(SmallFunction, OverAlignedCaptureIsAlignedAndInvocable)
+{
+    // Captures over-aligned beyond max_align bypass the slab and use
+    // aligned allocation; the stored object must honour alignment.
+    struct alignas(64) Wide
+    {
+        std::uint64_t value;
+    };
+    Wide wide{17};
+    std::uintptr_t observed = 0;
+    SmallFunction<32> fn([wide, &observed] {
+        observed = reinterpret_cast<std::uintptr_t>(&wide) &
+                   (alignof(Wide) - 1);
+        EXPECT_EQ(wide.value, 17u);
+    });
+    EXPECT_TRUE(fn.spilled());
+    SmallFunction<32> moved(std::move(fn));
+    moved();
+    EXPECT_EQ(observed, 0u);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership)
+{
+    int hits = 0;
+    SmallFunction<32> a([&hits] { ++hits; });
+    SmallFunction<32> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    a = std::move(b);
+    EXPECT_TRUE(static_cast<bool>(a));
+    EXPECT_FALSE(static_cast<bool>(b));
+    a();
+    EXPECT_EQ(hits, 2);
+
+    a = nullptr;
+    EXPECT_FALSE(static_cast<bool>(a));
+}
+
+TEST(SmallFunction, DestroysCapturesExactlyOnce)
+{
+    // shared_ptr use counts observe capture destruction through
+    // moves, reassignment, and the spill path.
+    auto token = std::make_shared<int>(42);
+    {
+        SmallFunction<32> inline_fn([token] {});
+        EXPECT_EQ(token.use_count(), 2);
+        SmallFunction<32> moved(std::move(inline_fn));
+        EXPECT_EQ(token.use_count(), 2);
+        moved = nullptr;
+        EXPECT_EQ(token.use_count(), 1);
+
+        std::uint64_t pad[8] = {};
+        SmallFunction<16> spilled([token, pad] { (void)pad[0]; });
+        EXPECT_TRUE(spilled.spilled());
+        EXPECT_EQ(token.use_count(), 2);
+        SmallFunction<16> spill_moved(std::move(spilled));
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(Cli, FlagsAndValues)
