@@ -10,8 +10,11 @@
  *   --datasets CR,CS,... subset of datasets
  *   --jobs N             sweep worker threads (default: all hardware
  *                        threads; 1 restores the serial path)
- *   --pipeline           inter-layer overlapped totals (default off;
- *                        serial isolated-layer extrapolation)
+ *   --pipeline[=layer|tile]
+ *                        inter-layer overlapped totals (default off;
+ *                        serial isolated-layer extrapolation). =tile
+ *                        gates consumers on per-tile output
+ *                        availability instead of whole-layer drains.
  */
 
 #ifndef SGCN_BENCH_BENCH_COMMON_HH
@@ -54,8 +57,8 @@ struct BenchOptions
             static_cast<unsigned>(cli.getInt("layers", 28));
         options.run.jobs = static_cast<unsigned>(
             cli.getInt("jobs", ThreadPool::hardwareJobs()));
-        options.run.interLayerOverlap =
-            cli.getBool("pipeline", false);
+        applyPipelineFlag(options.run, cli.has("pipeline"),
+                          cli.getString("pipeline", ""));
         options.scale = cli.scale();
 
         const std::string list = cli.getString("datasets", "");
@@ -86,7 +89,9 @@ banner(const char *figure, const BenchOptions &options)
                     static_cast<double>(kDatasetVertexCap) *
                     options.scale),
                 ThreadPool::resolveJobs(options.run.jobs),
-                options.run.interLayerOverlap ? "on" : "off");
+                options.run.pipelined()
+                    ? (options.run.tileOverlap ? "tile" : "layer")
+                    : "off");
 }
 
 /** Index of the personality named @p name, for pulling a baseline

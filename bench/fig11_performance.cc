@@ -6,6 +6,12 @@
  * Paper anchors: SGCN geomean 1.66x over GCNAX, 2.71x over HyGCN,
  * 1.73x over AWB-GCN, 1.85x over EnGN; best datasets PubMed (1.91x)
  * and NELL (1.99x); Cora/CiteSeer near the geomean.
+ *
+ * --pipeline-compare adds the schedule-aware variant: per
+ * personality and dataset, the serial / per-layer-pipelined /
+ * per-tile-pipelined cycle triple and the speedup of each pipelined
+ * gating over the serial extrapolation (one run per cell — a
+ * pipelined run carries all three totals in its PipelineStats).
  */
 
 #include "bench_common.hh"
@@ -18,9 +24,22 @@ main(int argc, char **argv)
 {
     Cli cli(argc, argv);
     BenchOptions options = BenchOptions::fromCli(cli);
+    const bool compare = cli.getBool("pipeline-compare", false);
+    if (compare) {
+        // The comparison needs the pipelined timeline; per-tile mode
+        // carries the whole serial/per-layer/per-tile triple.
+        options.run.interLayerOverlap = true;
+        options.run.tileOverlap = true;
+    }
     banner("Fig. 11 — performance comparison", options);
 
     const auto personalities = allPersonalities();
+
+    Table compare_table(
+        "Fig. 11 (schedule-aware): serial vs pipelined gating");
+    compare_table.header({"dataset", "accel", "serial", "per-layer",
+                          "per-tile", "layer speedup",
+                          "tile speedup"});
 
     Table table("Fig. 11: speedup over GCNAX (28-layer residual GCN)");
     std::vector<std::string> header{"dataset"};
@@ -46,6 +65,25 @@ main(int argc, char **argv)
             row.push_back(Table::num(speedup, 2));
         }
         table.row(row);
+
+        if (compare) {
+            for (const RunResult &run : runs) {
+                const PipelineStats &pipe = run.pipeline;
+                const auto serial =
+                    static_cast<double>(pipe.serialCycles);
+                compare_table.row(
+                    {spec.abbrev, run.accelName,
+                     std::to_string(pipe.serialCycles),
+                     std::to_string(pipe.perLayerCycles),
+                     std::to_string(pipe.perTileCycles),
+                     Table::num(serial / static_cast<double>(
+                                             pipe.perLayerCycles),
+                                3),
+                     Table::num(serial / static_cast<double>(
+                                             pipe.perTileCycles),
+                                3)});
+            }
+        }
     }
 
     std::vector<std::string> geo_row{"Geomean"};
@@ -53,6 +91,11 @@ main(int argc, char **argv)
         geo_row.push_back(Table::num(geomeanSpeedup(series), 2));
     table.row(geo_row);
     table.print();
+
+    if (compare) {
+        std::printf("\n");
+        compare_table.print();
+    }
 
     std::printf("\npaper: SGCN geomean 1.66x over GCNAX, 2.71x over "
                 "HyGCN, 1.73x over AWB-GCN, 1.85x over EnGN;\n"

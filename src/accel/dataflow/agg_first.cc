@@ -83,6 +83,26 @@ AggFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
     result.schedule.outputDrain = {
         result.cycles - (tiles.empty() ? 0 : tiles.back().combTime),
         result.cycles};
+
+    // Per-tile availability, synthesized from the analytic per-tile
+    // costs: tile t consumes its input slice across the aggregation
+    // span paced by its sweep cost, and its fused output pass
+    // retires across the drain window paced by its output cost.
+    // Aggregation gathers arbitrary source rows, so consumers of the
+    // next layer cannot stream-gate on this layer's input side.
+    std::vector<double> agg_weights, out_weights;
+    agg_weights.reserve(tiles.size());
+    out_weights.reserve(tiles.size());
+    for (const EngineContext::TilePhase &phase : tiles) {
+        agg_weights.push_back(static_cast<double>(phase.aggTime));
+        out_weights.push_back(static_cast<double>(phase.combTime));
+    }
+    setRowProductTileSpans(
+        result.schedule, result.schedule.aggregation,
+        subdividePhase(result.schedule.aggregation, agg_weights),
+        phaseEnds(subdividePhase(result.schedule.outputDrain,
+                                 out_weights)));
+    result.schedule.sequentialInput = false;
 }
 
 void
@@ -102,6 +122,7 @@ AggFirstDataflow::runTiming(EngineContext &ec,
     auto ctl = std::make_shared<TileControl>();
     ctl->numTiles = view.numDstTiles();
     ctl->combDone.assign(ctl->numTiles, 0);
+    ctl->tileTraces.resize(ctl->numTiles);
 
     ctl->startTile = [&, ctl](unsigned t) {
         // Ping-pong psum buffers: aggregation of tile t may only
@@ -111,11 +132,13 @@ AggFirstDataflow::runTiming(EngineContext &ec,
                            [&, ctl, t] {
             const Cycle agg_start = ec.events.now();
             ctl->aggTrace.markStart(agg_start);
+            ctl->tileTraces.markConsumeStart(t, agg_start);
             ctl->agg = std::make_shared<TimingAgg>(
                 ec, view, t, in, TrafficClass::FeatureIn);
             ctl->agg->start([&, ctl, t, agg_start] {
                 result.aggCycles += ec.events.now() - agg_start;
                 ctl->aggTrace.markEnd(ec.events.now());
+                ctl->tileTraces.markConsumeEnd(t, ec.events.now());
                 const VertexId tile_begin = view.dstTileBegin(t);
                 const VertexId tile_end = view.dstTileEnd(t);
                 const VertexId rows = tile_end - tile_begin;
@@ -135,13 +158,14 @@ AggFirstDataflow::runTiming(EngineContext &ec,
                 ctl->combTrace.markEnd(ctl->combFreeAt);
 
                 ec.events.schedule(ctl->combFreeAt,
-                                   [&, ctl, tile_begin, tile_end] {
+                                   [&, ctl, t, tile_begin, tile_end] {
                     ctl->drainTrace.markStart(ec.events.now());
                     auto dma = std::make_shared<StreamDma>(ec, 128);
                     queueTileOutputDma(ec, *dma, tile_begin, tile_end,
                                        out);
-                    dma->start([&, ctl] {
+                    dma->start([&, ctl, t] {
                         ctl->drainTrace.markEnd(ec.events.now());
+                        ctl->tileTraces.markReady(t, ec.events.now());
                     });
                     ctl->dmas.push_back(std::move(dma));
                 });
@@ -163,6 +187,14 @@ AggFirstDataflow::runTiming(EngineContext &ec,
     result.schedule.outputDrain =
         ctl->drainTrace.span(base, result.cycles);
     result.schedule.outputDrain.end = result.cycles;
+    // Observed per-tile windows: consume = the tile's aggregation
+    // sweep, ready = its output DMA draining (clamped monotone —
+    // DMAs share the DRAM channels and may finish out of order).
+    setRowProductTileSpans(result.schedule,
+                           result.schedule.aggregation,
+                           ctl->tileTraces.consumeSpans(base),
+                           ctl->tileTraces.readyCycles(base));
+    result.schedule.sequentialInput = false;
     ctl->release();
 }
 

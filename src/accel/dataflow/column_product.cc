@@ -10,6 +10,39 @@
 namespace sgcn
 {
 
+namespace
+{
+
+/** Synthesis granularity of the column-product tile spans: the
+ *  dataflow has no destination tiles, but its input stream and its
+ *  X^{l+1} write-out are both row-ordered, so both sides of the
+ *  per-tile pipeline gate are well-defined at any granularity. */
+constexpr unsigned kColumnProductTileSpans = 8;
+
+/**
+ * Column-product per-tile availability, shared by both execution
+ * modes: strip 0's pass over X^l covers the input once in row order
+ * across 1/strips of the combination span (later strips re-read
+ * rows that are necessarily older), and the activated X^{l+1}
+ * streams out in row order across the drain window after the
+ * accumulator-bank flush.
+ */
+void
+synthesizeColumnProductSpans(LayerSchedule &schedule, unsigned strips)
+{
+    const PhaseSpan comb = schedule.combination;
+    const PhaseSpan first_pass{
+        comb.start,
+        comb.start + comb.duration() / std::max(1u, strips)};
+    const std::vector<double> uniform(kColumnProductTileSpans, 1.0);
+    schedule.setTileSpans(
+        subdividePhase(first_pass, uniform),
+        phaseEnds(subdividePhase(schedule.outputDrain, uniform)));
+    schedule.sequentialInput = true;
+}
+
+} // namespace
+
 void
 ColumnProductDataflow::run(EngineContext &ec, LayerResult &result) const
 {
@@ -135,17 +168,21 @@ ColumnProductDataflow::runFast(EngineContext &ec,
 
     // Phase timeline: the input stream and the zero-skipping GEMM
     // are one phase from cycle 0; the strip aggregation is paced to
-    // end with the layer; the drain is the psum flush plus the
-    // X^{l+1} write stream at the aggregation tail.
+    // end its compute where the drain begins (the timing path's
+    // accumulator banks only flush once aggregation retires); the
+    // drain is the psum flush plus the X^{l+1} write stream at the
+    // tail. The drain cost is folded into agg_time's roofline, so
+    // splitting the spans keeps criticalEnd() == cycles.
     const Cycle drain_time = std::min<Cycle>(
         agg_time, serialized_write_lines * ec.cfg.dram.burstCycles +
                       ec.phaseCycles(0, drain_before));
     result.schedule.inputDma = {0, comb_time};
     result.schedule.combination = {0, comb_time};
     result.schedule.aggregation = {result.cycles - agg_time,
-                                   result.cycles};
+                                   result.cycles - drain_time};
     result.schedule.outputDrain = {result.cycles - drain_time,
                                    result.cycles};
+    synthesizeColumnProductSpans(result.schedule, strips);
 }
 
 void
@@ -219,6 +256,7 @@ ColumnProductDataflow::runTiming(EngineContext &ec,
     result.schedule.combination = {0, comb_compute};
     result.schedule.aggregation = {0, agg_end - start};
     result.schedule.outputDrain = {drain_start - start, result.cycles};
+    synthesizeColumnProductSpans(result.schedule, strips);
 }
 
 } // namespace sgcn

@@ -74,10 +74,14 @@ CombFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
     TiledGraphView view(graph, dst_span, src_span);
 
     std::vector<EngineContext::TilePhase> tiles;
+    std::vector<double> row_weights;
     tiles.reserve(view.numDstTiles());
+    row_weights.reserve(view.numDstTiles());
     for (unsigned t = 0; t < view.numDstTiles(); ++t) {
         const VertexId tile_begin = view.dstTileBegin(t);
         const VertexId tile_end = view.dstTileEnd(t);
+        row_weights.push_back(
+            static_cast<double>(tile_end - tile_begin));
 
         EngineContext::TilePhase phase;
         const EngineContext::Snapshot agg_before = ec.snapshot();
@@ -109,6 +113,23 @@ CombFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
     result.schedule.outputDrain = {
         result.cycles - (tiles.empty() ? 0 : tiles.back().combTime),
         result.cycles};
+
+    // Per-tile availability: X^l is consumed once, in row order, by
+    // the phase-1 streaming combination, so tile t's input slice is
+    // read across a row-proportional slice of the combination span;
+    // its output pass retires across the drain window. Row-order
+    // input consumption is what lets a per-tile pipeline start this
+    // dataflow before its producer has drained every tile.
+    std::vector<double> out_weights;
+    out_weights.reserve(tiles.size());
+    for (const EngineContext::TilePhase &phase : tiles)
+        out_weights.push_back(static_cast<double>(phase.combTime));
+    setRowProductTileSpans(
+        result.schedule, result.schedule.combination,
+        subdividePhase(result.schedule.combination, row_weights),
+        phaseEnds(subdividePhase(result.schedule.outputDrain,
+                                 out_weights)));
+    result.schedule.sequentialInput = true;
 }
 
 void
@@ -154,6 +175,7 @@ CombFirstDataflow::runTiming(EngineContext &ec,
 
     auto ctl = std::make_shared<TileControl>();
     ctl->numTiles = view->numDstTiles();
+    ctl->tileTraces.resize(ctl->numTiles);
 
     ctl->startTile = [&, ctl, view, xw, xw_mask](unsigned t) {
         const Cycle agg_start = ec.events.now();
@@ -168,8 +190,9 @@ CombFirstDataflow::runTiming(EngineContext &ec,
             ctl->drainTrace.markStart(ec.events.now());
             auto dma = std::make_shared<StreamDma>(ec, 128);
             queueTileOutputDma(ec, *dma, tile_begin, tile_end, out);
-            dma->start([&, ctl] {
+            dma->start([&, ctl, t] {
                 ctl->drainTrace.markEnd(ec.events.now());
+                ctl->tileTraces.markReady(t, ec.events.now());
             });
             ctl->dmas.push_back(std::move(dma));
             if (t + 1 < ctl->numTiles)
@@ -202,6 +225,21 @@ CombFirstDataflow::runTiming(EngineContext &ec,
     result.schedule.outputDrain =
         ctl->drainTrace.span(ec.layerBase, result.cycles);
     result.schedule.outputDrain.end = result.cycles;
+    // Per-tile availability: input consumption is the phase-1 stream
+    // (row order, subdivided row-proportionally across the observed
+    // combination span); output readiness is each tile's observed
+    // drain-DMA completion.
+    std::vector<double> row_weights;
+    row_weights.reserve(ctl->numTiles);
+    for (unsigned t = 0; t < ctl->numTiles; ++t) {
+        row_weights.push_back(static_cast<double>(
+            view->dstTileEnd(t) - view->dstTileBegin(t)));
+    }
+    setRowProductTileSpans(
+        result.schedule, result.schedule.combination,
+        subdividePhase(result.schedule.combination, row_weights),
+        ctl->tileTraces.readyCycles(ec.layerBase));
+    result.schedule.sequentialInput = true;
     ctl->release();
 }
 

@@ -128,4 +128,21 @@ queueTileOutputDma(EngineContext &ec, StreamDma &dma, VertexId begin,
     }
 }
 
+void
+setRowProductTileSpans(LayerSchedule &schedule,
+                       PhaseSpan consume_phase,
+                       std::vector<PhaseSpan> consume,
+                       std::vector<Cycle> ready)
+{
+    if (consume.size() >= kMinTileSpans &&
+        ready.size() >= kMinTileSpans) {
+        schedule.setTileSpans(std::move(consume), std::move(ready));
+        return;
+    }
+    const std::vector<double> uniform(kMinTileSpans, 1.0);
+    schedule.setTileSpans(
+        subdividePhase(consume_phase, uniform),
+        phaseEnds(subdividePhase(schedule.outputDrain, uniform)));
+}
+
 } // namespace sgcn

@@ -10,6 +10,7 @@
 #define SGCN_ACCEL_DATAFLOW_ROW_PRODUCT_COMMON_HH
 
 #include "accel/engine_context.hh"
+#include "accel/result.hh"
 #include "accel/timing/stream_dma.hh"
 
 namespace sgcn
@@ -39,6 +40,21 @@ std::uint64_t streamTileOutputFast(EngineContext &ec, VertexId begin,
 void queueTileOutputDma(EngineContext &ec, StreamDma &dma,
                         VertexId begin, VertexId end,
                         FeatureLayout &out);
+
+/**
+ * Install a row-product layer's tile spans: the per-tile
+ * @p consume windows and @p ready cycles when the destination
+ * tiling is at least kMinTileSpans fine, otherwise a
+ * kMinTileSpans-way uniform subdivision of @p consume_phase and the
+ * output-drain phase. The fallback is sound because the output DMAs
+ * stream rows in order — availability is meaningful below tile
+ * granularity — and it keeps small fixtures (a handful of tiles)
+ * from degenerating to whole-layer gating.
+ */
+void setRowProductTileSpans(LayerSchedule &schedule,
+                            PhaseSpan consume_phase,
+                            std::vector<PhaseSpan> consume,
+                            std::vector<Cycle> ready);
 
 } // namespace sgcn
 

@@ -56,6 +56,12 @@ LayerEngine::finalize(LayerResult &result)
         w_lines * ec.cfg.dram.burstCycles / ec.cfg.dram.channels;
     result.cycles += w_cycles;
 
+    // Registry-extension dataflows that predate tile spans report
+    // none; give them one whole-layer span so the per-tile pipeline
+    // degenerates to per-layer gating instead of failing.
+    if (result.schedule.tileSpans.empty())
+        result.schedule.setTileSpans({}, {});
+
     // The weight stream is the schedule's input-DMA prefix: W^l
     // prefetches ahead of the first feature read, which is the
     // window the network pipeline hides behind the previous layer's
@@ -64,7 +70,8 @@ LayerEngine::finalize(LayerResult &result)
     result.schedule.shift(w_cycles);
     result.schedule.inputDma.start = 0;
     SGCN_ASSERT(result.schedule.wellOrdered() &&
-                    result.schedule.criticalEnd() == result.cycles,
+                    result.schedule.criticalEnd() == result.cycles &&
+                    result.schedule.tileSpansWellFormed(),
                 "dataflow '",
                 dataflowFor(effectiveDataflow()).name(),
                 "' reported a layer schedule inconsistent with its "

@@ -38,6 +38,83 @@ LayerPipeline::advanceBetween(const LayerSchedule &prev,
     return std::min(std::max(engines, features), prev.criticalEnd());
 }
 
+namespace
+{
+
+/**
+ * Local time a streaming consumer first touches input fraction
+ * @p frac: its k-th consume window reads fraction (k, k+1]/Tc in
+ * vertex order, linearly across the window. Interpolating inside
+ * the window is what lets a coarsely-tiled consumer (one tile on a
+ * small fixture) still gate chunk by chunk. Never earlier than the
+ * first consume start, so every per-chunk feature constraint stays
+ * bounded by the per-layer one.
+ */
+Cycle
+consumeTimeAt(const LayerSchedule &schedule, double frac)
+{
+    const std::size_t count = schedule.tileSpans.size();
+    const double pos = frac * static_cast<double>(count);
+    const std::size_t k = std::min(
+        count - 1, static_cast<std::size_t>(pos));
+    const PhaseSpan &window = schedule.tileSpans[k].inputConsume;
+    const double local = pos - static_cast<double>(k);
+    return window.start +
+           static_cast<Cycle>(
+               local * static_cast<double>(window.duration()));
+}
+
+} // namespace
+
+Cycle
+LayerPipeline::tileAdvanceBetween(const LayerSchedule &prev,
+                                  const LayerSchedule &next)
+{
+    // The per-layer gate is the upper bound the tile gate refines.
+    const Cycle layer_advance = advanceBetween(prev, next);
+    if (!next.sequentialInput || prev.tileSpans.empty() ||
+        next.tileSpans.empty()) {
+        return layer_advance;
+    }
+
+    // Engine exclusivity is granularity-independent: one set of
+    // agg/comb engines either way.
+    const Cycle engines =
+        prev.computeEnd() > next.computeStart()
+            ? prev.computeEnd() - next.computeStart()
+            : 0;
+
+    // Feature dependence, chunk by chunk (the double buffer swaps
+    // per tile instead of per layer): producer tile t makes input
+    // fraction (t, t+1]/Tp available at its outputReady, and the
+    // consumer first touches that chunk at consumeTimeAt(t/Tp).
+    // Tile sizes are treated as uniform (true up to the final
+    // remainder tile). Producer readiness is monotone and consume
+    // times never precede the first feature read, so each chunk
+    // constraint is bounded by the per-layer gate; the final clamp
+    // is belt and braces.
+    const std::size_t producer_tiles = prev.tileSpans.size();
+    Cycle features = 0;
+    for (std::size_t t = 0; t < producer_tiles; ++t) {
+        const Cycle ready = prev.tileSpans[t].outputReady;
+        const Cycle need = consumeTimeAt(
+            next, static_cast<double>(t) /
+                      static_cast<double>(producer_tiles));
+        if (ready > need)
+            features = std::max(features, ready - need);
+    }
+    return std::min(std::max(engines, features), layer_advance);
+}
+
+Cycle
+LayerPipeline::gatedAdvance(const LayerSchedule &prev,
+                            const LayerSchedule &next) const
+{
+    return gating == PipelineGating::PerTile
+               ? tileAdvanceBetween(prev, next)
+               : advanceBetween(prev, next);
+}
+
 void
 LayerPipeline::append(const LayerSchedule &schedule, double repeats)
 {
@@ -47,11 +124,11 @@ LayerPipeline::append(const LayerSchedule &schedule, double repeats)
     stage.schedule = schedule;
     stage.repeats = repeats;
     stage.advance =
-        repeats > 1.0 ? advanceBetween(schedule, schedule) : 0;
+        repeats > 1.0 ? gatedAdvance(schedule, schedule) : 0;
     if (!net.stages.empty()) {
         const PipelinedLayer &prev = net.stages.back();
         stage.offset =
-            prev.lastOffset() + static_cast<double>(advanceBetween(
+            prev.lastOffset() + static_cast<double>(gatedAdvance(
                                     prev.schedule, schedule));
     }
     totalAccum = std::max(totalAccum, stage.end());

@@ -102,13 +102,39 @@ struct NetworkSchedule
 class LayerPipeline
 {
   public:
+    /** @param gating granularity consumer layers gate on: per-layer
+     *  (whole-drain feature dependence) or per-tile (streaming
+     *  consumers start once the producer tiles covering their next
+     *  input chunk are ready). */
+    explicit LayerPipeline(
+        PipelineGating gating = PipelineGating::PerLayer)
+        : gating(gating)
+    {
+    }
+
     /**
      * Cycles layer @p next must start after layer @p prev on the
      * shared timeline (>= 0, <= prev.criticalEnd(); the difference
-     * from prev.criticalEnd() is the overlap won).
+     * from prev.criticalEnd() is the overlap won). The per-layer
+     * gate: @p next's first feature read waits for @p prev's whole
+     * output drain.
      */
     static Cycle advanceBetween(const LayerSchedule &prev,
                                 const LayerSchedule &next);
+
+    /**
+     * The per-tile gate. When @p next consumes its input in vertex
+     * order (LayerSchedule::sequentialInput) the feature dependence
+     * is evaluated chunk by chunk: @p next's k-th input-consume
+     * window waits only for the @p prev tiles covering input
+     * fraction (k+1)/numSpans, not for the full drain. Random-gather
+     * consumers (and producers/consumers without tile spans) fall
+     * back to the per-layer gate. Never exceeds advanceBetween, so
+     * per-tile totals are bounded by per-layer totals by
+     * construction.
+     */
+    static Cycle tileAdvanceBetween(const LayerSchedule &prev,
+                                    const LayerSchedule &next);
 
     /** Append @p repeats (>= 1, possibly fractional) back-to-back
      *  instances of @p schedule. */
@@ -118,6 +144,11 @@ class LayerPipeline
     const NetworkSchedule &schedule() const { return net; }
 
   private:
+    /** The advance under this pipeline's gating mode. */
+    Cycle gatedAdvance(const LayerSchedule &prev,
+                       const LayerSchedule &next) const;
+
+    PipelineGating gating;
     NetworkSchedule net;
 
     /** Double accumulator behind totalCycles, so fractional repeats

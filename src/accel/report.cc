@@ -16,8 +16,9 @@ runResultCsvHeader()
            "lines_feature_out,lines_weight,lines_partial_sum,"
            "cache_accesses,cache_hits,macs,bw_util,"
            "energy_compute_j,energy_cache_j,energy_dram_j,"
-           "tdp_w,area_mm2,pipelined,serial_cycles,"
-           "overlap_saved_cycles,steady_advance_cycles,"
+           "tdp_w,area_mm2,pipelined,pipeline_gating,serial_cycles,"
+           "overlap_saved_cycles,per_layer_cycles,per_tile_cycles,"
+           "tile_saved_cycles,steady_advance_cycles,"
            "critical_phase";
 }
 
@@ -39,8 +40,14 @@ runResultCsvRow(const RunResult &run)
        << run.energy.computeJ << ',' << run.energy.cacheJ << ','
        << run.energy.dramJ << ',' << run.tdpWatts << ','
        << run.areaMm2 << ',' << (run.pipeline.enabled ? 1 : 0) << ','
-       << run.pipeline.serialCycles << ','
+       << (run.pipeline.enabled
+               ? pipelineGatingName(run.pipeline.gating)
+               : "")
+       << ',' << run.pipeline.serialCycles << ','
        << run.pipeline.overlapSavedCycles << ','
+       << run.pipeline.perLayerCycles << ','
+       << run.pipeline.perTileCycles << ','
+       << run.pipeline.tileSavedCycles << ','
        << run.pipeline.steadyStateAdvance << ','
        << (run.pipeline.enabled
                ? layerPhaseName(run.pipeline.criticalPhase)
@@ -93,6 +100,12 @@ runResultStats(const RunResult &run)
             static_cast<double>(run.pipeline.serialCycles);
         stats["pipeline.overlap_saved_cycles"] =
             static_cast<double>(run.pipeline.overlapSavedCycles);
+        stats["pipeline.per_layer_cycles"] =
+            static_cast<double>(run.pipeline.perLayerCycles);
+        stats["pipeline.per_tile_cycles"] =
+            static_cast<double>(run.pipeline.perTileCycles);
+        stats["pipeline.tile_saved_cycles"] =
+            static_cast<double>(run.pipeline.tileSavedCycles);
         stats["pipeline.steady_advance_cycles"] =
             static_cast<double>(run.pipeline.steadyStateAdvance);
     }
@@ -106,9 +119,11 @@ pipelineSummaryLine(const RunResult &run)
         return "";
     std::ostringstream os;
     os << run.accelName << ": " << run.pipeline.pipelinedCycles
-       << " cycles pipelined vs " << run.pipeline.serialCycles
-       << " serial (saved " << run.pipeline.overlapSavedCycles
-       << ", steady-state advance "
+       << " cycles pipelined (" << pipelineGatingName(run.pipeline.gating)
+       << ") vs " << run.pipeline.serialCycles << " serial (saved "
+       << run.pipeline.overlapSavedCycles << ", per-tile wins "
+       << run.pipeline.tileSavedCycles
+       << " over per-layer, steady-state advance "
        << run.pipeline.steadyStateAdvance << "/layer, critical phase "
        << layerPhaseName(run.pipeline.criticalPhase) << ")";
     return os.str();

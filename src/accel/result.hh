@@ -44,6 +44,56 @@ enum class LayerPhase : std::uint8_t
     OutputDrain,
 };
 
+/** Granularity the inter-layer pipeline gates on. */
+enum class PipelineGating : std::uint8_t
+{
+    /** A consumer waits for its producer's whole output drain. */
+    PerLayer,
+    /** A streaming consumer starts once the producer tiles covering
+     *  its next input chunk are ready (LW-GCN/Accel-GCN-style
+     *  block-level pipelining). */
+    PerTile,
+};
+
+/** Human-readable gating name. */
+constexpr const char *
+pipelineGatingName(PipelineGating gating)
+{
+    switch (gating) {
+      case PipelineGating::PerLayer:
+        return "per-layer";
+      case PipelineGating::PerTile:
+        return "per-tile";
+    }
+    return "invalid";
+}
+
+/** Floor granularity of reported tile spans: dataflows whose output
+ *  leaves in row order (every builtin — the output DMAs stream rows)
+ *  report availability at least this finely even when the
+ *  destination tiling is coarser, so small fixtures still carry
+ *  gateable sub-layer structure. */
+constexpr unsigned kMinTileSpans = 8;
+
+/**
+ * Availability of one output tile on the layer-local timeline: the
+ * window in which the producing layer consumed that tile's share of
+ * the input stream, and the cycle its slice of X^{l+1} is fully
+ * written back (the point a double-buffered consumer may read it).
+ * Tiles are reported in production order; tile t covers roughly
+ * fraction (t+1)/numTiles of the layer's output rows.
+ */
+struct TileSpan
+{
+    unsigned tile = 0;
+
+    /** Window the producer consumed this tile's input slice in. */
+    PhaseSpan inputConsume;
+
+    /** Cycle this tile's output slice finishes draining. */
+    Cycle outputReady = 0;
+};
+
 /** Human-readable phase name. */
 constexpr const char *
 layerPhaseName(LayerPhase phase)
@@ -85,6 +135,22 @@ struct LayerSchedule
     PhaseSpan aggregation;
     PhaseSpan combination;
     PhaseSpan outputDrain;
+
+    /** Ordered per-tile output availability (see TileSpan). Timing
+     *  dataflows record observed per-tile windows; fast-mode
+     *  strategies synthesize equivalent spans from their analytic
+     *  per-tile costs, so both execution modes carry schedules the
+     *  per-tile pipeline can gate on. */
+    std::vector<TileSpan> tileSpans;
+
+    /** True when the layer reads its input features X^l in vertex
+     *  order (the streaming comb-first and column-product
+     *  consumers): a per-tile-gated pipeline may start such a layer
+     *  as soon as the producer tiles covering its next input chunk
+     *  are ready. Random-gather consumers (agg-first: any tile may
+     *  read any source row) stay false and keep the per-layer
+     *  full-availability gate. */
+    bool sequentialInput = false;
 
     /** First cycle the layer consumes its input features X^l. */
     Cycle
@@ -139,6 +205,91 @@ struct LayerSchedule
                combination.wellOrdered() && outputDrain.wellOrdered();
     }
 
+    /**
+     * Rebuild tileSpans from parallel per-tile consume windows and
+     * output-ready cycles, clamped into the schedule's invariants:
+     * consume windows well-ordered, monotone starts, within
+     * [0, criticalEnd()]; ready cycles monotone within the
+     * output-drain phase, the last pinned to the drain end (the
+     * double-buffer swap point). Callers set the phase spans first;
+     * observed event times that straggle past a phase boundary are
+     * clamped rather than trusted, so the spans always satisfy
+     * tileSpansWellFormed().
+     */
+    void
+    setTileSpans(std::vector<PhaseSpan> consume,
+                 std::vector<Cycle> ready)
+    {
+        const Cycle end = criticalEnd();
+        const std::size_t count =
+            std::min(consume.size(), ready.size());
+        tileSpans.clear();
+        if (count == 0) {
+            // No tile structure reported: one whole-layer span, so
+            // per-tile gating degenerates to per-layer gating.
+            tileSpans.push_back(TileSpan{
+                0, PhaseSpan{firstFeatureRead(), computeEnd()},
+                outputDrain.end});
+            return;
+        }
+        tileSpans.reserve(count);
+        Cycle prev_start = 0;
+        Cycle prev_ready = outputDrain.start;
+        for (std::size_t t = 0; t < count; ++t) {
+            TileSpan span;
+            span.tile = static_cast<unsigned>(t);
+            span.inputConsume.start = std::min(
+                end, std::max(consume[t].start, prev_start));
+            span.inputConsume.end =
+                std::min(end, std::max(consume[t].end,
+                                       span.inputConsume.start));
+            span.outputReady = std::min(
+                outputDrain.end,
+                std::max({ready[t], prev_ready,
+                          span.inputConsume.start}));
+            if (t + 1 == count)
+                span.outputReady = outputDrain.end;
+            prev_start = span.inputConsume.start;
+            prev_ready = span.outputReady;
+            tileSpans.push_back(span);
+        }
+    }
+
+    /** The tile spans satisfy every per-tile invariant: non-empty,
+     *  consecutively numbered, monotone consume starts and ready
+     *  cycles, consume windows well-ordered within
+     *  [0, criticalEnd()], ready cycles covering the output-drain
+     *  phase (all inside it, the last exactly at its end), and no
+     *  tile ready before its input consumption began. */
+    bool
+    tileSpansWellFormed() const
+    {
+        if (tileSpans.empty())
+            return false;
+        Cycle prev_start = 0;
+        Cycle prev_ready = outputDrain.start;
+        for (std::size_t t = 0; t < tileSpans.size(); ++t) {
+            const TileSpan &span = tileSpans[t];
+            if (span.tile != t)
+                return false;
+            if (!span.inputConsume.wellOrdered())
+                return false;
+            if (span.inputConsume.start < prev_start ||
+                span.inputConsume.end > criticalEnd()) {
+                return false;
+            }
+            if (span.outputReady < prev_ready ||
+                span.outputReady > outputDrain.end) {
+                return false;
+            }
+            if (span.outputReady < span.inputConsume.start)
+                return false;
+            prev_start = span.inputConsume.start;
+            prev_ready = span.outputReady;
+        }
+        return tileSpans.back().outputReady == outputDrain.end;
+    }
+
     /** Move the whole timeline @p by cycles later. */
     void
     shift(Cycle by)
@@ -147,8 +298,56 @@ struct LayerSchedule
         aggregation.shift(by);
         combination.shift(by);
         outputDrain.shift(by);
+        for (TileSpan &span : tileSpans) {
+            span.inputConsume.shift(by);
+            span.outputReady += by;
+        }
     }
 };
+
+/**
+ * Subdivide @p window into one sub-span per weight, each sized
+ * proportionally to its weight (uniform when the weights sum to
+ * zero). The sub-spans partition the window exactly: the first
+ * starts at window.start and the last ends at window.end. Used to
+ * synthesize tile spans from analytic per-tile costs.
+ */
+inline std::vector<PhaseSpan>
+subdividePhase(PhaseSpan window, const std::vector<double> &weights)
+{
+    std::vector<PhaseSpan> spans;
+    spans.reserve(weights.size());
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    const auto duration = static_cast<double>(window.duration());
+    double prefix = 0.0;
+    Cycle cursor = window.start;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        prefix += total > 0.0
+                      ? weights[i] / total
+                      : 1.0 / static_cast<double>(weights.size());
+        Cycle end = i + 1 == weights.size()
+                        ? window.end
+                        : window.start +
+                              static_cast<Cycle>(prefix * duration);
+        end = std::min(std::max(end, cursor), window.end);
+        spans.push_back(PhaseSpan{cursor, end});
+        cursor = end;
+    }
+    return spans;
+}
+
+/** The end cycle of every span, in order. */
+inline std::vector<Cycle>
+phaseEnds(const std::vector<PhaseSpan> &spans)
+{
+    std::vector<Cycle> ends;
+    ends.reserve(spans.size());
+    for (const PhaseSpan &span : spans)
+        ends.push_back(span.end);
+    return ends;
+}
 
 /** Outcome of simulating one GCN layer on one accelerator. */
 struct LayerResult
@@ -219,6 +418,9 @@ struct PipelineStats
     /** True when the run's totals are overlap-aware. */
     bool enabled = false;
 
+    /** Gating granularity the active total was built with. */
+    PipelineGating gating = PipelineGating::PerLayer;
+
     /** What the serial (isolated-layer) model reports. */
     Cycle serialCycles = 0;
 
@@ -227,6 +429,17 @@ struct PipelineStats
 
     /** serialCycles - pipelinedCycles. */
     Cycle overlapSavedCycles = 0;
+
+    /** Totals of both gating granularities, filled whenever the
+     *  pipeline is on regardless of which one is active (the chained
+     *  timelines are pure arithmetic): the serial/per-layer/per-tile
+     *  triple of the schedule-aware Fig. 11 comparison. */
+    Cycle perLayerCycles = 0;
+    Cycle perTileCycles = 0;
+
+    /** perLayerCycles - perTileCycles: what the finer gating wins on
+     *  top of whole-layer overlap. */
+    Cycle tileSavedCycles = 0;
 
     /** Steady-state per-layer cost of the bottleneck stratum: the
      *  offset between consecutive repetitions of its layer. */

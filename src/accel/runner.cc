@@ -24,9 +24,10 @@ namespace
  */
 NetworkSchedule
 chainSampledSchedules(const RunResult &run, unsigned arch_intermediate,
-                      bool include_input_layer)
+                      bool include_input_layer,
+                      PipelineGating gating)
 {
-    LayerPipeline pipeline;
+    LayerPipeline pipeline(gating);
     if (include_input_layer)
         pipeline.append(run.inputLayer.schedule);
     const auto strata =
@@ -43,6 +44,29 @@ chainSampledSchedules(const RunResult &run, unsigned arch_intermediate,
 }
 
 } // namespace
+
+void
+applyPipelineFlag(RunOptions &opts, bool present,
+                  const std::string &value)
+{
+    if (!present)
+        return;
+    if (value.empty() || value == "1" || value == "true" ||
+        value == "yes" || value == "on" || value == "layer") {
+        opts.interLayerOverlap = true;
+        opts.tileOverlap = false;
+    } else if (value == "tile") {
+        opts.interLayerOverlap = true;
+        opts.tileOverlap = true;
+    } else if (value == "0" || value == "false" || value == "no" ||
+               value == "off") {
+        opts.interLayerOverlap = false;
+        opts.tileOverlap = false;
+    } else {
+        fatal("bad --pipeline value '", value,
+              "' (expected off|layer|tile)");
+    }
+}
 
 RunResult
 runNetwork(const AccelConfig &config, const Dataset &dataset,
@@ -103,22 +127,43 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
                       static_cast<double>(indices.size()));
     run.total.merge(sampled_sum);
 
-    if (opts.interLayerOverlap) {
+    if (opts.pipelined()) {
         // Replace the serial cycle extrapolation with the chained
         // timeline. Work counts (traffic, MACs, cache accesses) are
         // timeline-independent and keep the serial extrapolation.
-        const NetworkSchedule sched = chainSampledSchedules(
-            run, arch_intermediate, opts.includeInputLayer);
-        SGCN_ASSERT(sched.totalCycles <= run.total.cycles,
-                    "pipelined total (", sched.totalCycles,
+        // Both gating granularities are chained (pure arithmetic
+        // over the already-simulated schedules), so every pipelined
+        // run carries the serial/per-layer/per-tile triple.
+        const NetworkSchedule layer_sched = chainSampledSchedules(
+            run, arch_intermediate, opts.includeInputLayer,
+            PipelineGating::PerLayer);
+        const NetworkSchedule tile_sched = chainSampledSchedules(
+            run, arch_intermediate, opts.includeInputLayer,
+            PipelineGating::PerTile);
+        SGCN_ASSERT(layer_sched.totalCycles <= run.total.cycles,
+                    "pipelined total (", layer_sched.totalCycles,
                     ") exceeds the serial total (", run.total.cycles,
                     ") it replaces: a layer schedule must be "
                     "inconsistent with its cycle count");
+        SGCN_ASSERT(tile_sched.totalCycles <= layer_sched.totalCycles,
+                    "per-tile-gated total (", tile_sched.totalCycles,
+                    ") exceeds the per-layer-gated total (",
+                    layer_sched.totalCycles,
+                    "): the tile gate must refine the layer gate");
+        const NetworkSchedule &sched =
+            opts.tileOverlap ? tile_sched : layer_sched;
         run.pipeline.enabled = true;
+        run.pipeline.gating = opts.tileOverlap
+                                  ? PipelineGating::PerTile
+                                  : PipelineGating::PerLayer;
         run.pipeline.serialCycles = run.total.cycles;
         run.pipeline.pipelinedCycles = sched.totalCycles;
         run.pipeline.overlapSavedCycles =
             run.total.cycles - sched.totalCycles;
+        run.pipeline.perLayerCycles = layer_sched.totalCycles;
+        run.pipeline.perTileCycles = tile_sched.totalCycles;
+        run.pipeline.tileSavedCycles =
+            layer_sched.totalCycles - tile_sched.totalCycles;
         const PipelinedLayer &bottleneck = sched.bottleneckStage();
         run.pipeline.steadyStateAdvance = bottleneck.steadyCost();
         run.pipeline.criticalPhase =

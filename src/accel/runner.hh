@@ -18,6 +18,7 @@
 #ifndef SGCN_ACCEL_RUNNER_HH
 #define SGCN_ACCEL_RUNNER_HH
 
+#include <string>
 #include <vector>
 
 #include "accel/config.hh"
@@ -52,13 +53,39 @@ struct RunOptions
     bool interLayerOverlap = false;
 
     /**
+     * Finer-grained variant of interLayerOverlap (implies it): gate
+     * a consumer layer on producer *tile* readiness instead of the
+     * whole output drain. Streaming consumers (comb-first,
+     * column-product — LayerSchedule::sequentialInput) start as
+     * soon as the producer tiles covering their next input chunk
+     * have drained, double-buffered at tile granularity and clamped
+     * exactly like the per-layer gate; random-gather consumers
+     * (agg-first) keep per-layer gating. Cycle totals never exceed
+     * the per-layer-gated totals; work counts stay identical to
+     * both other modes. Surfaced as --pipeline=tile.
+     */
+    bool tileOverlap = false;
+
+    /**
      * Worker threads for the runAll fan-out: 1 runs serially on the
      * caller thread (the default, so library behaviour is unchanged),
      * 0 uses every hardware thread, N uses at most N. Results are
      * deterministic and input-ordered regardless of the value.
      */
     unsigned jobs = 1;
+
+    /** Whether any inter-layer pipelining (either gating) is on. */
+    bool pipelined() const { return interLayerOverlap || tileOverlap; }
 };
+
+/**
+ * Apply the shared --pipeline[=off|layer|tile] CLI flag to @p opts:
+ * absent leaves the options alone; bare/"layer"/truthy values select
+ * per-layer gating; "tile" selects per-tile gating; falsy values
+ * turn pipelining off. Fatal on anything else.
+ */
+void applyPipelineFlag(RunOptions &opts, bool present,
+                       const std::string &value);
 
 /** Simulate @p net on @p dataset with accelerator @p config. */
 RunResult runNetwork(const AccelConfig &config, const Dataset &dataset,

@@ -55,6 +55,71 @@ struct PhaseTrace
     }
 };
 
+/**
+ * Observed per-tile event times, collected by the timing-mode
+ * row-product controllers alongside the aggregate PhaseTraces.
+ * Output DMAs of different tiles share the DRAM channels and may
+ * complete out of order; LayerSchedule::setTileSpans re-imposes the
+ * monotone per-tile invariants when the traces are converted.
+ */
+struct TileTraces
+{
+    struct Raw
+    {
+        Cycle consumeStart = 0;
+        Cycle consumeEnd = 0;
+        Cycle ready = 0;
+    };
+
+    std::vector<Raw> tiles;
+
+    void resize(unsigned count) { tiles.assign(count, Raw{}); }
+
+    void
+    markConsumeStart(unsigned tile, Cycle at)
+    {
+        tiles[tile].consumeStart = at;
+        tiles[tile].consumeEnd = at;
+    }
+
+    void
+    markConsumeEnd(unsigned tile, Cycle at)
+    {
+        tiles[tile].consumeEnd = std::max(tiles[tile].consumeEnd, at);
+    }
+
+    void
+    markReady(unsigned tile, Cycle at)
+    {
+        tiles[tile].ready = std::max(tiles[tile].ready, at);
+    }
+
+    /** Consume windows as layer-local spans relative to @p base. */
+    std::vector<PhaseSpan>
+    consumeSpans(Cycle base) const
+    {
+        std::vector<PhaseSpan> spans;
+        spans.reserve(tiles.size());
+        for (const Raw &raw : tiles) {
+            spans.push_back(PhaseSpan{
+                raw.consumeStart > base ? raw.consumeStart - base : 0,
+                raw.consumeEnd > base ? raw.consumeEnd - base : 0});
+        }
+        return spans;
+    }
+
+    /** Output-ready cycles relative to @p base. */
+    std::vector<Cycle>
+    readyCycles(Cycle base) const
+    {
+        std::vector<Cycle> ready;
+        ready.reserve(tiles.size());
+        for (const Raw &raw : tiles)
+            ready.push_back(raw.ready > base ? raw.ready - base : 0);
+        return ready;
+    }
+};
+
 /** Tile-sequencing state shared across continuation callbacks. */
 struct TileControl
 {
@@ -69,6 +134,9 @@ struct TileControl
     PhaseTrace aggTrace;
     PhaseTrace combTrace;
     PhaseTrace drainTrace;
+
+    /** Per-tile traces for the schedule's TileSpans (timing mode). */
+    TileTraces tileTraces;
 
     /** Break the ctl -> startTile -> ctl ownership cycle. */
     void

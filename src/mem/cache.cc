@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace sgcn
@@ -16,6 +18,160 @@ Cache::Cache(const CacheConfig &config, Dram &dram_module,
     sets.assign(num_sets, std::vector<Line>(cfg.ways));
     setMask = num_sets - 1;
     setShift = log2Floor(num_sets);
+
+    // MSHR table: power of two at twice the capacity (minimum 16)
+    // keeps the load factor at or below 1/2.
+    std::uint64_t slots = 16;
+    while (slots < 2 * static_cast<std::uint64_t>(
+                        std::max(1u, cfg.mshrs))) {
+        slots *= 2;
+    }
+    mshrSlots = std::vector<MshrEntry>(slots);
+    mshrSlotMask = slots - 1;
+}
+
+Cache::~Cache()
+{
+    // Engines drain their event queues before teardown, so every
+    // entry's spill chain is already back on the free list; release
+    // the pooled nodes themselves (and, defensively, any chain a
+    // torn-down simulation abandoned mid-flight).
+    for (MshrEntry &entry : mshrSlots) {
+        MshrTargetNode *node = entry.overflowHead;
+        while (node != nullptr) {
+            MshrTargetNode *next = node->next;
+            delete node;
+            node = next;
+        }
+    }
+    while (mshrTargetFree != nullptr) {
+        MshrTargetNode *next = mshrTargetFree->next;
+        delete mshrTargetFree;
+        mshrTargetFree = next;
+    }
+}
+
+std::size_t
+Cache::mshrHome(Addr line_addr) const
+{
+    // Fibonacci-style multiplicative mix of the line number; the
+    // low bits of feature addresses are stride-patterned, so a
+    // plain mask would cluster probes.
+    const std::uint64_t line = line_addr / kCachelineBytes;
+    return static_cast<std::size_t>(
+        (line * 0x9E3779B97F4A7C15ull >> 17) & mshrSlotMask);
+}
+
+Cache::MshrEntry *
+Cache::mshrFind(Addr line_addr)
+{
+    std::size_t index = mshrHome(line_addr);
+    while (mshrSlots[index].occupied) {
+        if (mshrSlots[index].addr == line_addr)
+            return &mshrSlots[index];
+        index = (index + 1) & mshrSlotMask;
+    }
+    return nullptr;
+}
+
+Cache::MshrEntry &
+Cache::mshrAllocate(Addr line_addr)
+{
+    SGCN_ASSERT(mshrCount < mshrSlots.size() / 2,
+                "MSHR table over-filled past its load factor");
+    std::size_t index = mshrHome(line_addr);
+    while (mshrSlots[index].occupied)
+        index = (index + 1) & mshrSlotMask;
+    MshrEntry &entry = mshrSlots[index];
+    entry.addr = line_addr;
+    entry.occupied = true;
+    entry.anyWrite = false;
+    entry.inlineUsed = 0;
+    entry.overflowHead = entry.overflowTail = nullptr;
+    ++mshrCount;
+    return entry;
+}
+
+void
+Cache::mshrErase(std::size_t index)
+{
+    --mshrCount;
+    // Backward-shift deletion: pull every displaced follower of the
+    // probe chain into the hole instead of leaving a tombstone, so
+    // the table never degrades however long the simulation runs.
+    std::size_t hole = index;
+    std::size_t probe = index;
+    while (true) {
+        probe = (probe + 1) & mshrSlotMask;
+        if (!mshrSlots[probe].occupied)
+            break;
+        const std::size_t home = mshrHome(mshrSlots[probe].addr);
+        // If the entry's home lies cyclically within (hole, probe],
+        // a lookup starting at its home never crosses the hole, so
+        // it may stay put.
+        const bool reachable = hole <= probe
+                                   ? (home > hole && home <= probe)
+                                   : (home > hole || home <= probe);
+        if (reachable)
+            continue;
+        mshrSlots[hole] = std::move(mshrSlots[probe]);
+        hole = probe;
+    }
+    mshrSlots[hole].occupied = false;
+    mshrSlots[hole].inlineUsed = 0;
+    mshrSlots[hole].overflowHead = mshrSlots[hole].overflowTail =
+        nullptr;
+}
+
+void
+Cache::mshrPushTarget(MshrEntry &entry, MemCallback done)
+{
+    if (entry.inlineUsed < MshrEntry::kInlineTargets) {
+        entry.inlineTargets[entry.inlineUsed++] = std::move(done);
+        return;
+    }
+    MshrTargetNode *tail = entry.overflowTail;
+    if (tail == nullptr || tail->used == MshrTargetNode::kTargets) {
+        MshrTargetNode *node;
+        if (mshrTargetFree != nullptr) {
+            node = mshrTargetFree;
+            mshrTargetFree = node->next;
+            node->next = nullptr;
+            node->used = 0;
+        } else {
+            node = new MshrTargetNode();
+        }
+        if (tail == nullptr)
+            entry.overflowHead = node;
+        else
+            tail->next = node;
+        entry.overflowTail = node;
+        tail = node;
+    }
+    tail->targets[tail->used++] = std::move(done);
+}
+
+void
+Cache::mshrDispatchTargets(MshrEntry &entry)
+{
+    for (unsigned i = 0; i < entry.inlineUsed; ++i) {
+        events.scheduleAfter(cfg.hitLatency,
+                             std::move(entry.inlineTargets[i]));
+    }
+    entry.inlineUsed = 0;
+    MshrTargetNode *node = entry.overflowHead;
+    while (node != nullptr) {
+        for (unsigned i = 0; i < node->used; ++i) {
+            events.scheduleAfter(cfg.hitLatency,
+                                 std::move(node->targets[i]));
+        }
+        node->used = 0;
+        MshrTargetNode *next = node->next;
+        node->next = mshrTargetFree;
+        mshrTargetFree = node;
+        node = next;
+    }
+    entry.overflowHead = entry.overflowTail = nullptr;
 }
 
 std::uint64_t
@@ -172,16 +328,15 @@ Cache::access(const MemRequest &request, MemCallback done)
 
     ++statCounters.misses;
 
-    auto mshr_it = mshrMap.find(request.lineAddr);
-    if (mshr_it != mshrMap.end()) {
+    if (MshrEntry *mshr = mshrFind(request.lineAddr)) {
         ++statCounters.mshrCoalesced;
-        mshr_it->second.anyWrite |= (request.op == MemOp::Write);
+        mshr->anyWrite |= (request.op == MemOp::Write);
         if (done)
-            mshr_it->second.targets.push_back(std::move(done));
+            mshrPushTarget(*mshr, std::move(done));
         return;
     }
 
-    if (mshrMap.size() >= cfg.mshrs) {
+    if (mshrCount >= cfg.mshrs) {
         pendingQueue.emplace_back(request, std::move(done));
         return;
     }
@@ -229,11 +384,11 @@ Cache::accessBurstRmw(const AccessPlan &plan, TrafficClass cls,
 void
 Cache::startMiss(const MemRequest &request, MemCallback done)
 {
-    Mshr &mshr = mshrMap[request.lineAddr];
-    mshr.request = request;
+    MshrEntry &mshr = mshrAllocate(request.lineAddr);
+    mshr.cls = request.cls;
     mshr.anyWrite = (request.op == MemOp::Write);
     if (done)
-        mshr.targets.push_back(std::move(done));
+        mshrPushTarget(mshr, std::move(done));
 
     // Write-allocate: fetch the line before merging the write. The
     // fetch is tagged with the requester's traffic class so the
@@ -246,19 +401,17 @@ Cache::startMiss(const MemRequest &request, MemCallback done)
 void
 Cache::finishMiss(Addr line_addr)
 {
-    auto it = mshrMap.find(line_addr);
-    SGCN_ASSERT(it != mshrMap.end(), "fill for unknown MSHR");
+    MshrEntry *mshr = mshrFind(line_addr);
+    SGCN_ASSERT(mshr != nullptr, "fill for unknown MSHR");
 
-    Mshr mshr = std::move(it->second);
-    mshrMap.erase(it);
+    Line &line = fill(line_addr, true, mshr->cls);
+    line.dirty = mshr->anyWrite;
 
-    Line &line = fill(line_addr, true, mshr.request.cls);
-    line.dirty = mshr.anyWrite;
-
-    for (auto &target : mshr.targets) {
-        if (target)
-            events.scheduleAfter(cfg.hitLatency, std::move(target));
-    }
+    // Targets are only scheduled (never invoked synchronously), so
+    // dispatching straight out of the entry cannot re-enter the
+    // table before the erase below.
+    mshrDispatchTargets(*mshr);
+    mshrErase(static_cast<std::size_t>(mshr - mshrSlots.data()));
 
     drainPendingQueue();
 }
@@ -266,9 +419,13 @@ Cache::finishMiss(Addr line_addr)
 void
 Cache::drainPendingQueue()
 {
-    while (!pendingQueue.empty() && mshrMap.size() < cfg.mshrs) {
-        auto [request, done] = std::move(pendingQueue.front());
-        pendingQueue.pop_front();
+    while (pendingHead < pendingQueue.size() &&
+           mshrCount < cfg.mshrs) {
+        auto [request, done] = std::move(pendingQueue[pendingHead]);
+        if (++pendingHead == pendingQueue.size()) {
+            pendingQueue.clear();
+            pendingHead = 0;
+        }
 
         // Re-check the tag array: an earlier fill may have satisfied
         // this line already.
@@ -281,12 +438,11 @@ Cache::drainPendingQueue()
                 events.scheduleAfter(cfg.hitLatency, std::move(done));
             continue;
         }
-        auto mshr_it = mshrMap.find(request.lineAddr);
-        if (mshr_it != mshrMap.end()) {
+        if (MshrEntry *mshr = mshrFind(request.lineAddr)) {
             ++statCounters.mshrCoalesced;
-            mshr_it->second.anyWrite |= (request.op == MemOp::Write);
+            mshr->anyWrite |= (request.op == MemOp::Write);
             if (done)
-                mshr_it->second.targets.push_back(std::move(done));
+                mshrPushTarget(*mshr, std::move(done));
             continue;
         }
         startMiss(request, std::move(done));

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "mem/access_plan.hh"
@@ -178,14 +177,20 @@ class Dram
 
     struct Channel
     {
-        // Move-only: Pending holds a move-only callback, and
-        // vector relocation must pick the (throwing) deque move
-        // over the deleted copy.
+        // Move-only: Pending holds a move-only callback, so the
+        // channel array must move rather than copy.
         Channel() = default;
         Channel(Channel &&) = default;
         Channel &operator=(Channel &&) = default;
 
-        std::deque<Pending> queue;
+        /** FR-FCFS scheduling queue in arrival order. A vector, not
+         *  a deque: a deque's push/erase churn allocates and frees
+         *  a storage chunk every few requests in steady state,
+         *  while a vector's retained capacity makes the enqueue
+         *  path allocation-free once warm (the mid-queue erase is
+         *  the same element shifting either way at these bounded
+         *  window depths). */
+        std::vector<Pending> queue;
         std::vector<Bank> banks;
         Cycle busFreeAt = 0;
         bool schedulerActive = false;

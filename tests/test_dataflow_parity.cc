@@ -33,6 +33,7 @@
 
 #include "accel/layer_engine.hh"
 #include "accel/personalities.hh"
+#include "fixtures.hh"
 
 namespace sgcn
 {
@@ -63,7 +64,7 @@ constexpr GoldenLayer kGoldenColumnProduct = {
 
 struct DataflowParity : ::testing::Test
 {
-    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.1);
+    Dataset cora = testfx::cora(0.1);
     NetworkSpec net;
 
     LayerResult
@@ -78,9 +79,7 @@ struct DataflowParity : ::testing::Test
     static AccelConfig
     combFirstConfig()
     {
-        AccelConfig config = makeSgcn();
-        config.dataflow = DataflowKind::CombFirstRowProduct;
-        return config;
+        return testfx::combFirstPersonality();
     }
 
     /** A count must sit inside the golden band: 0.2% relative with

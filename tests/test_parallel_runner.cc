@@ -16,6 +16,7 @@
 
 #include "accel/personalities.hh"
 #include "accel/runner.hh"
+#include "fixtures.hh"
 #include "sim/thread_pool.hh"
 
 namespace sgcn
@@ -23,44 +24,11 @@ namespace sgcn
 namespace
 {
 
-void
-expectLayerIdentical(const LayerResult &a, const LayerResult &b)
-{
-    EXPECT_EQ(a.cycles, b.cycles);
-    EXPECT_EQ(a.aggCycles, b.aggCycles);
-    EXPECT_EQ(a.combCycles, b.combCycles);
-    for (unsigned c = 0; c < kNumTrafficClasses; ++c) {
-        EXPECT_EQ(a.traffic.readLines[c], b.traffic.readLines[c]);
-        EXPECT_EQ(a.traffic.writeLines[c], b.traffic.writeLines[c]);
-    }
-    EXPECT_EQ(a.cacheAccesses, b.cacheAccesses);
-    EXPECT_EQ(a.cacheHits, b.cacheHits);
-    EXPECT_EQ(a.macs, b.macs);
-    // Doubles compare exactly: identical inputs through identical
-    // arithmetic must give identical bits, threads or not.
-    EXPECT_EQ(a.bwUtil, b.bwUtil);
-}
-
-void
-expectRunIdentical(const RunResult &a, const RunResult &b)
-{
-    EXPECT_EQ(a.accelName, b.accelName);
-    EXPECT_EQ(a.datasetAbbrev, b.datasetAbbrev);
-    expectLayerIdentical(a.total, b.total);
-    expectLayerIdentical(a.inputLayer, b.inputLayer);
-    ASSERT_EQ(a.sampledLayers.size(), b.sampledLayers.size());
-    for (std::size_t i = 0; i < a.sampledLayers.size(); ++i)
-        expectLayerIdentical(a.sampledLayers[i], b.sampledLayers[i]);
-    EXPECT_EQ(a.energy.computeJ, b.energy.computeJ);
-    EXPECT_EQ(a.energy.cacheJ, b.energy.cacheJ);
-    EXPECT_EQ(a.energy.dramJ, b.energy.dramJ);
-    EXPECT_EQ(a.tdpWatts, b.tdpWatts);
-    EXPECT_EQ(a.areaMm2, b.areaMm2);
-}
+using testfx::expectRunIdentical;
 
 struct ParallelRunner : ::testing::Test
 {
-    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    Dataset cora = testfx::cora();
     NetworkSpec net;
     RunOptions opts;
 

@@ -55,7 +55,8 @@ runOptions(const Cli &cli)
     opts.sampledIntermediateLayers =
         static_cast<unsigned>(cli.getInt("sampled", 4));
     opts.includeInputLayer = cli.getBool("input-layer", true);
-    opts.interLayerOverlap = cli.getBool("pipeline", false);
+    applyPipelineFlag(opts, cli.has("pipeline"),
+                      cli.getString("pipeline", ""));
     opts.jobs = static_cast<unsigned>(
         cli.getInt("jobs", ThreadPool::hardwareJobs()));
     return opts;
@@ -144,7 +145,7 @@ cmdRun(const Cli &cli)
     }
     table.print();
 
-    if (opts.interLayerOverlap) {
+    if (opts.pipelined()) {
         std::printf("\n");
         for (const auto &run : results) {
             std::printf("%s\n",
@@ -311,8 +312,10 @@ usage()
         "--cache-kb N --engines N\n"
         "            --dram hbm1|hbm2 --csv FILE --stats "
         "--jobs N (default: all hardware threads)\n"
-        "            --pipeline (overlap layers on one timeline; "
-        "see README \"Inter-layer pipelining\")\n"
+        "            --pipeline[=layer|tile] (overlap layers on one "
+        "timeline; =tile gates on\n"
+        "            per-tile output availability; see README "
+        "\"Inter-layer pipelining\")\n"
         "  sweep     --knob cache|engines|layers|slice --dataset ...\n"
         "  describe  --accel SGCN|GCNAX|HyGCN|AWB-GCN|EnGN|I-GCN\n"
         "  datasets  [--scale X]\n"
