@@ -13,6 +13,7 @@
 #include <iterator>
 
 #include "accel/layer_engine.hh"
+#include "accel/stream_artifacts.hh"
 #include "accel/workload.hh"
 #include "core/beicsr.hh"
 #include "gcn/sparsity_model.hh"
@@ -34,7 +35,9 @@ syntheticLayer(const AccelConfig &config, const Dataset &dataset,
 {
     NetworkSpec net;
     LayerContext ctx;
-    ctx.graph = &dataset.graph;
+    auto &artifacts = StreamArtifactCache::instance();
+    ctx.graphOwner = artifacts.canonicalGraph(dataset.graph);
+    ctx.graph = ctx.graphOwner.get();
     ctx.isInputLayer = false;
     ctx.residual = true;
     ctx.edgeBytes = 8;
@@ -42,18 +45,21 @@ syntheticLayer(const AccelConfig &config, const Dataset &dataset,
     ctx.outWidth = net.hidden;
     ctx.inSparsity = sparsity;
     ctx.outSparsity = sparsity;
-    Rng in_rng(0xfeed + static_cast<std::uint64_t>(sparsity * 1000));
-    Rng out_rng(0xf00d + static_cast<std::uint64_t>(sparsity * 1000));
     const VertexId n = dataset.graph.numVertices();
-    ctx.inMask = FeatureMask::random(n, ctx.inWidth, sparsity, in_rng);
-    ctx.outMask =
-        FeatureMask::random(n, ctx.outWidth, sparsity, out_rng);
-    ctx.inLayout = makeLayout(config.format, ctx.inWidth,
-                              config.sliceC);
-    ctx.outLayout = makeLayout(config.format, ctx.outWidth,
-                               config.sliceC);
-    ctx.inLayout->prepare(ctx.inMask, AddressMap::kFeatureInBase);
-    ctx.outLayout->prepare(ctx.outMask, AddressMap::kFeatureOutBase);
+    const auto in_mask = artifacts.randomMask(
+        n, ctx.inWidth, sparsity,
+        0xfeed + static_cast<std::uint64_t>(sparsity * 1000));
+    const auto out_mask = artifacts.randomMask(
+        n, ctx.outWidth, sparsity,
+        0xf00d + static_cast<std::uint64_t>(sparsity * 1000));
+    ctx.inMask = in_mask.mask;
+    ctx.outMask = out_mask.mask;
+    ctx.inLayout = artifacts.preparedLayout(
+        config.format, ctx.inWidth, config.sliceC, 0.5,
+        AddressMap::kFeatureInBase, in_mask);
+    ctx.outLayout = artifacts.preparedLayout(
+        config.format, ctx.outWidth, config.sliceC, 0.5,
+        AddressMap::kFeatureOutBase, out_mask);
 
     LayerEngine engine(config, ctx);
     return engine.run(mode);
@@ -68,8 +74,15 @@ main(int argc, char **argv)
     BenchOptions options = BenchOptions::fromCli(cli);
     banner("Fig. 19 — synthetic sparsity sweep", options);
 
-    // Geomean over a few structurally distinct datasets.
-    const char *abbrevs[] = {"CR", "PM", "GH"};
+    // Geomean over a few structurally distinct datasets by default;
+    // --datasets narrows or widens the set like the other harnesses.
+    std::vector<DatasetSpec> specs;
+    if (cli.has("datasets")) {
+        specs = options.datasets;
+    } else {
+        for (const char *abbrev : {"CR", "PM", "GH"})
+            specs.push_back(datasetByAbbrev(abbrev));
+    }
 
     AccelConfig dense = makeSgcn();
     dense.name = "Dense";
@@ -92,9 +105,8 @@ main(int argc, char **argv)
     for (int pct = 5; pct <= 95; pct += 10)
         pcts.push_back(pct);
     std::vector<Dataset> datasets;
-    for (const char *abbrev : abbrevs)
-        datasets.push_back(instantiateDataset(datasetByAbbrev(abbrev),
-                                              options.scale));
+    for (const DatasetSpec &spec : specs)
+        datasets.push_back(instantiateDataset(spec, options.scale));
     const AccelConfig *formats[] = {&dense, &csr, &sgcn};
     const std::size_t num_formats = std::size(formats);
 

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks of the sweep-level artifact
+ * sharing (the PR 6 tentpole): a full six-personality fast-mode
+ * sweep over the Cora fixture, cold (artifact caches cleared every
+ * iteration, so masks/layouts/views/orders recompute) versus warm
+ * (artifacts resident, the steady state of a fig11/fig19 dataset
+ * loop), plus the warm artifact-lookup path in isolation. Counts
+ * heap allocations per config / per lookup (operator new
+ * replacement, this binary only) and aborts if the warm paths start
+ * allocating again — the same loud-failure idiom as
+ * micro_event_queue's memory-path bound.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "accel/personalities.hh"
+#include "accel/runner.hh"
+#include "accel/stream_artifacts.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+// Count every heap allocation in this binary. (GCC pairs its
+// built-in operator new model with the free() below and warns; the
+// replacement operators are matched.)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace sgcn;
+
+/** Track allocations across the timed region and report per-item. */
+class AllocCounter
+{
+  public:
+    explicit AllocCounter(benchmark::State &state) : state(state)
+    {
+        start = g_allocs.load(std::memory_order_relaxed);
+    }
+
+    double
+    report(const char *counter, std::int64_t items)
+    {
+        const std::uint64_t end =
+            g_allocs.load(std::memory_order_relaxed);
+        const double per_item =
+            static_cast<double>(end - start) /
+            static_cast<double>(items > 0 ? items : 1);
+        state.counters[counter] = benchmark::Counter(per_item);
+        return per_item;
+    }
+
+  private:
+    benchmark::State &state;
+    std::uint64_t start;
+};
+
+/** One fast-mode sweep: every personality over the Cora fixture. */
+std::int64_t
+sweepOnce(const std::vector<AccelConfig> &configs,
+          const Dataset &dataset, const NetworkSpec &net)
+{
+    RunOptions opts;
+    opts.mode = ExecutionMode::Fast;
+    const auto results = runAll(configs, dataset, net, opts);
+    benchmark::DoNotOptimize(results.front().total.cycles);
+    return static_cast<std::int64_t>(results.size());
+}
+
+void
+BM_SweepFastCold(benchmark::State &state)
+{
+    const Dataset cora =
+        instantiateDataset(datasetByAbbrev("CR"), 1.0);
+    const auto configs = allPersonalities();
+    const NetworkSpec net;
+
+    std::int64_t items = 0;
+    for (auto _ : state) {
+        // Cold: every per-sweep artifact (masks, prepared layouts,
+        // tile views, degree orders, reordered topologies)
+        // recomputes from scratch, as pre-PR-6 sweeps did per
+        // config.
+        clearSweepArtifacts();
+        items += sweepOnce(configs, cora, net);
+    }
+    state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_SweepFastCold)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepFastWarm(benchmark::State &state)
+{
+    const Dataset cora =
+        instantiateDataset(datasetByAbbrev("CR"), 1.0);
+    const auto configs = allPersonalities();
+    const NetworkSpec net;
+
+    clearSweepArtifacts();
+    sweepOnce(configs, cora, net); // populate the artifact caches
+
+    AllocCounter allocs(state);
+    std::int64_t items = 0;
+    for (auto _ : state)
+        items += sweepOnce(configs, cora, net);
+    const double per_config = allocs.report("allocs_per_config", items);
+    state.SetItemsProcessed(items);
+
+    // A warm config still builds its own engines, caches, and result
+    // vectors (a few thousand allocations), but nothing proportional
+    // to edges or cache accesses: the per-access fast path is
+    // engineered allocation-free (reused sweep scratch, bulk plan
+    // accesses, resident artifacts). Cora simulates ~10^6 cache
+    // accesses per config, so a per-access allocation regression
+    // shows up as a >100x jump over this bound.
+    constexpr double kMaxAllocsPerConfig = 50000.0;
+    if (per_config > kMaxAllocsPerConfig) {
+        std::fprintf(stderr,
+                     "FATAL: %.0f allocs/config exceeds the %.0f "
+                     "bound — the warm sweep path is allocating "
+                     "per access again\n",
+                     per_config, kMaxAllocsPerConfig);
+        std::abort();
+    }
+}
+BENCHMARK(BM_SweepFastWarm)->Unit(benchmark::kMillisecond);
+
+void
+BM_WarmArtifactLookup(benchmark::State &state)
+{
+    auto &artifacts = StreamArtifactCache::instance();
+    const Dataset cora =
+        instantiateDataset(datasetByAbbrev("CR"), 1.0);
+    const std::uint32_t n = cora.graph.numVertices();
+
+    // Populate the four artifact families once; the loop then
+    // measures the steady-state hit path shared by every config of a
+    // sweep.
+    const auto mask = artifacts.randomMask(n, 128, 0.9, 42);
+    const auto layout = artifacts.preparedLayout(
+        FormatKind::Dense, 128, 0, 0.1, 0, mask);
+    const auto graph = artifacts.canonicalGraph(cora.graph);
+    const auto view = artifacts.tiledView(graph, 512, 512);
+    const auto order = artifacts.degreeOrder(cora.graph);
+    benchmark::DoNotOptimize(layout);
+    benchmark::DoNotOptimize(view);
+    benchmark::DoNotOptimize(order);
+
+    AllocCounter allocs(state);
+    std::int64_t items = 0;
+    for (auto _ : state) {
+        const auto m = artifacts.randomMask(n, 128, 0.9, 42);
+        const auto l = artifacts.preparedLayout(
+            FormatKind::Dense, 128, 0, 0.1, 0, m);
+        const auto v = artifacts.tiledView(graph, 512, 512);
+        const auto o = artifacts.degreeOrder(cora.graph);
+        benchmark::DoNotOptimize(l);
+        benchmark::DoNotOptimize(v);
+        benchmark::DoNotOptimize(o);
+        items += 4;
+    }
+    const double per_lookup = allocs.report("allocs_per_lookup", items);
+    state.SetItemsProcessed(items);
+
+    // Warm lookups are allocation-free by construction: KeyedCache's
+    // hit path copies a shared_future and a shared_ptr (refcount
+    // bumps, no heap), and the keys are stack tuples. Fail loudly if
+    // a per-hit allocation sneaks back in (the single-pass lookup
+    // used to charge every hit one std::promise shared state).
+    constexpr double kMaxAllocsPerLookup = 0.1;
+    if (per_lookup > kMaxAllocsPerLookup) {
+        std::fprintf(stderr,
+                     "FATAL: %.3f allocs/lookup exceeds the %.1f "
+                     "bound — the warm artifact-lookup path is "
+                     "allocating per hit again\n",
+                     per_lookup, kMaxAllocsPerLookup);
+        std::abort();
+    }
+}
+BENCHMARK(BM_WarmArtifactLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

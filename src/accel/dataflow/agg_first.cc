@@ -20,15 +20,14 @@ AggFirstDataflow::run(EngineContext &ec, LayerResult &result) const
 void
 AggFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
 {
-    const CsrGraph &graph = *ec.layer.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ec.layer.inLayout;
-    FeatureLayout &out = *ec.layer.outLayout;
+    const VertexId n = ec.layer.graph->numVertices();
+    const FeatureLayout &in = *ec.layer.inLayout;
+    const FeatureLayout &out = *ec.layer.outLayout;
 
     const VertexId src_span =
         ec.cfg.topologyTiling ? ec.pickSrcSpan(in) : n;
     const VertexId dst_span = ec.pickDstSpan(in, ec.layer.inWidth);
-    TiledGraphView view(graph, dst_span, src_span);
+    const auto view = ec.tiledView(dst_span, src_span);
 
     // EnGN's degree-aware vertex cache pins hot feature rows for the
     // whole layer (dense layout only).
@@ -36,17 +35,17 @@ AggFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
         ec.pinDavc(AddressMap::kFeatureInBase, ec.layer.inWidth);
 
     std::vector<EngineContext::TilePhase> tiles;
-    tiles.reserve(view.numDstTiles());
+    tiles.reserve(view->numDstTiles());
 
-    for (unsigned t = 0; t < view.numDstTiles(); ++t) {
-        const VertexId tile_begin = view.dstTileBegin(t);
-        const VertexId tile_end = view.dstTileEnd(t);
+    for (unsigned t = 0; t < view->numDstTiles(); ++t) {
+        const VertexId tile_begin = view->dstTileBegin(t);
+        const VertexId tile_end = view->dstTileEnd(t);
         const VertexId rows = tile_end - tile_begin;
 
         EngineContext::TilePhase phase;
         const EngineContext::Snapshot agg_before = ec.snapshot();
         const Cycle compute =
-            sweepTileFast(ec, view, t, in, TrafficClass::FeatureIn);
+            sweepTileFast(ec, *view, t, in, TrafficClass::FeatureIn);
         phase.aggTime = ec.phaseCycles(compute, agg_before);
 
         // Combination: (rows x inWidth) . (inWidth x outWidth) on the
@@ -109,18 +108,17 @@ void
 AggFirstDataflow::runTiming(EngineContext &ec,
                             LayerResult &result) const
 {
-    const CsrGraph &graph = *ec.layer.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ec.layer.inLayout;
-    FeatureLayout &out = *ec.layer.outLayout;
+    const VertexId n = ec.layer.graph->numVertices();
+    const FeatureLayout &in = *ec.layer.inLayout;
+    const FeatureLayout &out = *ec.layer.outLayout;
 
     const VertexId src_span =
         ec.cfg.topologyTiling ? ec.pickSrcSpan(in) : n;
     const VertexId dst_span = ec.pickDstSpan(in, ec.layer.inWidth);
-    TiledGraphView view(graph, dst_span, src_span);
+    const auto view = ec.tiledView(dst_span, src_span);
 
     auto ctl = std::make_shared<TileControl>();
-    ctl->numTiles = view.numDstTiles();
+    ctl->numTiles = view->numDstTiles();
     ctl->combDone.assign(ctl->numTiles, 0);
     ctl->tileTraces.resize(ctl->numTiles);
 
@@ -134,13 +132,13 @@ AggFirstDataflow::runTiming(EngineContext &ec,
             ctl->aggTrace.markStart(agg_start);
             ctl->tileTraces.markConsumeStart(t, agg_start);
             ctl->agg = std::make_shared<TimingAgg>(
-                ec, view, t, in, TrafficClass::FeatureIn);
-            ctl->agg->start([&, ctl, t, agg_start] {
+                ec, *view, t, in, TrafficClass::FeatureIn);
+            ctl->agg->start([&, ctl, view, t, agg_start] {
                 result.aggCycles += ec.events.now() - agg_start;
                 ctl->aggTrace.markEnd(ec.events.now());
                 ctl->tileTraces.markConsumeEnd(t, ec.events.now());
-                const VertexId tile_begin = view.dstTileBegin(t);
-                const VertexId tile_end = view.dstTileEnd(t);
+                const VertexId tile_begin = view->dstTileBegin(t);
+                const VertexId tile_end = view->dstTileEnd(t);
                 const VertexId rows = tile_end - tile_begin;
                 const GemmCost gemm = ec.systolic.gemm(
                     rows, ec.layer.inWidth, ec.layer.outWidth,

@@ -60,22 +60,21 @@ ColumnProductDataflow::runFast(EngineContext &ec,
 {
     const CsrGraph &graph = *ec.layer.graph;
     const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ec.layer.inLayout;
-    FeatureLayout &out = *ec.layer.outLayout;
+    const FeatureLayout &in = *ec.layer.inLayout;
+    const FeatureLayout &out = *ec.layer.outLayout;
 
     // Combination: input feature rows stream in source order with
     // zero-skipping in the datapath (AWB-GCN); one X pass per
     // partial-sum strip, recomputing that strip of X.W on the fly.
+    // The row reads only feed the stream-traffic counters, so the
+    // per-strip row loops collapse to strips x the memoized total.
     const std::uint32_t strip_width = ec.psumStripWidth();
     const unsigned strips = static_cast<unsigned>(
         divCeil(ec.layer.outWidth, strip_width));
     const EngineContext::Snapshot comb_before = ec.snapshot();
-    for (unsigned strip = 0; strip < strips; ++strip) {
-        for (VertexId v = 0; v < n; ++v) {
-            ec.streamPlan(in.planRowRead(v), MemOp::Read,
-                          TrafficClass::FeatureIn);
-        }
-    }
+    ec.fastStreamTraffic.add(MemOp::Read, TrafficClass::FeatureIn,
+                             static_cast<std::uint64_t>(strips) *
+                                 in.totalRowReadLines());
     const GemmCost gemm = ec.systolic.gemm(
         n, ec.layer.inWidth, ec.layer.outWidth,
         ec.cfg.zeroSkipCombination ? ec.layer.inSparsity : 0.0);
@@ -100,6 +99,44 @@ ColumnProductDataflow::runFast(EngineContext &ec,
     // topology once per strip.
     const std::uint64_t psum_stride = denseRowStride(ec.layer.outWidth);
     std::vector<Cycle> engine_cycles(ec.cfg.aggEngines, 0);
+
+    // Resolve each source vertex's neighbour run and its sampled
+    // destination picks once, then replay the pick stream for every
+    // strip: the walk depends only on the topology, not the strip.
+    // The topology stream only feeds counters, so it collapses to
+    // one total per pass.
+    auto &entries = ec.sweepEntries;
+    auto &picks = ec.sweepPicks;
+    entries.clear();
+    picks.clear();
+    std::uint64_t topo_lines_per_pass = 0;
+    for (VertexId u = 0; u < n; ++u) {
+        const auto nbrs = graph.neighbors(u);
+        if (nbrs.empty())
+            continue;
+        EngineContext::SweepEntry entry;
+        entry.engine = static_cast<unsigned>(u % ec.cfg.aggEngines);
+        entry.edgeBegin = graph.rowPointers()[u];
+        entry.walk = ec.sampledEdges(
+            static_cast<std::uint32_t>(nbrs.size()));
+        entry.pickBegin = picks.size();
+        AccessPlan topo;
+        topo.addBytes(AddressMap::kTopologyBase +
+                          entry.edgeBegin * ec.layer.edgeBytes,
+                      static_cast<std::uint64_t>(entry.walk) *
+                          ec.layer.edgeBytes);
+        topo_lines_per_pass += topo.totalLines();
+        const double stride_f =
+            static_cast<double>(nbrs.size()) / entry.walk;
+        for (std::uint32_t j = 0; j < entry.walk; ++j) {
+            const auto pick = static_cast<std::size_t>(
+                static_cast<double>(j) * stride_f);
+            picks.push_back(nbrs[pick]);
+        }
+        entry.pickEnd = picks.size();
+        entries.push_back(entry);
+    }
+
     for (unsigned strip = 0; strip < strips; ++strip) {
         const std::uint32_t begin_col = strip * strip_width;
         const std::uint32_t end_col =
@@ -107,25 +144,14 @@ ColumnProductDataflow::runFast(EngineContext &ec,
         const std::uint64_t strip_bytes =
             static_cast<std::uint64_t>(end_col - begin_col) *
             kFeatureBytes;
-        for (VertexId u = 0; u < n; ++u) {
-            const auto nbrs = graph.neighbors(u);
-            if (nbrs.empty())
-                continue;
-            const std::uint32_t walk = ec.sampledEdges(
-                static_cast<std::uint32_t>(nbrs.size()));
-            AccessPlan topo;
-            topo.addBytes(AddressMap::kTopologyBase +
-                              graph.rowPointers()[u] *
-                                  ec.layer.edgeBytes,
-                          static_cast<std::uint64_t>(walk) *
-                              ec.layer.edgeBytes);
-            ec.streamPlan(topo, MemOp::Read, TrafficClass::Topology);
-            const double stride_f =
-                static_cast<double>(nbrs.size()) / walk;
-            for (std::uint32_t j = 0; j < walk; ++j) {
-                const auto pick = static_cast<std::size_t>(
-                    static_cast<double>(j) * stride_f);
-                const VertexId dst = nbrs[pick];
+        ec.fastStreamTraffic.add(MemOp::Read, TrafficClass::Topology,
+                                 topo_lines_per_pass);
+        const Cycle pick_cost = std::max<Cycle>(
+            1, divCeil(end_col - begin_col, ec.cfg.simdLanes));
+        for (const EngineContext::SweepEntry &entry : entries) {
+            for (std::size_t i = entry.pickBegin; i < entry.pickEnd;
+                 ++i) {
+                const VertexId dst = picks[i];
                 AccessPlan strip_plan;
                 strip_plan.addBytes(
                     AddressMap::kPsumBase +
@@ -138,10 +164,11 @@ ColumnProductDataflow::runFast(EngineContext &ec,
                     ec.psumBuffer->accessFunctional(MemRequest{
                         line, MemOp::Write, TrafficClass::PartialSum});
                 });
-                engine_cycles[u % ec.cfg.aggEngines] += std::max<Cycle>(
-                    1, divCeil(end_col - begin_col, ec.cfg.simdLanes));
-                ec.aggMacs += end_col - begin_col;
             }
+            engine_cycles[entry.engine] +=
+                entry.walk * pick_cost;
+            ec.aggMacs += static_cast<std::uint64_t>(entry.walk) *
+                          (end_col - begin_col);
         }
     }
     // Dirty partial sums flush as the S^{l+1} writeback...
@@ -190,8 +217,8 @@ ColumnProductDataflow::runTiming(EngineContext &ec,
                                  LayerResult &result) const
 {
     const VertexId n = ec.layer.graph->numVertices();
-    FeatureLayout &in = *ec.layer.inLayout;
-    FeatureLayout &out = *ec.layer.outLayout;
+    const FeatureLayout &in = *ec.layer.inLayout;
+    const FeatureLayout &out = *ec.layer.outLayout;
 
     // Streaming input reads (combination) run concurrently with the
     // column-product aggregation: AWB-GCN pipelines the two phases.

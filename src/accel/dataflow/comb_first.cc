@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "accel/dataflow/row_product_common.hh"
+#include "accel/stream_artifacts.hh"
 #include "accel/timing/tile_control.hh"
-#include "formats/dense.hh"
 
 namespace sgcn
 {
@@ -35,18 +35,17 @@ CombFirstDataflow::run(EngineContext &ec, LayerResult &result) const
 void
 CombFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
 {
-    const CsrGraph &graph = *ec.layer.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ec.layer.inLayout;
-    FeatureLayout &out = *ec.layer.outLayout;
+    const VertexId n = ec.layer.graph->numVertices();
+    const FeatureLayout &in = *ec.layer.inLayout;
+    const FeatureLayout &out = *ec.layer.outLayout;
 
     // Phase 1: combination as a streaming pass. X^l rows stream in,
-    // X^l . W^l rows stream out to the psum region.
+    // X^l . W^l rows stream out to the psum region. The row reads
+    // only feed the stream-traffic counters (no cache model), so the
+    // per-row plans collapse to one line total.
     const EngineContext::Snapshot comb_before = ec.snapshot();
-    for (VertexId v = 0; v < n; ++v) {
-        ec.streamPlan(in.planRowRead(v), MemOp::Read,
-                      TrafficClass::FeatureIn);
-    }
+    ec.fastStreamTraffic.add(MemOp::Read, TrafficClass::FeatureIn,
+                             in.totalRowReadLines());
     ec.streamDense(n, ec.layer.outWidth, MemOp::Write,
                    TrafficClass::PartialSum);
     const GemmCost gemm = ec.systolic.gemm(
@@ -60,33 +59,38 @@ CombFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
     result.combCycles += comb_time;
 
     // Phase 2: aggregation over the dense X.W matrix, then the
-    // output pass (residual add + activation + write).
-    const FeatureMask full = FeatureMask::full(n, ec.layer.outWidth);
-    DenseLayout xw(ec.layer.outWidth, ec.cfg.sliceC);
-    xw.prepare(full, AddressMap::kPsumBase);
+    // output pass (residual add + activation + write). The full mask
+    // and the dense psum-region layout are config-independent sweep
+    // artifacts (every comb-first personality aggregates the same
+    // X.W shape).
+    auto &artifacts = StreamArtifactCache::instance();
+    const auto full = artifacts.fullMask(n, ec.layer.outWidth);
+    const auto xw = artifacts.preparedLayout(
+        FormatKind::Dense, ec.layer.outWidth, ec.cfg.sliceC, 0.5,
+        AddressMap::kPsumBase, full);
 
     if (ec.cfg.davc)
         ec.pinDavc(AddressMap::kPsumBase, ec.layer.outWidth);
 
     const VertexId src_span =
-        ec.cfg.topologyTiling ? ec.pickSrcSpan(xw) : n;
-    const VertexId dst_span = ec.pickDstSpan(xw, ec.layer.outWidth);
-    TiledGraphView view(graph, dst_span, src_span);
+        ec.cfg.topologyTiling ? ec.pickSrcSpan(*xw) : n;
+    const VertexId dst_span = ec.pickDstSpan(*xw, ec.layer.outWidth);
+    const auto view = ec.tiledView(dst_span, src_span);
 
     std::vector<EngineContext::TilePhase> tiles;
     std::vector<double> row_weights;
-    tiles.reserve(view.numDstTiles());
-    row_weights.reserve(view.numDstTiles());
-    for (unsigned t = 0; t < view.numDstTiles(); ++t) {
-        const VertexId tile_begin = view.dstTileBegin(t);
-        const VertexId tile_end = view.dstTileEnd(t);
+    tiles.reserve(view->numDstTiles());
+    row_weights.reserve(view->numDstTiles());
+    for (unsigned t = 0; t < view->numDstTiles(); ++t) {
+        const VertexId tile_begin = view->dstTileBegin(t);
+        const VertexId tile_end = view->dstTileEnd(t);
         row_weights.push_back(
             static_cast<double>(tile_end - tile_begin));
 
         EngineContext::TilePhase phase;
         const EngineContext::Snapshot agg_before = ec.snapshot();
         const Cycle compute =
-            sweepTileFast(ec, view, t, xw, TrafficClass::FeatureIn);
+            sweepTileFast(ec, *view, t, *xw, TrafficClass::FeatureIn);
         phase.aggTime = ec.phaseCycles(compute, agg_before);
 
         const EngineContext::Snapshot out_before = ec.snapshot();
@@ -136,10 +140,9 @@ void
 CombFirstDataflow::runTiming(EngineContext &ec,
                              LayerResult &result) const
 {
-    const CsrGraph &graph = *ec.layer.graph;
-    const VertexId n = graph.numVertices();
-    FeatureLayout &in = *ec.layer.inLayout;
-    FeatureLayout &out = *ec.layer.outLayout;
+    const VertexId n = ec.layer.graph->numVertices();
+    const FeatureLayout &in = *ec.layer.inLayout;
+    const FeatureLayout &out = *ec.layer.outLayout;
 
     // Phase 1: streaming combination.
     auto phase1 = std::make_shared<StreamDma>(ec, 128);
@@ -160,29 +163,29 @@ CombFirstDataflow::runTiming(EngineContext &ec,
     ec.combMacs += gemm.macs;
     const Cycle comb_compute = gemm.cycles / ec.cfg.combEngines;
 
-    // Phase 2 state, shared with the continuation callbacks.
-    auto xw_mask = std::make_shared<FeatureMask>(
-        FeatureMask::full(n, ec.layer.outWidth));
-    auto xw = std::make_shared<DenseLayout>(ec.layer.outWidth,
-                                            ec.cfg.sliceC);
-    xw->prepare(*xw_mask, AddressMap::kPsumBase);
+    // Phase 2 state, shared with the continuation callbacks: the
+    // same full-mask/psum-layout/view artifacts the fast path uses.
+    auto &artifacts = StreamArtifactCache::instance();
+    const auto xw_mask = artifacts.fullMask(n, ec.layer.outWidth);
+    const auto xw = artifacts.preparedLayout(
+        FormatKind::Dense, ec.layer.outWidth, ec.cfg.sliceC, 0.5,
+        AddressMap::kPsumBase, xw_mask);
 
     const VertexId src_span =
         ec.cfg.topologyTiling ? ec.pickSrcSpan(*xw) : n;
     const VertexId dst_span = ec.pickDstSpan(*xw, ec.layer.outWidth);
-    auto view = std::make_shared<TiledGraphView>(graph, dst_span,
-                                                 src_span);
+    const auto view = ec.tiledView(dst_span, src_span);
 
     auto ctl = std::make_shared<TileControl>();
     ctl->numTiles = view->numDstTiles();
     ctl->tileTraces.resize(ctl->numTiles);
 
-    ctl->startTile = [&, ctl, view, xw, xw_mask](unsigned t) {
+    ctl->startTile = [&, ctl, view, xw](unsigned t) {
         const Cycle agg_start = ec.events.now();
         ctl->aggTrace.markStart(agg_start);
         ctl->agg = std::make_shared<TimingAgg>(
             ec, *view, t, *xw, TrafficClass::FeatureIn);
-        ctl->agg->start([&, ctl, view, xw, xw_mask, t, agg_start] {
+        ctl->agg->start([&, ctl, view, xw, t, agg_start] {
             result.aggCycles += ec.events.now() - agg_start;
             ctl->aggTrace.markEnd(ec.events.now());
             const VertexId tile_begin = view->dstTileBegin(t);

@@ -9,7 +9,8 @@ namespace sgcn
 
 Cycle
 sweepTileFast(EngineContext &ec, const TiledGraphView &view,
-              unsigned tile, FeatureLayout &layout, TrafficClass cls)
+              unsigned tile, const FeatureLayout &layout,
+              TrafficClass cls)
 {
     const VertexId tile_begin = view.dstTileBegin(tile);
     const VertexId tile_end = view.dstTileEnd(tile);
@@ -27,51 +28,99 @@ sweepTileFast(EngineContext &ec, const TiledGraphView &view,
     // Source tiles outermost: the tile's edges are fetched once into
     // the edge buffer (Fig. 5) and replayed for every feature slice.
     const unsigned slices = layout.numSlices();
+    auto &entries = ec.sweepEntries;
+    auto &picks = ec.sweepPicks;
     for (unsigned c = 0; c < view.numSrcTiles(); ++c) {
-        for (unsigned s = 0; s < slices; ++s) {
-            // Round-robin across engines at vertex granularity to
-            // approximate their concurrency in the shared cache's
-            // access order.
-            for (std::size_t idx = 0; idx < max_len; ++idx) {
-                for (unsigned e = 0; e < ec.cfg.aggEngines; ++e) {
-                    if (idx >= schedule[e].size())
-                        continue;
-                    const VertexId v = schedule[e][idx];
-                    const auto nbrs = view.tileNeighbors(v, c);
-                    if (nbrs.empty())
-                        continue;
-                    const std::uint32_t walk = ec.sampledEdges(
-                        static_cast<std::uint32_t>(nbrs.size()));
-
-                    if (s == 0) {
-                        // Topology fetch for this (v, c) edge run;
-                        // later slices replay the edge buffer.
-                        AccessPlan topo;
-                        topo.addBytes(
-                            AddressMap::kTopologyBase +
-                                view.edgeBegin(v, c) *
-                                    ec.layer.edgeBytes,
-                            static_cast<std::uint64_t>(walk) *
-                                ec.layer.edgeBytes);
-                        ec.streamPlan(topo, MemOp::Read,
-                                      TrafficClass::Topology);
-                    }
-
-                    const double stride =
-                        static_cast<double>(nbrs.size()) / walk;
-                    for (std::uint32_t j = 0; j < walk; ++j) {
-                        const auto pick = static_cast<std::size_t>(
-                            static_cast<double>(j) * stride);
-                        const VertexId u = nbrs[pick];
-                        ec.cachePlan(layout.planSliceRead(u, s),
-                                     MemOp::Read, cls);
-                        const std::uint32_t values =
-                            layout.sliceValues(u, s);
-                        engine_cycles[e] += std::max<Cycle>(
-                            1, divCeil(values, ec.cfg.simdLanes));
-                        ec.aggMacs += values;
-                    }
+        // Resolve each (vertex, src-tile) neighbour run and its
+        // sampled picks once per source tile — the edge-buffer
+        // replay — instead of re-resolving the span for every slice.
+        // The entry order is the engines' round-robin at vertex
+        // granularity, which approximates their concurrency in the
+        // shared cache's access order.
+        entries.clear();
+        picks.clear();
+        for (std::size_t idx = 0; idx < max_len; ++idx) {
+            for (unsigned e = 0; e < ec.cfg.aggEngines; ++e) {
+                if (idx >= schedule[e].size())
+                    continue;
+                const VertexId v = schedule[e][idx];
+                const auto nbrs = view.tileNeighbors(v, c);
+                if (nbrs.empty())
+                    continue;
+                EngineContext::SweepEntry entry;
+                entry.engine = e;
+                entry.edgeBegin = view.edgeBegin(v, c);
+                entry.walk = ec.sampledEdges(
+                    static_cast<std::uint32_t>(nbrs.size()));
+                entry.pickBegin = picks.size();
+                const double stride =
+                    static_cast<double>(nbrs.size()) / entry.walk;
+                for (std::uint32_t j = 0; j < entry.walk; ++j) {
+                    const auto pick = static_cast<std::size_t>(
+                        static_cast<double>(j) * stride);
+                    picks.push_back(nbrs[pick]);
                 }
+                entry.pickEnd = picks.size();
+                entries.push_back(entry);
+            }
+        }
+
+        const Cache &shared = ec.mem->cache();
+        const FeatureLayout::SlicePlan *table = layout.sliceTable();
+        for (unsigned s = 0; s < slices; ++s) {
+            // Distance-1 software pipeline over the tile's pick
+            // stream: prefetch pick i+1's tag sets while pick i's
+            // lines run through the functional cache. Access order
+            // is exactly the plain loop's.
+            std::size_t cursor = 0;
+            for (const EngineContext::SweepEntry &entry : entries) {
+                if (s == 0) {
+                    // Topology fetch for this (v, c) edge run; later
+                    // slices replay the edge buffer.
+                    AccessPlan topo;
+                    topo.addBytes(
+                        AddressMap::kTopologyBase +
+                            entry.edgeBegin * ec.layer.edgeBytes,
+                        static_cast<std::uint64_t>(entry.walk) *
+                            ec.layer.edgeBytes);
+                    ec.streamPlan(topo, MemOp::Read,
+                                  TrafficClass::Topology);
+                }
+                Cycle compute = 0;
+                std::uint64_t macs = 0;
+                for (std::size_t i = entry.pickBegin;
+                     i < entry.pickEnd; ++i) {
+                    const FeatureLayout::SlicePlan &pe =
+                        table[static_cast<std::size_t>(picks[i]) *
+                                  slices + s];
+                    if (cursor + 1 < picks.size()) {
+                        const FeatureLayout::SlicePlan &npe =
+                            table[static_cast<std::size_t>(
+                                      picks[cursor + 1]) *
+                                      slices + s];
+                        if (npe.lines !=
+                            FeatureLayout::SlicePlan::kMultiRun) {
+                            Addr line = npe.addr;
+                            for (std::uint32_t j = 0; j < npe.lines;
+                                 ++j, line += kCachelineBytes)
+                                shared.prefetchSet(line);
+                        }
+                    }
+                    if (pe.lines !=
+                        FeatureLayout::SlicePlan::kMultiRun) {
+                        ec.cacheRun(pe.addr, pe.lines, MemOp::Read,
+                                    cls);
+                    } else {
+                        ec.cachePlan(layout.planSliceRead(picks[i], s),
+                                     MemOp::Read, cls);
+                    }
+                    compute += std::max<Cycle>(
+                        1, divCeil(pe.values, ec.cfg.simdLanes));
+                    macs += pe.values;
+                    ++cursor;
+                }
+                engine_cycles[entry.engine] += compute;
+                ec.aggMacs += macs;
             }
         }
     }
@@ -81,7 +130,7 @@ sweepTileFast(EngineContext &ec, const TiledGraphView &view,
 
 std::uint64_t
 streamTileOutputFast(EngineContext &ec, VertexId begin, VertexId end,
-                     FeatureLayout &out)
+                     const FeatureLayout &out)
 {
     const VertexId rows = end - begin;
     const std::uint64_t s_lines = ec.denseRowLines(ec.layer.outWidth);
@@ -105,7 +154,7 @@ streamTileOutputFast(EngineContext &ec, VertexId begin, VertexId end,
 
 void
 queueTileOutputDma(EngineContext &ec, StreamDma &dma, VertexId begin,
-                   VertexId end, FeatureLayout &out)
+                   VertexId end, const FeatureLayout &out)
 {
     const VertexId rows = end - begin;
     const std::uint64_t s_lines = ec.denseRowLines(ec.layer.outWidth);

@@ -22,7 +22,7 @@ namespace sgcn
  * returns the bottleneck engine's compute cycles.
  */
 Cycle sweepTileFast(EngineContext &ec, const TiledGraphView &view,
-                    unsigned tile, FeatureLayout &layout,
+                    unsigned tile, const FeatureLayout &layout,
                     TrafficClass cls);
 
 /**
@@ -34,12 +34,13 @@ Cycle sweepTileFast(EngineContext &ec, const TiledGraphView &view,
  *         write stream, no channel-level parallelism.
  */
 std::uint64_t streamTileOutputFast(EngineContext &ec, VertexId begin,
-                                   VertexId end, FeatureLayout &out);
+                                   VertexId end,
+                                   const FeatureLayout &out);
 
 /** Queue the same output pass on @p dma (timing mode). */
 void queueTileOutputDma(EngineContext &ec, StreamDma &dma,
                         VertexId begin, VertexId end,
-                        FeatureLayout &out);
+                        const FeatureLayout &out);
 
 /**
  * Install a row-product layer's tile spans: the per-tile

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "accel/stream_artifacts.hh"
+
 namespace sgcn
 {
 
@@ -125,9 +127,14 @@ void
 EngineContext::cachePlan(const AccessPlan &plan, MemOp op,
                          TrafficClass cls)
 {
-    plan.forEachLine([&](Addr line) {
-        mem->accessFunctional(MemRequest{line, op, cls});
-    });
+    mem->accessPlanFunctional(plan, op, cls);
+}
+
+void
+EngineContext::cacheRun(Addr line_addr, std::uint32_t lines, MemOp op,
+                        TrafficClass cls)
+{
+    mem->accessRunFunctional(line_addr, lines, op, cls);
 }
 
 void
@@ -140,7 +147,11 @@ EngineContext::pinDavc(Addr base, std::uint32_t width)
     const std::uint64_t row_lines = denseRowLines(width);
     const std::uint64_t stride = denseRowStride(width);
     std::uint64_t pinned = 0;
-    for (VertexId v : layer.graph->verticesByDegree()) {
+    // Degree order is a per-topology sweep artifact: sorting once per
+    // dataset instead of once per (config, layer) pin pass.
+    const auto order =
+        StreamArtifactCache::instance().degreeOrder(*layer.graph);
+    for (VertexId v : *order) {
         if (pinned + row_lines > budget_lines)
             break;
         const Addr row_base = base + static_cast<Addr>(v) * stride;
@@ -150,6 +161,18 @@ EngineContext::pinDavc(Addr base, std::uint32_t width)
         }
         pinned += row_lines;
     }
+}
+
+std::shared_ptr<const TiledGraphView>
+EngineContext::tiledView(VertexId dst_span, VertexId src_span) const
+{
+    auto &artifacts = StreamArtifactCache::instance();
+    // Hand-built fixtures may not carry a graph owner; canonicalize
+    // on the fly so the cached view co-owns its topology either way.
+    const std::shared_ptr<const CsrGraph> owner =
+        layer.graphOwner ? layer.graphOwner
+                         : artifacts.canonicalGraph(*layer.graph);
+    return artifacts.tiledView(owner, dst_span, src_span);
 }
 
 EngineContext::TilePhase

@@ -78,11 +78,21 @@ struct EngineContext
     /** Route one plan through the functional cache (fast mode). */
     void cachePlan(const AccessPlan &plan, MemOp op, TrafficClass cls);
 
+    /** Route one contiguous run of lines through the functional
+     *  cache (fast mode) — cachePlan without the plan object. */
+    void cacheRun(Addr line_addr, std::uint32_t lines, MemOp op,
+                  TrafficClass cls);
+
     /** Sampled edge count for a (vertex, src-tile) edge range. */
     std::uint32_t sampledEdges(std::uint32_t available) const;
 
     /** Pin high-degree rows for EnGN's DAVC. */
     void pinDavc(Addr base, std::uint32_t width);
+
+    /** The layer topology's (dst_span x src_span) tile view, shared
+     *  across configs via the stream-artifact cache. */
+    std::shared_ptr<const TiledGraphView>
+    tiledView(VertexId dst_span, VertexId src_span) const;
 
     /** Offline source-tile span from the static density estimate. */
     VertexId pickSrcSpan(const FeatureLayout &layout) const;
@@ -143,6 +153,23 @@ struct EngineContext
 
     std::uint64_t aggMacs = 0;
     std::uint64_t combMacs = 0;
+
+    /** One (vertex, src-tile) neighbour run of the fast aggregation
+     *  sweep, resolved once per source tile and replayed for every
+     *  feature slice (see sweepTileFast). */
+    struct SweepEntry
+    {
+        unsigned engine = 0;
+        EdgeId edgeBegin = 0;
+        std::uint32_t walk = 0;
+        std::size_t pickBegin = 0;
+        std::size_t pickEnd = 0;
+    };
+
+    /** sweepTileFast scratch, reused across tiles and slices so the
+     *  warm fast path stays allocation-free. */
+    std::vector<SweepEntry> sweepEntries;
+    std::vector<VertexId> sweepPicks;
 };
 
 } // namespace sgcn

@@ -3,6 +3,7 @@
 #include "accel/dataflow/registry.hh"
 #include "accel/layer_engine.hh"
 #include "accel/pipeline/layer_pipeline.hh"
+#include "accel/stream_artifacts.hh"
 #include "gcn/sparsity_model.hh"
 #include "graph/preprocess_cache.hh"
 #include "sim/logging.hh"
@@ -212,7 +213,16 @@ runAll(const std::vector<AccelConfig> &configs, const Dataset &dataset,
     parallelFor(opts.jobs, configs.size(), [&](std::size_t i) {
         results[i] = runNetwork(configs[i], dataset, net, opts);
     });
+    if (opts.releaseArtifacts)
+        clearSweepArtifacts();
     return results;
+}
+
+void
+clearSweepArtifacts()
+{
+    StreamArtifactCache::instance().clear();
+    PreprocessCache::instance().clear();
 }
 
 double

@@ -74,9 +74,28 @@ struct RunOptions
      */
     unsigned jobs = 1;
 
+    /**
+     * Drop the process-wide sweep memos (StreamArtifactCache and
+     * PreprocessCache) when runAll returns. Off by default: a sweep
+     * driver calling runAll once per dataset wants the artifacts to
+     * persist across calls — that sharing is the point of the caches.
+     * Turn it on for the last runAll of a sweep (or in long-lived
+     * hosts embedding the library) to bound the resident footprint.
+     */
+    bool releaseArtifacts = false;
+
     /** Whether any inter-layer pipelining (either gating) is on. */
     bool pipelined() const { return interLayerOverlap || tileOverlap; }
 };
+
+/**
+ * Drop every process-wide sweep memo: the stream-artifact cache
+ * (masks, prepared layouts, tile views, degree orders, SAGE
+ * fractions) and the preprocess cache (reordered topologies).
+ * Outstanding shared handles stay valid; later runs recompute.
+ * runAll calls this when RunOptions::releaseArtifacts is set.
+ */
+void clearSweepArtifacts();
 
 /**
  * Apply the shared --pipeline[=off|layer|tile] CLI flag to @p opts:

@@ -1,0 +1,192 @@
+#include "accel/stream_artifacts.hh"
+
+#include "core/beicsr.hh"
+#include "sim/rng.hh"
+
+namespace sgcn
+{
+
+StreamArtifactCache &
+StreamArtifactCache::instance()
+{
+    static StreamArtifactCache cache;
+    return cache;
+}
+
+std::shared_ptr<const CsrGraph>
+StreamArtifactCache::canonicalGraph(const CsrGraph &graph)
+{
+    const auto [lo, hi] = graph.contentFingerprint();
+    return graphs.lookup(
+        GraphKey{lo, hi},
+        [&] { return std::make_shared<const CsrGraph>(graph); },
+        [](const CsrGraph &g) { return g.footprintBytes(); });
+}
+
+StreamArtifactCache::MaskHandle
+StreamArtifactCache::maskFor(const MaskKey &key)
+{
+    auto mask = masks.lookup(
+        key,
+        [&]() -> std::shared_ptr<const FeatureMask> {
+            const auto kind = static_cast<MaskKind>(std::get<0>(key));
+            const std::uint32_t rows = std::get<1>(key);
+            const std::uint32_t cols = std::get<2>(key);
+            const double sparsity =
+                std::bit_cast<double>(std::get<3>(key));
+            const std::uint64_t seed = std::get<4>(key);
+            switch (kind) {
+              case MaskKind::Random: {
+                Rng rng(seed);
+                return std::make_shared<const FeatureMask>(
+                    FeatureMask::random(rows, cols, sparsity, rng));
+              }
+              case MaskKind::OneHot: {
+                Rng rng(seed);
+                return std::make_shared<const FeatureMask>(
+                    FeatureMask::oneHot(rows, cols, rng));
+              }
+              case MaskKind::Full:
+              default:
+                return std::make_shared<const FeatureMask>(
+                    FeatureMask::full(rows, cols));
+            }
+        },
+        [](const FeatureMask &m) { return m.footprintBytes(); });
+    return MaskHandle{std::move(mask), key};
+}
+
+StreamArtifactCache::MaskHandle
+StreamArtifactCache::randomMask(std::uint32_t rows, std::uint32_t cols,
+                                double sparsity, std::uint64_t seed)
+{
+    return maskFor(
+        MaskKey{static_cast<std::uint8_t>(MaskKind::Random), rows, cols,
+                std::bit_cast<std::uint64_t>(sparsity), seed});
+}
+
+StreamArtifactCache::MaskHandle
+StreamArtifactCache::oneHotMask(std::uint32_t rows, std::uint32_t cols,
+                                std::uint64_t seed)
+{
+    return maskFor(
+        MaskKey{static_cast<std::uint8_t>(MaskKind::OneHot), rows, cols,
+                0, seed});
+}
+
+StreamArtifactCache::MaskHandle
+StreamArtifactCache::fullMask(std::uint32_t rows, std::uint32_t cols)
+{
+    return maskFor(MaskKey{static_cast<std::uint8_t>(MaskKind::Full),
+                           rows, cols, 0, 0});
+}
+
+std::shared_ptr<const FeatureLayout>
+StreamArtifactCache::preparedLayout(FormatKind format,
+                                    std::uint32_t width,
+                                    std::uint32_t slice_width,
+                                    double expected_density, Addr base,
+                                    const MaskHandle &mask)
+{
+    const LayoutKey key{static_cast<std::uint8_t>(format), width,
+                        slice_width,
+                        std::bit_cast<std::uint64_t>(expected_density),
+                        base, mask.key};
+    auto holder = layouts.lookup(
+        key,
+        [&]() -> std::shared_ptr<const PreparedLayout> {
+            auto prepared = std::make_shared<PreparedLayout>();
+            prepared->mask = mask.mask;
+            prepared->layout = makeLayout(format, width, slice_width);
+            prepared->layout->setExpectedDensity(expected_density);
+            prepared->layout->prepare(*prepared->mask, base);
+            return prepared;
+        },
+        [](const PreparedLayout &p) {
+            // The mask's bytes are accounted by the mask cache; only
+            // the layout object (and its index vectors) are new.
+            return p.layout->footprintBytes();
+        });
+    return std::shared_ptr<const FeatureLayout>(holder,
+                                                holder->layout.get());
+}
+
+std::shared_ptr<const TiledGraphView>
+StreamArtifactCache::tiledView(
+    const std::shared_ptr<const CsrGraph> &graph, VertexId dst_span,
+    VertexId src_span)
+{
+    const auto [lo, hi] = graph->contentFingerprint();
+    auto holder = views.lookup(
+        ViewKey{lo, hi, dst_span, src_span},
+        [&] {
+            return std::make_shared<const TiledView>(graph, dst_span,
+                                                     src_span);
+        },
+        [](const TiledView &tv) { return tv.view.footprintBytes(); });
+    return std::shared_ptr<const TiledGraphView>(holder, &holder->view);
+}
+
+std::shared_ptr<const std::vector<VertexId>>
+StreamArtifactCache::degreeOrder(const CsrGraph &graph)
+{
+    const auto [lo, hi] = graph.contentFingerprint();
+    return degreeOrders.lookup(
+        GraphKey{lo, hi},
+        [&] {
+            return std::make_shared<const std::vector<VertexId>>(
+                graph.verticesByDegree());
+        },
+        [](const std::vector<VertexId> &order) {
+            return order.size() * sizeof(VertexId);
+        });
+}
+
+double
+StreamArtifactCache::sageEdgeFraction(const CsrGraph &graph,
+                                      unsigned fanout)
+{
+    const auto [lo, hi] = graph.contentFingerprint();
+    auto fraction = sageFractions.lookup(
+        SageKey{lo, hi, fanout},
+        [&] {
+            double sampled = 0.0;
+            for (VertexId v = 0; v < graph.numVertices(); ++v) {
+                sampled +=
+                    std::min<double>(graph.degree(v), fanout);
+            }
+            return std::make_shared<const double>(
+                sampled / static_cast<double>(graph.numEdges()));
+        },
+        [](const double &) { return sizeof(double); });
+    return *fraction;
+}
+
+ArtifactStats
+StreamArtifactCache::stats() const
+{
+    ArtifactStats merged;
+    merged += graphs.stats();
+    merged += masks.stats();
+    merged += layouts.stats();
+    merged += views.stats();
+    merged += degreeOrders.stats();
+    merged += sageFractions.stats();
+    return merged;
+}
+
+void
+StreamArtifactCache::clear()
+{
+    // Views and layouts co-own graphs and masks, so clearing them
+    // first keeps no order dependence — shared_ptr handles released
+    // by this clear free their memory as the last owner drops.
+    views.clear();
+    layouts.clear();
+    degreeOrders.clear();
+    sageFractions.clear();
+    masks.clear();
+    graphs.clear();
+}
+
+} // namespace sgcn

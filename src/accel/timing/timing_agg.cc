@@ -8,7 +8,7 @@ namespace sgcn
 
 TimingAgg::TimingAgg(EngineContext &engine_ctx,
                      const TiledGraphView &tile_view, unsigned tile,
-                     FeatureLayout &feature_layout,
+                     const FeatureLayout &feature_layout,
                      TrafficClass traffic_cls)
     : ec(engine_ctx), view(tile_view), layout(feature_layout),
       cls(traffic_cls)

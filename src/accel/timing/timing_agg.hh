@@ -33,7 +33,8 @@ class TimingAgg
      *  @param layout layout of the aggregated feature matrix
      *  @param cls traffic class of the feature reads */
     TimingAgg(EngineContext &ec, const TiledGraphView &view,
-              unsigned tile, FeatureLayout &layout, TrafficClass cls);
+              unsigned tile, const FeatureLayout &layout,
+              TrafficClass cls);
 
     /** Begin issuing; @p on_done fires when every engine drains. */
     void start(std::function<void()> on_done);
@@ -72,7 +73,7 @@ class TimingAgg
 
     EngineContext &ec;
     const TiledGraphView &view;
-    FeatureLayout &layout;
+    const FeatureLayout &layout;
     TrafficClass cls;
     std::vector<EngineState> engines;
     /** Joins the topology and feature bursts of in-flight items. */

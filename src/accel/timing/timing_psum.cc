@@ -37,8 +37,8 @@ TimingPsum::nextEdge(VertexId &dst, AccessPlan &topo)
             ++strip;
             continue;
         }
-        const auto nbrs = graph.neighbors(u);
         if (!vertexLoaded) {
+            nbrs = graph.neighbors(u);
             walk = ec.sampledEdges(
                 static_cast<std::uint32_t>(nbrs.size()));
             if (walk == 0) {

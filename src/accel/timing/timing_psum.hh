@@ -11,6 +11,7 @@
 #define SGCN_ACCEL_TIMING_TIMING_PSUM_HH
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "accel/engine_context.hh"
@@ -49,6 +50,10 @@ class TimingPsum
     unsigned strips = 0;
     unsigned strip = 0;
     VertexId u = 0;
+    /** Current vertex's neighbour span, resolved once per vertex and
+     *  replayed for its remaining sampled edges (same memo TimingAgg
+     *  keeps for tileNeighbors). */
+    std::span<const VertexId> nbrs;
     std::uint32_t edge = 0;
     std::uint32_t walk = 0;
     double stride = 1.0;

@@ -1,8 +1,6 @@
 #include "accel/workload.hh"
 
-#include "core/beicsr.hh"
-#include "formats/csr.hh"
-#include "formats/dense.hh"
+#include "accel/stream_artifacts.hh"
 #include "gcn/sparsity_model.hh"
 #include "sim/logging.hh"
 
@@ -22,24 +20,23 @@ maskSeed(const DatasetSpec &spec, unsigned arch_layer)
 namespace
 {
 
-/** Fill the dataflow-independent parts of a context. */
+/** Fill the dataflow-independent parts of a context. All heavy state
+ *  resolves through the stream-artifact cache, so the six
+ *  personalities of a sweep share one copy per dataset. */
 void
 fillCommon(LayerContext &ctx, const CsrGraph &graph,
            const NetworkSpec &net)
 {
-    ctx.graph = &graph;
+    auto &artifacts = StreamArtifactCache::instance();
+    ctx.graphOwner = artifacts.canonicalGraph(graph);
+    ctx.graph = ctx.graphOwner.get();
     ctx.residual = net.residual;
     ctx.edgeBytes = net.edgeBytes();
     if (net.agg == AggKind::Sage) {
         // GraphSAGE samples up to sageFanout neighbours per vertex;
         // the fraction of edges actually walked shrinks accordingly.
-        double sampled = 0.0;
-        for (VertexId v = 0; v < graph.numVertices(); ++v) {
-            sampled += std::min<double>(graph.degree(v),
-                                        net.sageFanout);
-        }
         ctx.edgeSampleFraction =
-            sampled / static_cast<double>(graph.numEdges());
+            artifacts.sageEdgeFraction(*ctx.graph, net.sageFanout);
     }
 }
 
@@ -64,28 +61,29 @@ makeIntermediateLayer(const Dataset &dataset, const CsrGraph &graph,
     ctx.outSparsity = modeledLayerSparsity(dataset.spec, out_layer,
                                            net.layers, net.residual);
 
-    Rng in_rng(maskSeed(dataset.spec, arch_layer));
-    Rng out_rng(maskSeed(dataset.spec, arch_layer + 1));
-    const VertexId n = graph.numVertices();
-    ctx.inMask = FeatureMask::random(n, ctx.inWidth, ctx.inSparsity,
-                                     in_rng);
-    ctx.outMask = FeatureMask::random(n, ctx.outWidth, ctx.outSparsity,
-                                      out_rng);
+    auto &artifacts = StreamArtifactCache::instance();
+    const VertexId n = ctx.graph->numVertices();
+    const auto in_mask = artifacts.randomMask(
+        n, ctx.inWidth, ctx.inSparsity,
+        maskSeed(dataset.spec, arch_layer));
+    const auto out_mask = artifacts.randomMask(
+        n, ctx.outWidth, ctx.outSparsity,
+        maskSeed(dataset.spec, arch_layer + 1));
+    ctx.inMask = in_mask.mask;
+    ctx.outMask = out_mask.mask;
 
-    ctx.inLayout = makeLayout(config.format, ctx.inWidth,
-                              config.sliceC);
-    ctx.outLayout = makeLayout(config.format, ctx.outWidth,
-                               config.sliceC);
     // Offline tile sizing assumes the trained network's *average*
     // sparsity (SV-C); denser-than-average layers overflow, which is
     // the working-set variability SAC absorbs.
     const double expected_density =
         1.0 - modeledAvgSparsity(dataset.spec, net.layers,
                                  net.residual);
-    ctx.inLayout->setExpectedDensity(expected_density);
-    ctx.outLayout->setExpectedDensity(expected_density);
-    ctx.inLayout->prepare(ctx.inMask, AddressMap::kFeatureInBase);
-    ctx.outLayout->prepare(ctx.outMask, AddressMap::kFeatureOutBase);
+    ctx.inLayout = artifacts.preparedLayout(
+        config.format, ctx.inWidth, config.sliceC, expected_density,
+        AddressMap::kFeatureInBase, in_mask);
+    ctx.outLayout = artifacts.preparedLayout(
+        config.format, ctx.outWidth, config.sliceC, expected_density,
+        AddressMap::kFeatureOutBase, out_mask);
     return ctx;
 }
 
@@ -102,34 +100,36 @@ makeInputLayer(const Dataset &dataset, const CsrGraph &graph,
     ctx.outSparsity = modeledLayerSparsity(dataset.spec, 1, net.layers,
                                            net.residual);
 
-    Rng in_rng(maskSeed(dataset.spec, 0));
-    Rng out_rng(maskSeed(dataset.spec, 1));
-    const VertexId n = graph.numVertices();
+    auto &artifacts = StreamArtifactCache::instance();
+    const VertexId n = ctx.graph->numVertices();
+    StreamArtifactCache::MaskHandle in_mask;
     if (dataset.spec.oneHotInput) {
-        ctx.inMask = FeatureMask::oneHot(n, ctx.inWidth, in_rng);
-        ctx.inSparsity = ctx.inMask.sparsity();
+        in_mask = artifacts.oneHotMask(n, ctx.inWidth,
+                                       maskSeed(dataset.spec, 0));
+        ctx.inSparsity = in_mask->sparsity();
     } else {
-        ctx.inMask = FeatureMask::random(n, ctx.inWidth,
-                                         ctx.inSparsity, in_rng);
+        in_mask = artifacts.randomMask(n, ctx.inWidth, ctx.inSparsity,
+                                       maskSeed(dataset.spec, 0));
     }
-    ctx.outMask = FeatureMask::random(n, ctx.outWidth, ctx.outSparsity,
-                                      out_rng);
+    const auto out_mask = artifacts.randomMask(
+        n, ctx.outWidth, ctx.outSparsity, maskSeed(dataset.spec, 1));
+    ctx.inMask = in_mask.mask;
+    ctx.outMask = out_mask.mask;
 
     // Input features ship dense; SGCN may read them through CSR when
     // they are ultra-sparse (SVII-B). The output is always the
-    // personality's intermediate format.
+    // personality's intermediate format. Input layouts keep the
+    // default expected density (no offline estimate exists for X^0).
     const bool sparse_input =
         config.firstLayerSparseInput && ctx.inSparsity > 0.90;
-    if (sparse_input) {
-        ctx.inLayout = std::make_unique<CsrLayout>(ctx.inWidth);
-    } else {
-        ctx.inLayout =
-            std::make_unique<DenseLayout>(ctx.inWidth, config.sliceC);
-    }
-    ctx.outLayout = makeLayout(config.format, ctx.outWidth,
-                               config.sliceC);
-    ctx.inLayout->prepare(ctx.inMask, AddressMap::kFeatureInBase);
-    ctx.outLayout->prepare(ctx.outMask, AddressMap::kFeatureOutBase);
+    const FormatKind in_format =
+        sparse_input ? FormatKind::Csr : FormatKind::Dense;
+    ctx.inLayout = artifacts.preparedLayout(
+        in_format, ctx.inWidth, config.sliceC, 0.5,
+        AddressMap::kFeatureInBase, in_mask);
+    ctx.outLayout = artifacts.preparedLayout(
+        config.format, ctx.outWidth, config.sliceC, 0.5,
+        AddressMap::kFeatureOutBase, out_mask);
     return ctx;
 }
 

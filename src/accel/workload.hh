@@ -36,8 +36,12 @@ struct AddressMap
 /** Everything a layer simulation needs. */
 struct LayerContext
 {
-    /** The (possibly reordered) topology. */
+    /** The (possibly reordered) topology: the canonical shared
+     *  instance from the stream-artifact cache. */
     const CsrGraph *graph = nullptr;
+
+    /** Co-owner of *graph (null only for hand-built fixtures). */
+    std::shared_ptr<const CsrGraph> graphOwner;
 
     /** Input feature width (differs on the input layer). */
     std::uint32_t inWidth = 0;
@@ -45,17 +49,18 @@ struct LayerContext
     /** Output feature width (the network's hidden width). */
     std::uint32_t outWidth = 0;
 
-    /** Non-zero structure of X^l. */
-    FeatureMask inMask;
+    /** Non-zero structure of X^l (shared sweep artifact: identical
+     *  across every personality simulating this dataset layer). */
+    std::shared_ptr<const FeatureMask> inMask;
 
     /** Non-zero structure of X^{l+1} (drives output writes). */
-    FeatureMask outMask;
+    std::shared_ptr<const FeatureMask> outMask;
 
-    /** Layout of X^l, prepared at kFeatureInBase. */
-    std::unique_ptr<FeatureLayout> inLayout;
+    /** Layout of X^l, prepared at kFeatureInBase; co-owns inMask. */
+    std::shared_ptr<const FeatureLayout> inLayout;
 
     /** Layout of X^{l+1}, prepared at kFeatureOutBase. */
-    std::unique_ptr<FeatureLayout> outLayout;
+    std::shared_ptr<const FeatureLayout> outLayout;
 
     /** Sparsity used to generate inMask / outMask. */
     double inSparsity = 0.0;

@@ -65,6 +65,13 @@ class BeicsrLayout : public FeatureLayout
     /** Compressed bytes actually occupied by (v, s). */
     std::uint64_t sliceOccupiedBytes(VertexId v, unsigned s) const;
 
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return sizeof(*this) +
+               sliceOffset.size() * sizeof(std::uint64_t);
+    }
+
   private:
     Addr sliceAddr(VertexId v, unsigned s) const;
 
@@ -122,6 +129,13 @@ class BeicsrSplitBitmapLayout : public FeatureLayout
     std::uint32_t sliceValues(VertexId v, unsigned s) const override;
     std::uint64_t storageBytes() const override;
     double staticSliceBytesEstimate() const override;
+
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return sizeof(*this) +
+               sliceOffset.size() * sizeof(std::uint64_t);
+    }
 
   private:
     Addr valueBase = 0;

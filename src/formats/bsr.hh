@@ -53,6 +53,14 @@ class BsrLayout : public FeatureLayout
         return blockCount[br];
     }
 
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return sizeof(*this) +
+               blockCount.size() * sizeof(std::uint32_t) +
+               rowOffset.size() * sizeof(std::uint64_t);
+    }
+
   private:
     std::vector<std::uint32_t> blockCount;
     std::vector<std::uint64_t> rowOffset;

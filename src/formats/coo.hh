@@ -40,6 +40,13 @@ class CooLayout : public FeatureLayout
     std::uint64_t storageBytes() const override;
     double staticSliceBytesEstimate() const override;
 
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return sizeof(*this) +
+               rowOffset.size() * sizeof(std::uint64_t);
+    }
+
   private:
     std::vector<std::uint64_t> rowOffset;
     Addr dataBase = 0;

@@ -40,6 +40,13 @@ class CsrLayout : public FeatureLayout
     std::uint64_t storageBytes() const override;
     double staticSliceBytesEstimate() const override;
 
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return sizeof(*this) +
+               rowOffset.size() * sizeof(std::uint64_t);
+    }
+
   private:
     /** Byte offset of each row's packed (index, value) data. */
     std::vector<std::uint64_t> rowOffset;

@@ -47,6 +47,59 @@ FeatureLayout::prepare(const FeatureMask &mask, Addr base)
     baseAddr = base;
     if (!supportsSlicing())
         sliceCount = 1;
+    rowReadLinesMemo.store(0, std::memory_order_release);
+    sliceTableData.clear();
+    sliceTableReady.store(false, std::memory_order_release);
+}
+
+const FeatureLayout::SlicePlan *
+FeatureLayout::sliceTable() const
+{
+    if (!sliceTableReady.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(sliceTableMutex);
+        if (!sliceTableReady.load(std::memory_order_relaxed)) {
+            SGCN_ASSERT(boundMask != nullptr,
+                        "sliceTable() before prepare()");
+            const VertexId rows = boundMask->rows();
+            std::vector<SlicePlan> table(
+                static_cast<std::size_t>(rows) * sliceCount);
+            for (VertexId v = 0; v < rows; ++v) {
+                for (unsigned s = 0; s < sliceCount; ++s) {
+                    SlicePlan &entry =
+                        table[static_cast<std::size_t>(v) *
+                                  sliceCount + s];
+                    const AccessPlan plan = planSliceRead(v, s);
+                    entry.values = sliceValues(v, s);
+                    if (plan.numRuns == 0) {
+                        entry.addr = 0;
+                        entry.lines = 0;
+                    } else if (plan.numRuns == 1) {
+                        entry.addr = plan.runs[0].addr;
+                        entry.lines = plan.runs[0].lines;
+                    } else {
+                        entry.addr = 0;
+                        entry.lines = SlicePlan::kMultiRun;
+                    }
+                }
+            }
+            sliceTableData = std::move(table);
+            sliceTableReady.store(true, std::memory_order_release);
+        }
+    }
+    return sliceTableData.data();
+}
+
+std::uint64_t
+FeatureLayout::totalRowReadLines() const
+{
+    std::uint64_t total =
+        rowReadLinesMemo.load(std::memory_order_acquire);
+    if (total != 0 || boundMask == nullptr)
+        return total;
+    for (VertexId v = 0; v < boundMask->rows(); ++v)
+        total += planRowRead(v).totalLines();
+    rowReadLinesMemo.store(total, std::memory_order_release);
+    return total;
 }
 
 std::uint32_t

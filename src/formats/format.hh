@@ -12,8 +12,11 @@
 #ifndef SGCN_FORMATS_FORMAT_HH
 #define SGCN_FORMATS_FORMAT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "gcn/feature_matrix.hh"
 #include "mem/access_plan.hh"
@@ -97,6 +100,49 @@ class FeatureLayout
      */
     virtual double staticSliceBytesEstimate() const = 0;
 
+    /** Host-memory footprint of the layout object in bytes (owned
+     *  index vectors included); used by the sweep artifact cache's
+     *  byte accounting, not by the simulated address map. */
+    virtual std::uint64_t
+    footprintBytes() const
+    {
+        return sizeof(FeatureLayout);
+    }
+
+    /** Sum of planRowRead(v).totalLines() over every bound-mask row,
+     *  memoized after the first call: the streaming fast paths read
+     *  the whole matrix once (or once per strip) and only feed the
+     *  stream-traffic counters, so the per-row plans collapse to
+     *  this one total. Thread-safe (idempotent deterministic
+     *  compute; concurrent first calls store the same value). */
+    std::uint64_t totalRowReadLines() const;
+
+    /**
+     * planSliceRead() and sliceValues() for one (v, s), collapsed
+     * into a 16-byte entry. Almost every slice plan is a single
+     * contiguous run; the rare multi-run plan is marked with
+     * kMultiRun lines and resolved through the virtual call.
+     */
+    struct SlicePlan
+    {
+        static constexpr std::uint32_t kMultiRun = ~0u;
+
+        Addr addr;
+        std::uint32_t values;
+        std::uint32_t lines;
+    };
+
+    /**
+     * The (rows x numSlices()) slice-plan table, indexed
+     * v * numSlices() + s; built lazily on first use (thread-safe —
+     * layouts are shared across the sweep job pool) and dropped on
+     * re-prepare. The row-product sweeps resolve tens of millions
+     * of picks against only rows x slices distinct plans, so the
+     * table turns two virtual calls plus a plan build per pick into
+     * one 16-byte load.
+     */
+    const SlicePlan *sliceTable() const;
+
     /** Expected non-zero density used by offline estimates. */
     void setExpectedDensity(double density)
     {
@@ -127,6 +173,16 @@ class FeatureLayout
     std::uint32_t unitSlice;
     unsigned sliceCount;
     double expectedDensity = 0.5;
+
+  private:
+    /** totalRowReadLines() memo; 0 = not yet computed (re-prepare
+     *  resets it). */
+    mutable std::atomic<std::uint64_t> rowReadLinesMemo{0};
+
+    /** sliceTable() storage, double-checked under the mutex. */
+    mutable std::atomic<bool> sliceTableReady{false};
+    mutable std::mutex sliceTableMutex;
+    mutable std::vector<SlicePlan> sliceTableData;
 };
 
 /** Construct one of the baseline (non-BEICSR) layouts. */

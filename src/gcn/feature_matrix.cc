@@ -1,5 +1,6 @@
 #include "gcn/feature_matrix.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -112,10 +113,29 @@ FeatureMask::random(std::uint32_t rows, std::uint32_t cols,
     SGCN_ASSERT(sparsity >= 0.0 && sparsity <= 1.0);
     FeatureMask mask(rows, cols);
     const double density = 1.0 - sparsity;
+    // Integer form of the per-element draw: uniform() is
+    // (next() >> 11) * 2^-53 with both the scaling and the compare
+    // exact, so `uniform() < density` is equivalent to
+    // `(next() >> 11) < ceil(density * 2^53)` (density * 2^53 is an
+    // exponent shift, also exact). Whole words build in a register
+    // — no per-bit set() calls, no int-to-double conversions — with
+    // the draw order (row-major, one draw per element) unchanged.
+    const auto threshold = static_cast<std::uint64_t>(
+        std::ceil(density * 0x1.0p53));
     for (std::uint32_t r = 0; r < rows; ++r) {
-        for (std::uint32_t c = 0; c < cols; ++c) {
-            if (rng.uniform() < density)
-                mask.set(r, c);
+        std::uint64_t *row_words =
+            mask.words.data() +
+            static_cast<std::size_t>(r) * mask.wordsPerRow;
+        for (std::uint32_t w = 0; w < mask.wordsPerRow; ++w) {
+            const std::uint32_t begin = w * 64;
+            const std::uint32_t bits = std::min(cols - begin, 64u);
+            std::uint64_t word = 0;
+            for (std::uint32_t b = 0; b < bits; ++b) {
+                word |= static_cast<std::uint64_t>(
+                            (rng.next() >> 11) < threshold)
+                        << b;
+            }
+            row_words[w] = word;
         }
     }
     return mask;
@@ -135,8 +155,16 @@ FeatureMask::full(std::uint32_t rows, std::uint32_t cols)
 {
     FeatureMask mask(rows, cols);
     for (std::uint32_t r = 0; r < rows; ++r) {
-        for (std::uint32_t c = 0; c < cols; ++c)
-            mask.set(r, c);
+        std::uint64_t *row_words =
+            mask.words.data() +
+            static_cast<std::size_t>(r) * mask.wordsPerRow;
+        for (std::uint32_t w = 0; w < mask.wordsPerRow; ++w) {
+            const std::uint32_t begin = w * 64;
+            const std::uint32_t bits = std::min(cols - begin, 64u);
+            row_words[w] = bits == 64
+                               ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << bits) - 1;
+        }
     }
     return mask;
 }

@@ -121,6 +121,13 @@ class FeatureMask
     /** Mask of the exactly-zero structure of @p matrix. */
     static FeatureMask fromDense(const DenseMatrix &matrix);
 
+    /** Host-memory footprint in bytes (artifact-cache accounting). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return sizeof(*this) + words.size() * sizeof(std::uint64_t);
+    }
+
   private:
     std::uint32_t numRows = 0;
     std::uint32_t numCols = 0;

@@ -8,6 +8,41 @@
 namespace sgcn
 {
 
+namespace
+{
+
+/** FNV-1a over a span of trivially-hashable values. */
+template <typename T>
+std::uint64_t
+fnv1a(std::uint64_t hash, const T *data, std::size_t count)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    for (std::size_t i = 0; i < count; ++i) {
+        T value = data[i];
+        const auto *bytes =
+            reinterpret_cast<const unsigned char *>(&value);
+        for (std::size_t b = 0; b < sizeof(T); ++b) {
+            hash ^= bytes[b];
+            hash *= kPrime;
+        }
+    }
+    return hash;
+}
+
+} // namespace
+
+void
+CsrGraph::computeFingerprint()
+{
+    const std::uint64_t shape[2] = {n, numEdges()};
+    fpLo = fnv1a(0xcbf29ce484222325ULL, shape, 2);
+    fpLo = fnv1a(fpLo, rowPtr.data(), rowPtr.size());
+    fpLo = fnv1a(fpLo, colIdx.data(), colIdx.size());
+    fpHi = fnv1a(0x9e3779b97f4a7c15ULL, shape, 2);
+    fpHi = fnv1a(fpHi, colIdx.data(), colIdx.size());
+    fpHi = fnv1a(fpHi, rowPtr.data(), rowPtr.size());
+}
+
 CsrGraph::CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
                    bool undirected, bool self_loops)
     : n(num_vertices)
@@ -71,6 +106,8 @@ CsrGraph::CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
                 inv_sqrt_deg[v] * inv_sqrt_deg[colIdx[e]]);
         }
     }
+
+    computeFingerprint();
 }
 
 double

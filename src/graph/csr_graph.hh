@@ -100,12 +100,38 @@ class CsrGraph
     /** Vertices sorted by descending degree (for EnGN's DAVC). */
     std::vector<VertexId> verticesByDegree() const;
 
+    /**
+     * 128-bit content fingerprint of the topology (two independent
+     * FNV-1a streams over shape + row pointers + column indices),
+     * computed once at construction. The edge weights are a pure
+     * function of the topology, so this identifies the graph
+     * completely; process-wide caches key on it.
+     */
+    std::pair<std::uint64_t, std::uint64_t>
+    contentFingerprint() const
+    {
+        return {fpLo, fpHi};
+    }
+
+    /** Host-memory footprint of the CSR arrays in bytes. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return rowPtr.size() * sizeof(EdgeId) +
+               colIdx.size() * sizeof(VertexId) +
+               edgeWeight.size() * sizeof(float);
+    }
+
   private:
+    void computeFingerprint();
+
     VertexId n = 0;
     EdgeId selfLoops = 0;
     std::vector<EdgeId> rowPtr{0};
     std::vector<VertexId> colIdx;
     std::vector<float> edgeWeight;
+    std::uint64_t fpLo = 0;
+    std::uint64_t fpHi = 0;
 };
 
 } // namespace sgcn

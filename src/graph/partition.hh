@@ -66,6 +66,13 @@ class TiledGraphView
     /** Source columns per tile. */
     VertexId srcCols() const { return srcSpan; }
 
+    /** Host-memory footprint in bytes (artifact-cache accounting). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return sizeof(*this) + tileOffsets.size() * sizeof(EdgeId);
+    }
+
   private:
     const CsrGraph &topo;
     VertexId dstSpan;

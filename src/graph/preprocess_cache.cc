@@ -9,24 +9,6 @@ namespace sgcn
 namespace
 {
 
-/** FNV-1a over a span of trivially-hashable values. */
-template <typename T>
-std::uint64_t
-fnv1a(std::uint64_t hash, const T *data, std::size_t count)
-{
-    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-    for (std::size_t i = 0; i < count; ++i) {
-        T value = data[i];
-        const auto *bytes =
-            reinterpret_cast<const unsigned char *>(&value);
-        for (std::size_t b = 0; b < sizeof(T); ++b) {
-            hash ^= bytes[b];
-            hash *= kPrime;
-        }
-    }
-    return hash;
-}
-
 std::shared_ptr<const CsrGraph>
 computeReorder(const CsrGraph &graph, ReorderKind kind)
 {
@@ -47,90 +29,16 @@ PreprocessCache::instance()
     return cache;
 }
 
-PreprocessCache::Key
-PreprocessCache::fingerprint(const CsrGraph &graph, ReorderKind kind)
-{
-    // Two independent FNV-1a streams over the full topology. The
-    // edge weights are a pure function of the topology (symmetric
-    // GCN normalization computed at construction), so hashing row
-    // pointers + column indices identifies the graph completely.
-    const auto &rows = graph.rowPointers();
-    const auto &cols = graph.columnIndices();
-    const std::uint64_t shape[2] = {graph.numVertices(),
-                                    graph.numEdges()};
-
-    Key key;
-    key.lo = fnv1a(0xcbf29ce484222325ULL, shape, 2);
-    key.lo = fnv1a(key.lo, rows.data(), rows.size());
-    key.lo = fnv1a(key.lo, cols.data(), cols.size());
-    key.hi = fnv1a(0x9e3779b97f4a7c15ULL, shape, 2);
-    key.hi = fnv1a(key.hi, cols.data(), cols.size());
-    key.hi = fnv1a(key.hi, rows.data(), rows.size());
-    key.kind = kind;
-    return key;
-}
-
 std::shared_ptr<const CsrGraph>
 PreprocessCache::reordered(const CsrGraph &graph, ReorderKind kind)
 {
-    const Key key = fingerprint(graph, kind);
-
-    std::promise<std::shared_ptr<const CsrGraph>> promise;
-    Entry entry;
-    bool owner = false;
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        auto it = entries.find(key);
-        if (it != entries.end()) {
-            ++counters.hits;
-            entry = it->second;
-        } else {
-            ++counters.misses;
-            owner = true;
-            entry = promise.get_future().share();
-            entries.emplace(key, entry);
-        }
-    }
-
-    if (owner) {
-        // Compute outside the lock so other graphs stay cacheable
-        // concurrently; waiters for this graph block on the future.
-        try {
-            promise.set_value(computeReorder(graph, kind));
-        } catch (...) {
-            // Don't poison the cache: drop the failed entry so a
-            // later lookup retries, then propagate to the waiters
-            // already blocked on this future.
-            {
-                std::lock_guard<std::mutex> lock(mutex);
-                entries.erase(key);
-            }
-            promise.set_exception(std::current_exception());
-        }
-    }
-    return entry.get();
-}
-
-PreprocessCache::Stats
-PreprocessCache::stats() const
-{
-    std::lock_guard<std::mutex> lock(mutex);
-    return counters;
-}
-
-std::size_t
-PreprocessCache::size() const
-{
-    std::lock_guard<std::mutex> lock(mutex);
-    return entries.size();
-}
-
-void
-PreprocessCache::clear()
-{
-    std::lock_guard<std::mutex> lock(mutex);
-    entries.clear();
-    counters = Stats{};
+    const auto [lo, hi] = graph.contentFingerprint();
+    const Key key{lo, hi, static_cast<std::uint8_t>(kind)};
+    return cache.lookup(
+        key, [&] { return computeReorder(graph, kind); },
+        [](const CsrGraph &reordered) {
+            return reordered.footprintBytes();
+        });
 }
 
 } // namespace sgcn

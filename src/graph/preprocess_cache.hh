@@ -5,29 +5,26 @@
  * Sweeps call runNetwork once per (personality, dataset) pair, and
  * every I-GCN-style personality re-derives bfsIslandOrder and
  * re-permutes the same dataset graph from scratch — O(V+E) work plus
- * allocations that dwarf the lookup. The cache keys on a full
- * content fingerprint of the topology (vertex/edge counts, row
- * pointers, column indices), so islandization runs once per dataset
- * per process instead of once per config x run, including across
- * distinct Dataset instantiations of the same graph.
+ * allocations that dwarf the lookup. The cache keys on the graph's
+ * 128-bit content fingerprint (CsrGraph::contentFingerprint), so
+ * islandization runs once per dataset per process instead of once
+ * per config x run, including across distinct Dataset
+ * instantiations of the same graph.
  *
- * Thread-safe: concurrent lookups of the same graph (runAll with
- * jobs > 1) block on one shared computation instead of duplicating
- * it. Cached graphs are immutable and handed out as shared_ptr, so
- * entries stay valid however long a run holds them, and clear() is
- * always safe.
+ * Built on the generic KeyedCache (sim/keyed_cache.hh): thread-safe
+ * compute-once under the runAll jobs>1 fan-out, shared_ptr read-only
+ * handles, byte-accounted footprint, and an always-safe clear().
  */
 
 #ifndef SGCN_GRAPH_PREPROCESS_CACHE_HH
 #define SGCN_GRAPH_PREPROCESS_CACHE_HH
 
 #include <cstdint>
-#include <future>
-#include <map>
 #include <memory>
-#include <mutex>
+#include <tuple>
 
 #include "graph/csr_graph.hh"
+#include "sim/keyed_cache.hh"
 
 namespace sgcn
 {
@@ -44,11 +41,9 @@ enum class ReorderKind : std::uint8_t
 class PreprocessCache
 {
   public:
-    struct Stats
-    {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-    };
+    /** Hit/miss/footprint counters (a blocked concurrent lookup
+     *  counts as a hit: the work ran once). */
+    using Stats = ArtifactStats;
 
     /** The process-wide instance used by runNetwork. */
     static PreprocessCache &instance();
@@ -68,43 +63,21 @@ class PreprocessCache
         return reordered(graph, ReorderKind::BfsIslands);
     }
 
-    /** Hit/miss counters (a blocked concurrent lookup counts as a
-     *  hit: the work ran once). */
-    Stats stats() const;
+    /** Counters plus entry count and byte-accounted footprint. */
+    Stats stats() const { return cache.stats(); }
 
     /** Cached entries. */
-    std::size_t size() const;
+    std::size_t size() const { return cache.size(); }
 
     /** Drop all entries and reset the counters. */
-    void clear();
+    void clear() { cache.clear(); }
 
   private:
     /** 128-bit content fingerprint + kind; collision-safe in any
      *  realistic sweep. */
-    struct Key
-    {
-        std::uint64_t lo = 0;
-        std::uint64_t hi = 0;
-        ReorderKind kind = ReorderKind::BfsIslands;
+    using Key = std::tuple<std::uint64_t, std::uint64_t, std::uint8_t>;
 
-        bool
-        operator<(const Key &other) const
-        {
-            if (lo != other.lo)
-                return lo < other.lo;
-            if (hi != other.hi)
-                return hi < other.hi;
-            return kind < other.kind;
-        }
-    };
-
-    static Key fingerprint(const CsrGraph &graph, ReorderKind kind);
-
-    using Entry = std::shared_future<std::shared_ptr<const CsrGraph>>;
-
-    mutable std::mutex mutex;
-    std::map<Key, Entry> entries;
-    Stats counters;
+    KeyedCache<Key, CsrGraph> cache;
 };
 
 } // namespace sgcn

@@ -33,10 +33,14 @@ struct AccessPlan
 
     struct Run
     {
-        Addr addr = 0;       //!< line-aligned start address
-        std::uint32_t lines = 0;
+        Addr addr;           //!< line-aligned start address
+        std::uint32_t lines;
     };
 
+    /** Only the first numRuns entries are meaningful; the array is
+     *  deliberately left uninitialized — plans are built and
+     *  discarded millions of times per sweep, and zeroing 16 runs
+     *  per construction dominated the layouts' plan builders. */
     std::array<Run, kMaxRuns> runs;
     unsigned numRuns = 0;
 

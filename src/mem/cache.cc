@@ -15,7 +15,10 @@ Cache::Cache(const CacheConfig &config, Dram &dram_module,
     const std::uint64_t num_sets = cfg.numSets();
     SGCN_ASSERT(num_sets > 0 && isPowerOfTwo(num_sets),
                 "cache sets must be a power of two, got ", num_sets);
-    sets.assign(num_sets, std::vector<Line>(cfg.ways));
+    const std::size_t lines =
+        static_cast<std::size_t>(num_sets) * cfg.ways;
+    lineTagUse.assign(lines, makeEntry(kInvalidTag, 0));
+    lineMeta.assign(lines, 0);
     setMask = num_sets - 1;
     setShift = log2Floor(num_sets);
 
@@ -186,105 +189,217 @@ Cache::tagOf(Addr line_addr) const
     return (line_addr / kCachelineBytes) >> setShift;
 }
 
-Cache::LookupResult
-Cache::probe(Addr line_addr)
+std::uint32_t
+Cache::nextUseStamp()
 {
-    auto &set = sets[setIndex(line_addr)];
-    const std::uint64_t tag = tagOf(line_addr);
-    for (auto &line : set) {
-        if (line.valid && line.tag == tag) {
-            // FIFO keeps the fill timestamp; the others promote.
-            if (cfg.replacement != ReplacementPolicy::Fifo)
-                line.lastUse = ++useCounter;
-            line.rrpv = 0; // SRRIP: re-referenced -> near
-            return LookupResult{true, &line};
-        }
-    }
-    return LookupResult{false, nullptr};
+    if (useCounter >= cfg.useStampRenormThreshold)
+        renormalizeUseStamps();
+    return static_cast<std::uint32_t>(++useCounter);
 }
 
-Cache::Line *
-Cache::selectVictim(std::vector<Line> &set)
+void
+Cache::renormalizeUseStamps()
 {
+    // Dense-rank the live stamps. The policies only ever compare
+    // stamps, so any order-preserving remap (ties included) is
+    // behavior-identical; nonzero ranks start at 1 so 0 stays
+    // strictly below every valid line's stamp — the invariant the
+    // fused invalid-first/min-use victim scan relies on.
+    std::vector<std::uint32_t> sorted;
+    sorted.reserve(lineTagUse.size());
+    for (std::uint64_t entry : lineTagUse) {
+        if (entryUse(entry) != 0)
+            sorted.push_back(entryUse(entry));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                 sorted.end());
+    for (std::uint64_t &entry : lineTagUse) {
+        const std::uint32_t use = entryUse(entry);
+        if (use != 0) {
+            const auto rank = static_cast<std::uint32_t>(
+                std::lower_bound(sorted.begin(), sorted.end(), use) -
+                sorted.begin() + 1);
+            entry = makeEntry(entryTag(entry), rank);
+        }
+    }
+    useCounter = sorted.size();
+}
+
+std::size_t
+Cache::probe(Addr line_addr)
+{
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * cfg.ways;
+    const std::uint64_t tag = tagOf(line_addr);
+    SGCN_ASSERT(tag < kInvalidTag, "line address past the 32-bit "
+                "tag range: ", line_addr);
+    const std::uint64_t *entries = lineTagUse.data() + base;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (entryTag(entries[w]) == tag) {
+            const std::size_t index = base + w;
+            // FIFO keeps the fill timestamp; the others promote.
+            if (cfg.replacement != ReplacementPolicy::Fifo) {
+                lineTagUse[index] = makeEntry(
+                    static_cast<std::uint32_t>(tag), nextUseStamp());
+            }
+            lineMeta[index] &= static_cast<std::uint8_t>(
+                ~kRrpvMask); // SRRIP: re-referenced -> near
+            return index;
+        }
+    }
+    return kNoLine;
+}
+
+std::size_t
+Cache::selectVictim(std::size_t base)
+{
+    // The pinned checks only matter while DAVC pins are live; the
+    // global count lets the common case scan flag-free.
+    const bool pins = pinnedLines != 0;
     switch (cfg.replacement) {
       case ReplacementPolicy::Lru:
       case ReplacementPolicy::Fifo: {
-        Line *victim = nullptr;
-        for (auto &line : set) {
-            if (line.pinned)
+        std::size_t victim = kNoLine;
+        std::uint32_t best = ~0u;
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            const std::size_t index = base + w;
+            if (pins && (lineMeta[index] & kLinePinned))
                 continue;
-            if (victim == nullptr || line.lastUse < victim->lastUse)
-                victim = &line;
+            if (victim == kNoLine ||
+                entryUse(lineTagUse[index]) < best) {
+                victim = index;
+                best = entryUse(lineTagUse[index]);
+            }
         }
         return victim;
       }
       case ReplacementPolicy::Random: {
         // Deterministic xorshift over unpinned ways.
-        std::vector<Line *> candidates;
-        candidates.reserve(set.size());
-        for (auto &line : set) {
-            if (!line.pinned)
-                candidates.push_back(&line);
+        unsigned candidates = 0;
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (!pins || !(lineMeta[base + w] & kLinePinned))
+                ++candidates;
         }
-        if (candidates.empty())
-            return nullptr;
+        if (candidates == 0)
+            return kNoLine;
         victimSeed ^= victimSeed << 13;
         victimSeed ^= victimSeed >> 7;
         victimSeed ^= victimSeed << 17;
-        return candidates[victimSeed % candidates.size()];
+        unsigned pick =
+            static_cast<unsigned>(victimSeed % candidates);
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (pins && (lineMeta[base + w] & kLinePinned))
+                continue;
+            if (pick-- == 0)
+                return base + w;
+        }
+        return kNoLine;
       }
       case ReplacementPolicy::Srrip: {
         // Evict a line with maximal RRPV (3); age everyone until one
         // appears.
         while (true) {
-            for (auto &line : set) {
-                if (!line.pinned && line.rrpv >= 3)
-                    return &line;
+            for (unsigned w = 0; w < cfg.ways; ++w) {
+                const std::size_t index = base + w;
+                if ((!pins || !(lineMeta[index] & kLinePinned)) &&
+                    (lineMeta[index] & kRrpvMask) == kRrpvMask) {
+                    return index;
+                }
             }
             bool aged = false;
-            for (auto &line : set) {
-                if (!line.pinned && line.rrpv < 3) {
-                    ++line.rrpv;
+            for (unsigned w = 0; w < cfg.ways; ++w) {
+                const std::size_t index = base + w;
+                if ((!pins || !(lineMeta[index] & kLinePinned)) &&
+                    (lineMeta[index] & kRrpvMask) != kRrpvMask) {
+                    lineMeta[index] = static_cast<std::uint8_t>(
+                        lineMeta[index] + (1u << kRrpvShift));
                     aged = true;
                 }
             }
             if (!aged)
-                return nullptr;
+                return kNoLine;
         }
       }
     }
-    return nullptr;
+    return kNoLine;
 }
 
-Cache::Line &
+std::size_t
 Cache::fill(Addr line_addr, bool timing, TrafficClass cls)
 {
-    auto &set = sets[setIndex(line_addr)];
+    // Any fill may evict the line behind the duplicate-access fast
+    // path (timing fills and pins included); drop the memo.
+    lastFunctionalAddr = ~Addr{0};
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * cfg.ways;
 
     // Invalid lines win outright; otherwise the policy picks among
     // unpinned lines. Fully pinned sets fall back to plain LRU so
     // pinning can never deadlock the cache.
-    Line *victim = nullptr;
-    for (auto &line : set) {
-        if (!line.valid) {
-            victim = &line;
-            break;
-        }
-    }
-    if (victim == nullptr) {
-        victim = selectVictim(set);
-        if (victim == nullptr) {
-            for (auto &line : set) {
-                if (victim == nullptr || line.lastUse < victim->lastUse)
-                    victim = &line;
+    std::size_t victim = kNoLine;
+    if (cfg.replacement == ReplacementPolicy::Lru ||
+        cfg.replacement == ReplacementPolicy::Fifo) {
+        // Invalid lines carry a zero use stamp, strictly below every
+        // valid line's, so a single min-use scan implements both the
+        // invalid-first rule and the LRU/FIFO policy — one pass on
+        // the dominant (streaming-miss) path instead of three.
+        const std::uint64_t *entries = lineTagUse.data() + base;
+        if (pinnedLines == 0) {
+            unsigned bestw = 0;
+            for (unsigned w = 1; w < cfg.ways; ++w) {
+                if (entryUse(entries[w]) < entryUse(entries[bestw]))
+                    bestw = w;
+            }
+            victim = base + bestw;
+        } else {
+            std::uint32_t best = ~0u;
+            for (unsigned w = 0; w < cfg.ways; ++w) {
+                if (lineMeta[base + w] & kLinePinned)
+                    continue;
+                if (victim == kNoLine || entryUse(entries[w]) < best) {
+                    victim = base + w;
+                    best = entryUse(entries[w]);
+                }
             }
         }
+    } else {
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (entryTag(lineTagUse[base + w]) == kInvalidTag) {
+                victim = base + w;
+                break;
+            }
+        }
+        if (victim == kNoLine)
+            victim = selectVictim(base);
+    }
+    if (victim == kNoLine) {
+        std::uint32_t best = ~0u;
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            if (victim == kNoLine ||
+                entryUse(lineTagUse[base + w]) < best) {
+                victim = base + w;
+                best = entryUse(lineTagUse[base + w]);
+            }
+        }
+    }
+    installAt(victim, line_addr, timing, cls);
+    return victim;
+}
+
+void
+Cache::installAt(std::size_t victim, Addr line_addr, bool timing,
+                 TrafficClass cls)
+{
+    if (entryTag(lineTagUse[victim]) != kInvalidTag) {
         ++statCounters.evictions;
-        if (victim->dirty) {
+        if (lineMeta[victim] & kLineDirty) {
             ++statCounters.writebacks;
             // Reconstruct the victim's address for the writeback.
             const Addr victim_addr =
-                (victim->tag * sets.size() + setIndex(line_addr)) *
+                (static_cast<Addr>(entryTag(lineTagUse[victim])) *
+                     (setMask + 1) +
+                 setIndex(line_addr)) *
                 kCachelineBytes;
             // Victim classes are not tracked per line; dirty victims
             // are always output features in the modeled dataflows.
@@ -299,15 +414,16 @@ Cache::fill(Addr line_addr, bool timing, TrafficClass cls)
         }
     }
 
-    victim->tag = tagOf(line_addr);
-    victim->valid = true;
-    victim->dirty = false;
-    victim->pinned = false;
-    victim->lastUse = ++useCounter;
-    // SRRIP inserts at a distant re-reference prediction: a line
+    if (lineMeta[victim] & kLinePinned)
+        --pinnedLines;
+    const std::uint64_t tag = tagOf(line_addr);
+    SGCN_ASSERT(tag < kInvalidTag, "line address past the 32-bit "
+                "tag range: ", line_addr);
+    lineTagUse[victim] = makeEntry(static_cast<std::uint32_t>(tag),
+                                   nextUseStamp());
+    // SRRIP inserts at a distant re-reference prediction (2): a line
     // must prove reuse before it may displace proven lines.
-    victim->rrpv = 2;
-    return *victim;
+    lineMeta[victim] = 2 << kRrpvShift;
 }
 
 void
@@ -316,11 +432,11 @@ Cache::access(const MemRequest &request, MemCallback done)
     SGCN_ASSERT(isAligned(request.lineAddr, kCachelineBytes),
                 "cache request not line-aligned: ", request.lineAddr);
 
-    LookupResult result = probe(request.lineAddr);
-    if (result.hit) {
+    const std::size_t hit = probe(request.lineAddr);
+    if (hit != kNoLine) {
         ++statCounters.hits;
         if (request.op == MemOp::Write)
-            result.line->dirty = true;
+            lineMeta[hit] |= kLineDirty;
         if (done)
             events.scheduleAfter(cfg.hitLatency, std::move(done));
         return;
@@ -404,8 +520,9 @@ Cache::finishMiss(Addr line_addr)
     MshrEntry *mshr = mshrFind(line_addr);
     SGCN_ASSERT(mshr != nullptr, "fill for unknown MSHR");
 
-    Line &line = fill(line_addr, true, mshr->cls);
-    line.dirty = mshr->anyWrite;
+    const std::size_t line = fill(line_addr, true, mshr->cls);
+    if (mshr->anyWrite)
+        lineMeta[line] |= kLineDirty;
 
     // Targets are only scheduled (never invoked synchronously), so
     // dispatching straight out of the entry cannot re-enter the
@@ -429,11 +546,11 @@ Cache::drainPendingQueue()
 
         // Re-check the tag array: an earlier fill may have satisfied
         // this line already.
-        LookupResult result = probe(request.lineAddr);
-        if (result.hit) {
+        const std::size_t hit = probe(request.lineAddr);
+        if (hit != kNoLine) {
             ++statCounters.hits;
             if (request.op == MemOp::Write)
-                result.line->dirty = true;
+                lineMeta[hit] |= kLineDirty;
             if (done)
                 events.scheduleAfter(cfg.hitLatency, std::move(done));
             continue;
@@ -453,61 +570,187 @@ bool
 Cache::accessFunctional(const MemRequest &request)
 {
     SGCN_ASSERT(isAligned(request.lineAddr, kCachelineBytes));
-    LookupResult result = probe(request.lineAddr);
-    if (result.hit) {
+    // Back-to-back accesses to one line (the read-modify-write
+    // partial-sum pattern) are guaranteed hits on an already-MRU
+    // line: skip the tag scan and the LRU promotion (the skipped
+    // useCounter tick shifts later stamps uniformly, preserving
+    // their order and thus every future eviction decision).
+    if (request.lineAddr == lastFunctionalAddr) {
         ++statCounters.hits;
         if (request.op == MemOp::Write)
-            result.line->dirty = true;
+            lineMeta[lastFunctionalIndex] |= kLineDirty;
+        lineMeta[lastFunctionalIndex] &=
+            static_cast<std::uint8_t>(~kRrpvMask); // as probe would
+        return true;
+    }
+    const std::size_t hit = probe(request.lineAddr);
+    if (hit != kNoLine) {
+        lastFunctionalAddr = request.lineAddr;
+        lastFunctionalIndex = hit;
+        ++statCounters.hits;
+        if (request.op == MemOp::Write)
+            lineMeta[hit] |= kLineDirty;
         return true;
     }
     ++statCounters.misses;
     functionalTraffic.add(MemOp::Read, request.cls);
-    Line &line = fill(request.lineAddr, false, request.cls);
-    line.dirty = (request.op == MemOp::Write);
+    const std::size_t line = fill(request.lineAddr, false, request.cls);
+    lastFunctionalAddr = request.lineAddr;
+    lastFunctionalIndex = line;
+    if (request.op == MemOp::Write)
+        lineMeta[line] |= kLineDirty;
     return false;
+}
+
+void
+Cache::accessPlanFunctional(const AccessPlan &plan, MemOp op,
+                            TrafficClass cls)
+{
+    for (unsigned r = 0; r < plan.numRuns; ++r)
+        accessRunFunctional(plan.runs[r].addr, plan.runs[r].lines, op,
+                            cls);
+}
+
+void
+Cache::accessRunFunctional(Addr line_addr, std::uint32_t lines,
+                           MemOp op, TrafficClass cls)
+{
+    // Per-line behavior is accessFunctional's exactly; statistics
+    // post once per run. Under LRU/FIFO with no live pins, the tag
+    // scan and the min-stamp victim scan fuse into one pass over
+    // the set's packed tag/stamp entries (RRPV bookkeeping is dead
+    // under these policies and skipped).
+    const bool write = (op == MemOp::Write);
+    const bool fused = (cfg.replacement == ReplacementPolicy::Lru ||
+                        cfg.replacement == ReplacementPolicy::Fifo) &&
+                       pinnedLines == 0;
+    const bool promote = cfg.replacement != ReplacementPolicy::Fifo;
+    std::uint32_t hit_lines = 0;
+    for (std::uint32_t i = 0; i < lines;
+         ++i, line_addr += kCachelineBytes) {
+        if (line_addr == lastFunctionalAddr) {
+            ++hit_lines;
+            if (write)
+                lineMeta[lastFunctionalIndex] |= kLineDirty;
+            if (!fused) {
+                lineMeta[lastFunctionalIndex] &=
+                    static_cast<std::uint8_t>(~kRrpvMask);
+            }
+            continue;
+        }
+        if (!fused) {
+            const std::size_t hit = probe(line_addr);
+            if (hit != kNoLine) {
+                lastFunctionalAddr = line_addr;
+                lastFunctionalIndex = hit;
+                ++hit_lines;
+                if (write)
+                    lineMeta[hit] |= kLineDirty;
+                continue;
+            }
+            const std::size_t line = fill(line_addr, false, cls);
+            lastFunctionalAddr = line_addr;
+            lastFunctionalIndex = line;
+            if (write)
+                lineMeta[line] |= kLineDirty;
+            continue;
+        }
+        const std::size_t base =
+            static_cast<std::size_t>(setIndex(line_addr)) * cfg.ways;
+        const std::uint64_t tag = tagOf(line_addr);
+        SGCN_ASSERT(tag < kInvalidTag, "line address past the "
+                    "32-bit tag range: ", line_addr);
+        std::uint64_t *entries = lineTagUse.data() + base;
+        std::size_t hitw = kNoLine;
+        unsigned bestw = 0;
+        std::uint32_t bestuse = ~0u;
+        for (unsigned w = 0; w < cfg.ways; ++w) {
+            const std::uint64_t entry = entries[w];
+            if (entryTag(entry) == tag) {
+                hitw = w;
+                break;
+            }
+            // Invalid lines stamp 0: one min scan is invalid-first
+            // plus LRU/FIFO at once (see fill()).
+            if (entryUse(entry) < bestuse) {
+                bestuse = entryUse(entry);
+                bestw = w;
+            }
+        }
+        if (hitw != kNoLine) {
+            ++hit_lines;
+            if (promote) {
+                entries[hitw] = makeEntry(
+                    static_cast<std::uint32_t>(tag), nextUseStamp());
+            }
+            lastFunctionalAddr = line_addr;
+            lastFunctionalIndex = base + hitw;
+            if (write)
+                lineMeta[base + hitw] |= kLineDirty;
+            continue;
+        }
+        const std::size_t victim = base + bestw;
+        installAt(victim, line_addr, false, cls);
+        lastFunctionalAddr = line_addr;
+        lastFunctionalIndex = victim;
+        if (write)
+            lineMeta[victim] |= kLineDirty;
+    }
+    statCounters.hits += hit_lines;
+    statCounters.misses += lines - hit_lines;
+    if (hit_lines != lines)
+        functionalTraffic.add(MemOp::Read, cls, lines - hit_lines);
 }
 
 bool
 Cache::pin(Addr line_addr, TrafficClass cls)
 {
-    auto &set = sets[setIndex(line_addr)];
+    const std::size_t base =
+        static_cast<std::size_t>(setIndex(line_addr)) * cfg.ways;
     unsigned pinned = 0;
-    for (const auto &line : set)
-        pinned += line.pinned ? 1 : 0;
+    for (unsigned w = 0; w < cfg.ways; ++w)
+        pinned += (lineMeta[base + w] & kLinePinned) ? 1 : 0;
     // Leave at least half the ways unpinned so the set stays usable.
     if (pinned >= cfg.ways / 2)
         return false;
 
-    LookupResult result = probe(line_addr);
-    if (!result.hit) {
+    std::size_t line = probe(line_addr);
+    if (line == kNoLine) {
         functionalTraffic.add(MemOp::Read, cls);
-        result.line = &fill(line_addr, false, cls);
+        line = fill(line_addr, false, cls);
     }
-    result.line->pinned = true;
+    if (!(lineMeta[line] & kLinePinned)) {
+        lineMeta[line] |= kLinePinned;
+        ++pinnedLines;
+    }
     return true;
 }
 
 void
 Cache::unpinAll()
 {
-    for (auto &set : sets)
-        for (auto &line : set)
-            line.pinned = false;
+    if (pinnedLines == 0)
+        return;
+    for (std::uint8_t &meta : lineMeta)
+        meta &= static_cast<std::uint8_t>(~kLinePinned);
+    pinnedLines = 0;
 }
 
 void
 Cache::flush()
 {
-    for (auto &set : sets) {
-        for (auto &line : set) {
-            if (line.valid && line.dirty) {
-                ++statCounters.writebacks;
-                functionalTraffic.add(MemOp::Write,
-                                      TrafficClass::FeatureOut);
-            }
-            line = Line{};
+    for (std::size_t i = 0; i < lineTagUse.size(); ++i) {
+        if (entryTag(lineTagUse[i]) != kInvalidTag &&
+            (lineMeta[i] & kLineDirty)) {
+            ++statCounters.writebacks;
+            functionalTraffic.add(MemOp::Write,
+                                  TrafficClass::FeatureOut);
         }
+        lineTagUse[i] = makeEntry(kInvalidTag, 0);
+        lineMeta[i] = 0;
     }
+    pinnedLines = 0;
+    lastFunctionalAddr = ~Addr{0};
 }
 
 void

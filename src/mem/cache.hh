@@ -70,6 +70,14 @@ struct CacheConfig
     /** Replacement policy (Table III: LRU). */
     ReplacementPolicy replacement = ReplacementPolicy::Lru;
 
+    /**
+     * Use-stamp tick at which the LRU/FIFO stamps are renormalized
+     * (dense-ranked, order-preserving) so they keep fitting their
+     * 32-bit slots. The default fires once per ~4G accesses; tests
+     * lower it to exercise the renormalization deterministically.
+     */
+    std::uint32_t useStampRenormThreshold = 0xffff'fff0u;
+
     /** Derived: number of sets. */
     std::uint64_t
     numSets() const
@@ -140,6 +148,26 @@ class Cache
     bool accessFunctional(const MemRequest &request);
 
     /**
+     * Functional access of every line in @p plan, in order —
+     * line-for-line equivalent to accessFunctional per line, with
+     * the per-call layering hoisted out of the loop. This is the
+     * fast sweeps' hot entry point.
+     */
+    void accessPlanFunctional(const AccessPlan &plan, MemOp op,
+                              TrafficClass cls);
+
+    /**
+     * Functional access of @p lines consecutive lines starting at
+     * @p line_addr — one plan run. Under LRU/FIFO with no live pins
+     * (the overwhelmingly common configuration) each line resolves
+     * in a single fused pass that scans for the tag and tracks the
+     * min-stamp victim at once; statistics post per run, not per
+     * line. Bit-identical to accessFunctional per line.
+     */
+    void accessRunFunctional(Addr line_addr, std::uint32_t lines,
+                             MemOp op, TrafficClass cls);
+
+    /**
      * Pin the line at @p line_addr: functionally install it, count
      * the fill as @p cls read traffic, and exempt it from eviction.
      * Used to model EnGN's degree-aware vertex cache. Returns false
@@ -152,6 +180,21 @@ class Cache
 
     /** Drop all cached lines (dirty lines write back functionally). */
     void flush();
+
+    /**
+     * Hint that @p line_addr will be probed shortly: prefetch its
+     * set's tag and use slots. The fast sweeps know the next access
+     * a few dozen cycles ahead, enough to hide the L2 latency of the
+     * tag array's random-set walk. No architectural effect.
+     */
+    void
+    prefetchSet(Addr line_addr) const
+    {
+        const std::size_t base = static_cast<std::size_t>(
+            (line_addr / kCachelineBytes) & setMask) * cfg.ways;
+        __builtin_prefetch(lineTagUse.data() + base);
+        __builtin_prefetch(lineTagUse.data() + base + cfg.ways / 2);
+    }
 
     /** Cache statistics. */
     const CacheStats &stats() const { return statCounters; }
@@ -172,17 +215,36 @@ class Cache
     void resetStats();
 
   private:
-    struct Line
+    /** Sentinel tag for an invalid line. Tags are 32-bit: the
+     *  modeled address space ends below 4 GB (AddressMap), so real
+     *  tags stay far under the sentinel (asserted on install). */
+    static constexpr std::uint32_t kInvalidTag = ~0u;
+
+    /** Bits of the per-line metadata byte: dirty/pinned flags plus
+     *  the SRRIP re-reference prediction value (0 = imminent). */
+    static constexpr std::uint8_t kLineDirty = 1;
+    static constexpr std::uint8_t kLinePinned = 2;
+    static constexpr unsigned kRrpvShift = 2;
+    static constexpr std::uint8_t kRrpvMask = 3 << kRrpvShift;
+
+    /** Tag/stamp packing for the lineTagUse entries. */
+    static std::uint32_t
+    entryTag(std::uint64_t entry)
     {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool pinned = false;
-        /** LRU/FIFO timestamp (use vs fill time). */
-        std::uint64_t lastUse = 0;
-        /** SRRIP re-reference prediction value (0 = imminent). */
-        std::uint8_t rrpv = 0;
-    };
+        return static_cast<std::uint32_t>(entry);
+    }
+    static std::uint32_t
+    entryUse(std::uint64_t entry)
+    {
+        return static_cast<std::uint32_t>(entry >> 32);
+    }
+    static std::uint64_t
+    makeEntry(std::uint32_t tag, std::uint32_t use)
+    {
+        return (static_cast<std::uint64_t>(use) << 32) | tag;
+    }
+
+    static constexpr std::size_t kNoLine = ~std::size_t{0};
 
     /** Overflow storage for deeply-coalesced MSHR targets: fixed
      *  blocks chained off the entry, recycled through a free list so
@@ -219,25 +281,27 @@ class Cache
         MshrTargetNode *overflowTail = nullptr;
     };
 
-    /** Outcome of a tag-array lookup/fill (shared logic). */
-    struct LookupResult
-    {
-        bool hit = false;
-        Line *line = nullptr;
-    };
-
     std::uint64_t setIndex(Addr line_addr) const;
     std::uint64_t tagOf(Addr line_addr) const;
 
-    /** Probe for @p line_addr; updates LRU on hit. */
-    LookupResult probe(Addr line_addr);
+    /** Probe for @p line_addr; updates LRU on hit. Returns the hit
+     *  line's flat index, or kNoLine on miss. */
+    std::size_t probe(Addr line_addr);
 
     /**
      * Choose a victim in the set of @p line_addr, write it back if
      * dirty (via @p timing DRAM or functional counters), and install
-     * the new tag. Returns the installed line.
+     * the new tag. Returns the installed line's flat index.
      */
-    Line &fill(Addr line_addr, bool timing, TrafficClass cls);
+    std::size_t fill(Addr line_addr, bool timing, TrafficClass cls);
+
+    /**
+     * Evict (accounting for a dirty writeback) and overwrite the
+     * line at flat index @p victim with @p line_addr — fill() minus
+     * the victim scan, shared with the fused functional run path.
+     */
+    void installAt(std::size_t victim, Addr line_addr, bool timing,
+                   TrafficClass cls);
 
     /** Start servicing a miss: allocate MSHR and fetch from DRAM. */
     void startMiss(const MemRequest &request, MemCallback done);
@@ -267,8 +331,19 @@ class Cache
     /** Admit queued requests into freed MSHRs. */
     void drainPendingQueue();
 
-    /** Pick the replacement victim among @p set (no invalid lines). */
-    Line *selectVictim(std::vector<Line> &set);
+    /** Pick the replacement victim in the set whose first line sits
+     *  at flat index @p base (no invalid lines in the set). Returns
+     *  kNoLine when every candidate is pinned. */
+    std::size_t selectVictim(std::size_t base);
+
+    /** Next LRU/FIFO stamp; renormalizes first when the counter
+     *  reaches the configured threshold so stamps stay 32-bit. */
+    std::uint32_t nextUseStamp();
+
+    /** Dense-rank every use stamp, preserving order (policies only
+     *  ever compare stamps) and keeping 0 reserved for invalid
+     *  lines, then restart the counter above the largest rank. */
+    void renormalizeUseStamps();
 
     CacheConfig cfg;
     Dram &dram;
@@ -278,7 +353,30 @@ class Cache
     std::uint64_t setMask = 0;
     unsigned setShift = 0;
     std::uint64_t victimSeed = 0x5eed;
-    std::vector<std::vector<Line>> sets;
+    /**
+     * Tag (low 32 bits) and LRU/FIFO use stamp (high 32 bits) of
+     * each line, one flat slot per line at index set * ways + way.
+     * The probe's tag scan and the fill's min-stamp victim scan —
+     * the fast-mode hot paths, hundreds of millions of calls per
+     * sweep — thereby touch the same one or two cachelines per set.
+     * Validity is folded in as kInvalidTag with stamp 0, strictly
+     * below every valid line's stamp (the counter starts at 1 and
+     * renormalization keeps 0 reserved; see
+     * CacheConfig::useStampRenormThreshold).
+     */
+    std::vector<std::uint64_t> lineTagUse;
+    /** Per-line dirty/pinned flags and SRRIP RRPV (see the kLine*
+     *  constants). */
+    std::vector<std::uint8_t> lineMeta;
+    /** Lines currently pinned, so the common unpinned case skips
+     *  per-way pinned checks and unpinAll is O(1). */
+    std::uint64_t pinnedLines = 0;
+    /** Duplicate-access memo for accessFunctional: the last line it
+     *  touched is resident and MRU, so an immediate re-access (the
+     *  read-modify-write psum pattern) needs no tag scan. Any fill
+     *  or flush invalidates it. */
+    Addr lastFunctionalAddr = ~Addr{0};
+    std::size_t lastFunctionalIndex = 0;
     /** Open-addressing MSHR table: power-of-two sized at twice the
      *  MSHR capacity, so the load factor stays at or below 1/2 and
      *  linear probes stay short. */

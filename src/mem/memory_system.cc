@@ -44,6 +44,28 @@ MemorySystem::accessFunctional(const MemRequest &request)
 }
 
 void
+MemorySystem::accessPlanFunctional(const AccessPlan &plan, MemOp op,
+                                   TrafficClass cls)
+{
+    if (bypasses(cls)) {
+        bypassTraffic.add(op, cls, plan.totalLines());
+        return;
+    }
+    cacheModel->accessPlanFunctional(plan, op, cls);
+}
+
+void
+MemorySystem::accessRunFunctional(Addr line_addr, std::uint32_t lines,
+                                  MemOp op, TrafficClass cls)
+{
+    if (bypasses(cls)) {
+        bypassTraffic.add(op, cls, lines);
+        return;
+    }
+    cacheModel->accessRunFunctional(line_addr, lines, op, cls);
+}
+
+void
 MemorySystem::setBypass(TrafficClass cls, bool bypass)
 {
     bypassClass[static_cast<unsigned>(cls)] = bypass;

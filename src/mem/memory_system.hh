@@ -46,6 +46,19 @@ class MemorySystem
     /** Route a functional request; returns true on cache hit. */
     bool accessFunctional(const MemRequest &request);
 
+    /**
+     * Route every line of @p plan functionally, in order —
+     * line-for-line equivalent to accessFunctional per line, with
+     * the bypass check hoisted out of the loop.
+     */
+    void accessPlanFunctional(const AccessPlan &plan, MemOp op,
+                              TrafficClass cls);
+
+    /** Functional access of one contiguous run of lines (see
+     *  Cache::accessRunFunctional). */
+    void accessRunFunctional(Addr line_addr, std::uint32_t lines,
+                             MemOp op, TrafficClass cls);
+
     /** Mark a traffic class as cache-bypassing. */
     void setBypass(TrafficClass cls, bool bypass);
 

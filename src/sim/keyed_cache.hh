@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Generic keyed compute-once cache for immutable sweep artifacts.
+ *
+ * Generalizes the idiom PreprocessCache introduced (PR 4): a mutex
+ * guarding a map of shared_futures, so concurrent lookups of the
+ * same key (the runAll jobs>1 fan-out) block on one computation
+ * instead of duplicating it, and values are handed out as
+ * shared_ptr<const V> read-only handles that stay valid however long
+ * a run holds them — clear() is always safe.
+ *
+ * Each entry carries a byte-accounted host-memory footprint (the
+ * caller supplies a measure functor) so sweep drivers can keep
+ * large runs flat-memory by clearing between datasets.
+ */
+
+#ifndef SGCN_SIM_KEYED_CACHE_HH
+#define SGCN_SIM_KEYED_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace sgcn
+{
+
+/** Merged hit/miss/footprint counters of one or more caches. */
+struct ArtifactStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /** Byte-accounted host footprint of the cached values. */
+    std::uint64_t bytes = 0;
+
+    /** Cached entries. */
+    std::size_t entries = 0;
+
+    ArtifactStats &
+    operator+=(const ArtifactStats &other)
+    {
+        hits += other.hits;
+        misses += other.misses;
+        bytes += other.bytes;
+        entries += other.entries;
+        return *this;
+    }
+};
+
+/**
+ * Compute-once memo of immutable values; see file comment.
+ *
+ * @tparam Key totally ordered key (operator<)
+ * @tparam Value immutable cached value
+ */
+template <typename Key, typename Value>
+class KeyedCache
+{
+  public:
+    /**
+     * The value for @p key, computing it on first use.
+     *
+     * @param compute nullary functor returning
+     *        std::shared_ptr<const Value>; runs outside the lock
+     * @param measure functor (const Value&) -> std::uint64_t host
+     *        bytes, invoked once on the owner after a successful
+     *        compute
+     *
+     * A blocked concurrent lookup counts as a hit: the work ran
+     * once. A failed compute drops the entry (later lookups retry)
+     * and rethrows to every waiter.
+     */
+    template <typename Compute, typename Measure>
+    std::shared_ptr<const Value>
+    lookup(const Key &key, Compute &&compute, Measure &&measure)
+    {
+        // Hit path first, and allocation-free: a std::promise owns a
+        // heap-allocated shared state, so constructing one per lookup
+        // (as the original single-pass form did) charged every warm
+        // hit one allocation. Misses re-check under the lock, so two
+        // threads racing the same cold key still compute it once.
+        Entry entry;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = entries.find(key);
+            if (it != entries.end()) {
+                ++counters.hits;
+                entry = it->second;
+            }
+        }
+        if (entry.valid())
+            return entry.get();
+
+        std::promise<std::shared_ptr<const Value>> promise;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = entries.find(key);
+            if (it != entries.end()) {
+                ++counters.hits;
+                entry = it->second;
+            } else {
+                ++counters.misses;
+                owner = true;
+                entry = promise.get_future().share();
+                entries.emplace(key, entry);
+            }
+        }
+
+        if (owner) {
+            // Compute outside the lock so other keys stay cacheable
+            // concurrently; waiters for this key block on the future.
+            try {
+                std::shared_ptr<const Value> value = compute();
+                const std::uint64_t value_bytes =
+                    value ? measure(*value) : 0;
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    // A clear() may have raced the compute; only
+                    // account entries that are still resident.
+                    if (entries.find(key) != entries.end())
+                        counters.bytes += value_bytes;
+                }
+                promise.set_value(std::move(value));
+            } catch (...) {
+                // Don't poison the cache: drop the failed entry so a
+                // later lookup retries, then propagate to the
+                // waiters already blocked on this future.
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    entries.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+            }
+        }
+        return entry.get();
+    }
+
+    /** Counters plus the current entry count / byte footprint. */
+    ArtifactStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ArtifactStats result = counters;
+        result.entries = entries.size();
+        return result;
+    }
+
+    /** Cached entries. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return entries.size();
+    }
+
+    /** Drop all entries and reset the counters. */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        entries.clear();
+        counters = ArtifactStats{};
+    }
+
+  private:
+    using Entry = std::shared_future<std::shared_ptr<const Value>>;
+
+    mutable std::mutex mutex;
+    std::map<Key, Entry> entries;
+    ArtifactStats counters;
+};
+
+} // namespace sgcn
+
+#endif // SGCN_SIM_KEYED_CACHE_HH

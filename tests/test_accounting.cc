@@ -11,6 +11,7 @@
 #include "accel/layer_engine.hh"
 #include "accel/personalities.hh"
 #include "accel/runner.hh"
+#include "accel/stream_artifacts.hh"
 #include "accel/workload.hh"
 #include "core/beicsr.hh"
 #include "formats/dense.hh"
@@ -42,17 +43,19 @@ struct TinyFixture : ::testing::Test
         ctx.outWidth = kWidth;
         ctx.inSparsity = sparsity;
         ctx.outSparsity = sparsity;
-        Rng in_rng(1), out_rng(2);
-        ctx.inMask = FeatureMask::random(kN, kWidth, sparsity, in_rng);
-        ctx.outMask =
-            FeatureMask::random(kN, kWidth, sparsity, out_rng);
-        ctx.inLayout =
-            makeLayout(config.format, kWidth, config.sliceC);
-        ctx.outLayout =
-            makeLayout(config.format, kWidth, config.sliceC);
-        ctx.inLayout->prepare(ctx.inMask, AddressMap::kFeatureInBase);
-        ctx.outLayout->prepare(ctx.outMask,
-                               AddressMap::kFeatureOutBase);
+        auto &artifacts = StreamArtifactCache::instance();
+        const auto in_mask =
+            artifacts.randomMask(kN, kWidth, sparsity, 1);
+        const auto out_mask =
+            artifacts.randomMask(kN, kWidth, sparsity, 2);
+        ctx.inMask = in_mask.mask;
+        ctx.outMask = out_mask.mask;
+        ctx.inLayout = artifacts.preparedLayout(
+            config.format, kWidth, config.sliceC, 0.5,
+            AddressMap::kFeatureInBase, in_mask);
+        ctx.outLayout = artifacts.preparedLayout(
+            config.format, kWidth, config.sliceC, 0.5,
+            AddressMap::kFeatureOutBase, out_mask);
         return ctx;
     }
 };
@@ -146,7 +149,7 @@ TEST_F(TinyFixture, MacCountsMatchOccupancy)
     std::uint64_t agg_macs = 0;
     for (VertexId v = 0; v < kN; ++v) {
         for (VertexId u : graph.neighbors(v))
-            agg_macs += ctx.inMask.rowNnz(u);
+            agg_macs += ctx.inMask->rowNnz(u);
     }
     // Combination MACs: dense GEMM.
     const std::uint64_t comb_macs =
@@ -204,7 +207,7 @@ TEST(FirstLayer, CsrInputBytesMatchNnz)
     std::uint64_t lines = 0;
     for (VertexId v = 0; v < cora.graph.numVertices(); ++v)
         lines += ctx.inLayout->planRowRead(v).totalLines();
-    const std::uint64_t nnz = ctx.inMask.totalNnz();
+    const std::uint64_t nnz = ctx.inMask->totalNnz();
     EXPECT_GE(lines, nnz * 8 / 64);
     EXPECT_LE(lines, nnz * 8 / 64 +
                          3ull * cora.graph.numVertices());

@@ -112,6 +112,29 @@ TEST(Replacement, RandomIsDeterministicAcrossRuns)
     EXPECT_EQ(run(), run());
 }
 
+TEST(Replacement, UseStampRenormalizationIsOrderPreserving)
+{
+    // Drive a cache whose use-stamp counter renormalizes every few
+    // accesses against one that never renormalizes within the test.
+    // Renormalization dense-ranks the live stamps (order-preserving,
+    // with stamp 0 reserved for invalid lines), so hit/miss behaviour
+    // — i.e. every LRU victim decision — must be unchanged.
+    auto run = [](std::uint32_t threshold) {
+        PolicyHarness h(ReplacementPolicy::Lru);
+        h.config.useStampRenormThreshold = threshold;
+        h.cache = std::make_unique<Cache>(h.config, h.dram, h.events);
+        Rng rng(23);
+        std::uint64_t hits = 0;
+        for (int i = 0; i < 4000; ++i) {
+            hits += h.touch(h.conflicting(rng.uniformInt(7))) ? 1 : 0;
+            hits <<= 1; // position-sensitive: orders must match too
+            hits += hits >> 48;
+        }
+        return hits;
+    };
+    EXPECT_EQ(run(16), run(0xffff'fff0u));
+}
+
 class PolicySweep
     : public ::testing::TestWithParam<ReplacementPolicy>
 {

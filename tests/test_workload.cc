@@ -31,16 +31,18 @@ TEST_F(WorkloadFixture, MaskSeedSharedAcrossAccelerators)
     LayerContext b = makeIntermediateLayer(dataset, dataset.graph,
                                            gcnax, net, 14);
     // Bit-identical masks: comparisons isolate the architecture.
-    EXPECT_EQ(a.inMask.totalNnz(), b.inMask.totalNnz());
+    EXPECT_EQ(a.inMask->totalNnz(), b.inMask->totalNnz());
+    // The sweep artifact cache makes sharing literal: one mask object.
+    EXPECT_EQ(a.inMask.get(), b.inMask.get());
     for (VertexId v = 0; v < 32; ++v)
-        EXPECT_EQ(a.inMask.rowNnz(v), b.inMask.rowNnz(v));
+        EXPECT_EQ(a.inMask->rowNnz(v), b.inMask->rowNnz(v));
 }
 
 TEST_F(WorkloadFixture, MaskMatchesModeledSparsity)
 {
     LayerContext ctx = makeIntermediateLayer(dataset, dataset.graph,
                                              makeSgcn(), net, 14);
-    EXPECT_NEAR(ctx.inMask.sparsity(),
+    EXPECT_NEAR(ctx.inMask->sparsity(),
                 modeledLayerSparsity(dataset.spec, 14, 28, true),
                 0.01);
 }
@@ -52,7 +54,7 @@ TEST_F(WorkloadFixture, OutputMaskIsNextLayerInput)
                                              config, net, 14);
     LayerContext l15 = makeIntermediateLayer(dataset, dataset.graph,
                                              config, net, 15);
-    EXPECT_EQ(l14.outMask.totalNnz(), l15.inMask.totalNnz());
+    EXPECT_EQ(l14.outMask->totalNnz(), l15.inMask->totalNnz());
 }
 
 TEST_F(WorkloadFixture, FormatsFollowPersonality)
@@ -94,7 +96,7 @@ TEST(WorkloadNell, OneHotInputMask)
     LayerContext ctx =
         makeInputLayer(nell, nell.graph, makeSgcn(), net);
     for (VertexId v = 0; v < 32; ++v)
-        EXPECT_EQ(ctx.inMask.rowNnz(v), 1u);
+        EXPECT_EQ(ctx.inMask->rowNnz(v), 1u);
     EXPECT_EQ(ctx.inLayout->kind(), FormatKind::Csr);
 }
 
