@@ -15,6 +15,11 @@
  *                        serial isolated-layer extrapolation). =tile
  *                        gates consumers on per-tile output
  *                        availability instead of whole-layer drains.
+ *   --chips N            shard each run over N chips (default 1,
+ *                        the monolithic bit-identical path)
+ *   --partition contiguous|edge-balanced
+ *                        multi-chip vertex partitioner policy
+ *   --link pcie4|noc     interconnect preset for halo exchanges
  */
 
 #ifndef SGCN_BENCH_BENCH_COMMON_HH
@@ -59,6 +64,16 @@ struct BenchOptions
             cli.getInt("jobs", ThreadPool::hardwareJobs()));
         applyPipelineFlag(options.run, cli.has("pipeline"),
                           cli.getString("pipeline", ""));
+        options.run.chips =
+            static_cast<unsigned>(cli.getInt("chips", 1));
+        options.run.partitionPolicy = partitionPolicyByName(
+            cli.getString("partition",
+                          partitionPolicyName(
+                              options.run.partitionPolicy)));
+        if (cli.has("link")) {
+            options.run.link =
+                linkByName(cli.getString("link", "pcie4"));
+        }
         options.scale = cli.scale();
 
         const std::string list = cli.getString("datasets", "");
@@ -92,6 +107,12 @@ banner(const char *figure, const BenchOptions &options)
                 options.run.pipelined()
                     ? (options.run.tileOverlap ? "tile" : "layer")
                     : "off");
+    if (options.run.chips > 1) {
+        std::printf("chips=%u partition=%s link=%s\n\n",
+                    options.run.chips,
+                    partitionPolicyName(options.run.partitionPolicy),
+                    options.run.link.name);
+    }
 }
 
 /** Index of the personality named @p name, for pulling a baseline

@@ -6,6 +6,14 @@
  * Paper anchors: near-linear scaling to ~8 engines, saturation
  * around 16 where the memory bandwidth runs out; HBM1 saturates
  * earlier at about half the speedup.
+ *
+ * With --chips N (N > 1) the harness switches to the multi-chip
+ * scale-out sweep instead: chip counts 1..N (powers of two), one
+ * sharded run each, reporting speedup over the monolithic run plus
+ * the halo-exchange volume and link occupancy that bound it.
+ *
+ * --datasets CR,CS,... sweeps several datasets (one table each);
+ * the legacy single --dataset flag still works and defaults to RD.
  */
 
 #include "bench_common.hh"
@@ -13,19 +21,62 @@
 using namespace sgcn;
 using namespace sgcn::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    Cli cli(argc, argv);
-    BenchOptions options = BenchOptions::fromCli(cli);
-    banner("Fig. 18 — engine scalability and memory type", options);
 
-    const std::string abbrev = cli.getString("dataset", "RD");
-    const Dataset dataset =
-        instantiateDataset(datasetByAbbrev(abbrev), options.scale);
+/** 1, 2, 4, ... capped at (and always including) @p max_chips. */
+std::vector<unsigned>
+chipCounts(unsigned max_chips)
+{
+    std::vector<unsigned> counts;
+    for (unsigned c = 1; c < max_chips; c *= 2)
+        counts.push_back(c);
+    counts.push_back(max_chips);
+    return counts;
+}
+
+void
+chipSweep(const DatasetSpec &spec, const BenchOptions &options)
+{
+    const Dataset dataset = instantiateDataset(spec, options.scale);
+    const std::vector<unsigned> counts = chipCounts(options.run.chips);
+
+    Table table("Fig. 18 scale-out: chips on " +
+                std::string(spec.abbrev) + " over " +
+                options.run.link.name);
+    table.header({"#chips", "cycles", "speedup", "halo V",
+                  "exchange MB", "link busy", "bottleneck chip"});
+
+    std::vector<RunResult> runs(counts.size());
+    parallelFor(options.run.jobs, counts.size(), [&](std::size_t i) {
+        RunOptions opts = options.run;
+        opts.chips = counts[i];
+        runs[i] = runNetwork(makeSgcn(), dataset, options.net, opts);
+    });
+
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const RunResult &run = runs[i];
+        table.row({std::to_string(counts[i]),
+                   std::to_string(run.total.cycles),
+                   Table::num(speedupOver(runs[0], run), 2),
+                   std::to_string(run.shard.haloVertices),
+                   Table::num(static_cast<double>(
+                                  run.shard.exchangeBytes) /
+                                  1e6,
+                              2),
+                   Table::percent(run.shard.linkBusyFraction),
+                   std::to_string(run.shard.bottleneckChipCycles)});
+    }
+    table.print();
+}
+
+void
+engineSweep(const DatasetSpec &spec, const BenchOptions &options)
+{
+    const Dataset dataset = instantiateDataset(spec, options.scale);
 
     Table table("Fig. 18: speedup vs 1 engine, and bandwidth "
-                "utilization (" + abbrev + ")");
+                "utilization (" + std::string(spec.abbrev) + ")");
     table.header({"#engines", "HBM2 speedup", "HBM2 BW util",
                   "HBM1 speedup", "HBM1 BW util"});
 
@@ -63,10 +114,43 @@ main(int argc, char **argv)
         table.row(row);
     }
     table.print();
+}
 
-    std::printf("\npaper: near-linear to ~8 engines; saturates around "
-                "16 at the memory bandwidth ceiling;\n"
-                "       HBM1 saturates at roughly half the HBM2 "
-                "speedup.\n");
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    BenchOptions options = BenchOptions::fromCli(cli);
+    banner("Fig. 18 — engine scalability and memory type", options);
+
+    // --datasets sweeps several; the legacy single --dataset flag
+    // (default RD, the paper's figure subject) still works.
+    std::vector<DatasetSpec> specs;
+    if (cli.has("datasets")) {
+        specs = options.datasets;
+    } else {
+        specs = {datasetByAbbrev(cli.getString("dataset", "RD"))};
+    }
+
+    for (const DatasetSpec &spec : specs) {
+        if (options.run.chips > 1)
+            chipSweep(spec, options);
+        else
+            engineSweep(spec, options);
+    }
+
+    if (options.run.chips > 1) {
+        std::printf("\nexpectation: speedup grows while compute "
+                    "dominates, then saturates once the\n"
+                    "             halo exchange binds the link "
+                    "(watch the link-busy column).\n");
+    } else {
+        std::printf("\npaper: near-linear to ~8 engines; saturates "
+                    "around 16 at the memory bandwidth ceiling;\n"
+                    "       HBM1 saturates at roughly half the HBM2 "
+                    "speedup.\n");
+    }
     return 0;
 }

@@ -39,8 +39,12 @@ AggFirstDataflow::runFast(EngineContext &ec, LayerResult &result) const
 
     for (unsigned t = 0; t < view->numDstTiles(); ++t) {
         const VertexId tile_begin = view->dstTileBegin(t);
-        const VertexId tile_end = view->dstTileEnd(t);
-        const VertexId rows = tile_end - tile_begin;
+        // Halo tail rows are empty sources: they sweep for free and
+        // produce no output, so combination covers owned rows only.
+        const VertexId tile_end =
+            std::min(view->dstTileEnd(t), ec.ownedEnd());
+        const VertexId rows =
+            tile_end > tile_begin ? tile_end - tile_begin : 0;
 
         EngineContext::TilePhase phase;
         const EngineContext::Snapshot agg_before = ec.snapshot();
@@ -138,8 +142,10 @@ AggFirstDataflow::runTiming(EngineContext &ec,
                 ctl->aggTrace.markEnd(ec.events.now());
                 ctl->tileTraces.markConsumeEnd(t, ec.events.now());
                 const VertexId tile_begin = view->dstTileBegin(t);
-                const VertexId tile_end = view->dstTileEnd(t);
-                const VertexId rows = tile_end - tile_begin;
+                const VertexId tile_end =
+                    std::min(view->dstTileEnd(t), ec.ownedEnd());
+                const VertexId rows =
+                    tile_end > tile_begin ? tile_end - tile_begin : 0;
                 const GemmCost gemm = ec.systolic.gemm(
                     rows, ec.layer.inWidth, ec.layer.outWidth,
                     ec.cfg.zeroSkipCombination ? ec.layer.inSparsity

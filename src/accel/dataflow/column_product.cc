@@ -83,10 +83,12 @@ ColumnProductDataflow::runFast(EngineContext &ec,
         ec.phaseCycles(gemm.cycles / ec.cfg.combEngines, comb_before);
     result.combCycles += comb_time;
 
-    // Residual initialization of the partial sums.
+    // Residual initialization of the partial sums (owned rows only:
+    // chip shards never accumulate outputs for their halo tail).
+    const VertexId owned = ec.ownedEnd();
     const EngineContext::Snapshot agg_before = ec.snapshot();
     if (ec.layer.residual && !ec.layer.isInputLayer) {
-        ec.streamDense(n, ec.layer.outWidth, MemOp::Read,
+        ec.streamDense(owned, ec.layer.outWidth, MemOp::Read,
                        TrafficClass::FeatureIn);
     }
 
@@ -176,7 +178,7 @@ ColumnProductDataflow::runFast(EngineContext &ec,
     ec.psumBuffer->flush();
     // ...and X^{l+1} is emitted once after activation.
     std::uint64_t serialized_write_lines = 0;
-    for (VertexId v = 0; v < n; ++v) {
+    for (VertexId v = 0; v < owned; ++v) {
         const AccessPlan write = out.planRowWrite(v);
         ec.streamPlan(write, MemOp::Write, TrafficClass::FeatureOut);
         if (!out.supportsParallelWrite())
@@ -232,9 +234,10 @@ ColumnProductDataflow::runTiming(EngineContext &ec,
                                TrafficClass::FeatureIn);
         }
     }
+    const VertexId owned = ec.ownedEnd();
     if (ec.layer.residual && !ec.layer.isInputLayer) {
         input_dma->addRegion(AddressMap::kResidualBase,
-                             static_cast<std::uint64_t>(n) *
+                             static_cast<std::uint64_t>(owned) *
                                  ec.denseRowLines(ec.layer.outWidth),
                              MemOp::Read, TrafficClass::FeatureIn);
     }
@@ -263,7 +266,7 @@ ColumnProductDataflow::runTiming(EngineContext &ec,
         // Dirty partial sums flush as the S^{l+1} writeback, then
         // the activated X^{l+1} streams out.
         ec.psumBuffer->flush();
-        for (VertexId v = 0; v < n; ++v) {
+        for (VertexId v = 0; v < owned; ++v) {
             out_dma->addPlan(out.planRowWrite(v), MemOp::Write,
                              TrafficClass::FeatureOut);
         }

@@ -132,6 +132,10 @@ std::uint64_t
 streamTileOutputFast(EngineContext &ec, VertexId begin, VertexId end,
                      const FeatureLayout &out)
 {
+    // Chip shards never drain their halo tail rows.
+    end = std::min(end, ec.ownedEnd());
+    if (begin >= end)
+        return 0;
     const VertexId rows = end - begin;
     const std::uint64_t s_lines = ec.denseRowLines(ec.layer.outWidth);
     if (ec.layer.residual && !ec.layer.isInputLayer) {
@@ -156,6 +160,10 @@ void
 queueTileOutputDma(EngineContext &ec, StreamDma &dma, VertexId begin,
                    VertexId end, const FeatureLayout &out)
 {
+    // Chip shards never drain their halo tail rows.
+    end = std::min(end, ec.ownedEnd());
+    if (begin >= end)
+        return;
     const VertexId rows = end - begin;
     const std::uint64_t s_lines = ec.denseRowLines(ec.layer.outWidth);
     const std::uint64_t s_stride = denseRowStride(ec.layer.outWidth);

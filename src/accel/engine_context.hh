@@ -120,6 +120,16 @@ struct EngineContext
     /** Two-stage tile pipeline: agg(t) overlaps comb(t-1). */
     static Cycle pipelineTiles(const std::vector<TilePhase> &tiles);
 
+    /** One past the last row this engine writes output for: the
+     *  layer's ownedRows on a chip shard (halo tail rows are
+     *  read-only sources), numVertices() on the monolithic path. */
+    VertexId
+    ownedEnd() const
+    {
+        return layer.ownedRows ? layer.ownedRows
+                               : layer.graph->numVertices();
+    }
+
     // -- state -----------------------------------------------------------
 
     const AccelConfig &cfg;

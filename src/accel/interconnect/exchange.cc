@@ -1,0 +1,54 @@
+#include "accel/interconnect/exchange.hh"
+
+#include <algorithm>
+
+#include "formats/format.hh"
+#include "sim/logging.hh"
+
+namespace sgcn
+{
+
+ExchangeCost
+priceHaloExchange(const GraphPartition &partition,
+                  std::span<const FeatureLayout *const> chip_in_layouts,
+                  const LinkConfig &link)
+{
+    const unsigned chips = partition.numChips();
+    SGCN_ASSERT(chip_in_layouts.size() == chips,
+                "one input layout per chip");
+
+    ExchangeCost cost;
+    cost.perChip.resize(chips);
+    for (unsigned c = 0; c < chips; ++c) {
+        const ChipShard &shard = partition.shard(c);
+        const FeatureLayout *layout = chip_in_layouts[c];
+        SGCN_ASSERT(layout != nullptr, "chip layout missing");
+        const VertexId owned = shard.ownedRows();
+        for (VertexId idx = 0; idx < shard.haloRows(); ++idx) {
+            const std::uint64_t bytes =
+                layout->planRowRead(owned + idx).totalLines() *
+                kCachelineBytes;
+            cost.perChip[c].inBytes += bytes;
+            const unsigned owner = partition.ownerOf(shard.halo[idx]);
+            SGCN_ASSERT(owner != c, "halo vertex owned locally");
+            cost.perChip[owner].outBytes += bytes;
+        }
+        cost.totalBytes += cost.perChip[c].inBytes;
+    }
+
+    if (cost.totalBytes == 0)
+        return cost;
+
+    for (const ChipExchange &port : cost.perChip) {
+        cost.busiestPortCycles =
+            std::max(cost.busiestPortCycles,
+                     link.serializationCycles(
+                         std::max(port.inBytes, port.outBytes)));
+    }
+    cost.cycles = static_cast<Cycle>(link.hops(chips)) *
+                      link.hopLatency +
+                  cost.busiestPortCycles;
+    return cost;
+}
+
+} // namespace sgcn

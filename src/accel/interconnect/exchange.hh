@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-layer halo-feature exchange pricing.
+ *
+ * Between layers, every chip must receive the feature rows of its
+ * halo vertices from their owner chips. The volume is priced from the
+ * *receiver's* prepared input layout — the same compressed layout the
+ * chip's aggregation engines will stream — so SGCN's feature
+ * compression shrinks exchange traffic exactly as it shrinks DRAM
+ * traffic, and dense baselines pay the dense volume.
+ */
+
+#ifndef SGCN_ACCEL_INTERCONNECT_EXCHANGE_HH
+#define SGCN_ACCEL_INTERCONNECT_EXCHANGE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/interconnect/link.hh"
+#include "graph/partition.hh"
+
+namespace sgcn
+{
+
+class FeatureLayout;
+
+/** One chip's traffic through its link port, both directions. */
+struct ChipExchange
+{
+    /** Halo-feature bytes this chip receives. */
+    std::uint64_t inBytes = 0;
+
+    /** Bytes this chip sends to other chips' halos. */
+    std::uint64_t outBytes = 0;
+};
+
+/** Priced halo exchange for one layer boundary. */
+struct ExchangeCost
+{
+    /** Per-chip port traffic, indexed by chip. */
+    std::vector<ChipExchange> perChip;
+
+    /** Total bytes crossing the link (sum of inBytes). */
+    std::uint64_t totalBytes = 0;
+
+    /** End-to-end exchange cycles: route latency plus the busiest
+     *  port's serialization. Zero when nothing crosses chips. */
+    Cycle cycles = 0;
+
+    /** Serialization cycles of the busiest port (link-busy metric:
+     *  busiestPortCycles / layer cycles). */
+    Cycle busiestPortCycles = 0;
+};
+
+/**
+ * Price the halo exchange feeding one layer.
+ *
+ * @param partition the chip partition
+ * @param chip_in_layouts per-chip prepared *input* layouts for the
+ *        layer about to run; chip c's halo rows live at local rows
+ *        [ownedRows, ownedRows + haloRows)
+ * @param link the interconnect
+ */
+ExchangeCost priceHaloExchange(
+    const GraphPartition &partition,
+    std::span<const FeatureLayout *const> chip_in_layouts,
+    const LinkConfig &link);
+
+} // namespace sgcn
+
+#endif // SGCN_ACCEL_INTERCONNECT_EXCHANGE_HH

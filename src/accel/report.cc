@@ -19,7 +19,10 @@ runResultCsvHeader()
            "tdp_w,area_mm2,pipelined,pipeline_gating,serial_cycles,"
            "overlap_saved_cycles,per_layer_cycles,per_tile_cycles,"
            "tile_saved_cycles,steady_advance_cycles,"
-           "critical_phase";
+           "critical_phase,chips,partition_policy,link,"
+           "halo_vertices,exchange_bytes,exchange_cycles,"
+           "link_busy_cycles,link_busy_frac,"
+           "bottleneck_chip_cycles";
 }
 
 std::string
@@ -51,7 +54,14 @@ runResultCsvRow(const RunResult &run)
        << run.pipeline.steadyStateAdvance << ','
        << (run.pipeline.enabled
                ? layerPhaseName(run.pipeline.criticalPhase)
-               : "");
+               : "")
+       << ',' << run.shard.chips << ','
+       << run.shard.partitionPolicy << ',' << run.shard.linkName
+       << ',' << run.shard.haloVertices << ','
+       << run.shard.exchangeBytes << ',' << run.shard.exchangeCycles
+       << ',' << run.shard.linkBusyCycles << ','
+       << run.shard.linkBusyFraction << ','
+       << run.shard.bottleneckChipCycles;
     return os.str();
 }
 
@@ -109,6 +119,20 @@ runResultStats(const RunResult &run)
         stats["pipeline.steady_advance_cycles"] =
             static_cast<double>(run.pipeline.steadyStateAdvance);
     }
+    if (run.shard.enabled) {
+        stats["shard.chips"] = static_cast<double>(run.shard.chips);
+        stats["shard.halo_vertices"] =
+            static_cast<double>(run.shard.haloVertices);
+        stats["shard.exchange_bytes"] =
+            static_cast<double>(run.shard.exchangeBytes);
+        stats["shard.exchange_cycles"] =
+            static_cast<double>(run.shard.exchangeCycles);
+        stats["shard.link_busy_cycles"] =
+            static_cast<double>(run.shard.linkBusyCycles);
+        stats["shard.link_busy_frac"] = run.shard.linkBusyFraction;
+        stats["shard.bottleneck_chip_cycles"] =
+            static_cast<double>(run.shard.bottleneckChipCycles);
+    }
     return stats;
 }
 
@@ -127,6 +151,90 @@ pipelineSummaryLine(const RunResult &run)
        << run.pipeline.steadyStateAdvance << "/layer, critical phase "
        << layerPhaseName(run.pipeline.criticalPhase) << ")";
     return os.str();
+}
+
+std::string
+shardSummaryLine(const RunResult &run)
+{
+    if (!run.shard.enabled)
+        return "";
+    std::ostringstream os;
+    os << run.accelName << ": " << run.shard.chips << " chips ("
+       << run.shard.partitionPolicy << " over " << run.shard.linkName
+       << "), " << run.shard.haloVertices << " halo vertices, "
+       << static_cast<double>(run.shard.exchangeBytes) / 1.0e6
+       << " MB exchanged in " << run.shard.exchangeCycles
+       << " cycles, link busy "
+       << run.shard.linkBusyFraction * 100.0
+       << "%, bottleneck chip " << run.shard.bottleneckChipCycles
+       << " cycles";
+    return os.str();
+}
+
+namespace
+{
+
+void
+writeLayerScheduleRows(std::ofstream &out, const RunResult &run,
+                       unsigned layer, const LayerSchedule &schedule)
+{
+    const auto phase = [&](LayerPhase p, const PhaseSpan &span) {
+        out << run.accelName << ',' << run.datasetAbbrev << ','
+            << layer << ",phase," << layerPhaseName(p) << ','
+            << span.start << ',' << span.end << ",\n";
+    };
+    phase(LayerPhase::InputDma, schedule.inputDma);
+    phase(LayerPhase::Aggregation, schedule.aggregation);
+    phase(LayerPhase::Combination, schedule.combination);
+    phase(LayerPhase::OutputDrain, schedule.outputDrain);
+    for (const TileSpan &span : schedule.tileSpans) {
+        out << run.accelName << ',' << run.datasetAbbrev << ','
+            << layer << ",tile," << span.tile << ','
+            << span.inputConsume.start << ',' << span.inputConsume.end
+            << ',' << span.outputReady << '\n';
+    }
+}
+
+void
+writeRunSchedule(std::ofstream &out, const RunResult &run,
+                 const std::vector<unsigned> &sampled_layers)
+{
+    if (run.inputLayer.schedule.criticalEnd() > 0)
+        writeLayerScheduleRows(out, run, 0, run.inputLayer.schedule);
+    for (std::size_t i = 0; i < run.sampledLayers.size(); ++i) {
+        const unsigned layer = i < sampled_layers.size()
+                                   ? sampled_layers[i]
+                                   : static_cast<unsigned>(i + 1);
+        writeLayerScheduleRows(out, run, layer,
+                               run.sampledLayers[i].schedule);
+    }
+}
+
+} // anonymous namespace
+
+void
+writeScheduleCsv(const RunResult &run,
+                 const std::vector<unsigned> &sampled_layers,
+                 const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write schedule CSV: ", path);
+    out << "accel,dataset,layer,record,name,start,end,ready\n";
+    writeRunSchedule(out, run, sampled_layers);
+}
+
+void
+writeSchedulesCsv(const std::vector<RunResult> &runs,
+                  const std::vector<unsigned> &sampled_layers,
+                  const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write schedule CSV: ", path);
+    out << "accel,dataset,layer,record,name,start,end,ready\n";
+    for (const RunResult &run : runs)
+        writeRunSchedule(out, run, sampled_layers);
 }
 
 } // namespace sgcn

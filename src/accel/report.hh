@@ -33,6 +33,27 @@ StatSet runResultStats(const RunResult &run);
 /** One-line pipelining summary ("" when the run was serial). */
 std::string pipelineSummaryLine(const RunResult &run);
 
+/** One-line multi-chip summary ("" when the run was monolithic). */
+std::string shardSummaryLine(const RunResult &run);
+
+/**
+ * Write the run's layer schedules as CSV (the ROADMAP Gantt export):
+ * one row per phase span and one per tile span of the input layer
+ * and every sampled intermediate layer. Columns: accel, dataset,
+ * layer (0 = input, else the architectural index), record
+ * ("phase"/"tile"), name (phase name or tile index), start, end,
+ * ready (tile rows only; empty for phases).
+ */
+void writeScheduleCsv(const RunResult &run,
+                      const std::vector<unsigned> &sampled_layers,
+                      const std::string &path);
+
+/** writeScheduleCsv over several runs into one file (the accel
+ *  column distinguishes them). */
+void writeSchedulesCsv(const std::vector<RunResult> &runs,
+                       const std::vector<unsigned> &sampled_layers,
+                       const std::string &path);
+
 } // namespace sgcn
 
 #endif // SGCN_ACCEL_REPORT_HH

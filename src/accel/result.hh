@@ -449,6 +449,48 @@ struct PipelineStats
     LayerPhase criticalPhase = LayerPhase::InputDma;
 };
 
+/**
+ * Summary of a sharded (multi-chip) run, filled by runNetwork when
+ * RunOptions::chips > 1. Exchange quantities are extrapolated
+ * full-network totals, matching RunResult::total's convention.
+ */
+struct ShardStats
+{
+    /** True when the run executed sharded. */
+    bool enabled = false;
+
+    /** Chips the network was sharded over. */
+    unsigned chips = 1;
+
+    /** Partitioner policy name ("contiguous"/"edge-balanced"). */
+    std::string partitionPolicy;
+
+    /** Link preset name ("PCIe4"/"NoC"). */
+    std::string linkName;
+
+    /** Halo vertices summed over chips (structural volume). */
+    std::uint64_t haloVertices = 0;
+
+    /** Halo-feature bytes crossing the link, whole network. */
+    std::uint64_t exchangeBytes = 0;
+
+    /** Cycles spent in exchange phases, whole network. */
+    Cycle exchangeCycles = 0;
+
+    /** Busiest-port serialization cycles, whole network. */
+    Cycle linkBusyCycles = 0;
+
+    /** linkBusyCycles / total cycles: how hard the link binds. */
+    double linkBusyFraction = 0.0;
+
+    /** Per-chip compute cycles (extrapolated), indexed by chip. */
+    std::vector<Cycle> chipCycles;
+
+    /** Largest entry of chipCycles (the per-layer bottleneck chips
+     *  summed, so it can exceed any single chip's total). */
+    Cycle bottleneckChipCycles = 0;
+};
+
 /** Outcome of a whole-network simulation. */
 struct RunResult
 {
@@ -466,6 +508,9 @@ struct RunResult
 
     /** Inter-layer pipelining summary (enabled=false when off). */
     PipelineStats pipeline;
+
+    /** Multi-chip sharding summary (enabled=false when chips=1). */
+    ShardStats shard;
 
     /** Dynamic energy and peak power. */
     EnergyBreakdown energy;

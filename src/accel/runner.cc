@@ -1,8 +1,12 @@
 #include "accel/runner.hh"
 
+#include <algorithm>
+
 #include "accel/dataflow/registry.hh"
+#include "accel/interconnect/exchange.hh"
 #include "accel/layer_engine.hh"
 #include "accel/pipeline/layer_pipeline.hh"
+#include "accel/pipeline/shard_timeline.hh"
 #include "accel/stream_artifacts.hh"
 #include "gcn/sparsity_model.hh"
 #include "graph/preprocess_cache.hh"
@@ -42,6 +46,201 @@ chainSampledSchedules(const RunResult &run, unsigned arch_intermediate,
     for (unsigned i = 0; i < strata; ++i)
         pipeline.append(run.sampledLayers[i].schedule, repeats);
     return pipeline.schedule();
+}
+
+/** One sharded layer: composed timeline + its exchange breakdown. */
+struct ShardedLayer
+{
+    LayerResult merged;
+    ExchangeCost exchange;
+    std::vector<Cycle> chipCycles;
+};
+
+/**
+ * Run one layer on every chip of @p partition — contexts built
+ * serially (they share global masks through the artifact cache), the
+ * halo exchange priced off the chip input layouts, the chip engines
+ * fanned over the jobs pool — and compose the results onto the
+ * shared timeline. @p arch_layer 0 is the input layer.
+ */
+ShardedLayer
+runShardedLayer(const AccelConfig &config, const Dataset &dataset,
+                const NetworkSpec &net, const RunOptions &opts,
+                const GraphPartition &partition, unsigned arch_layer)
+{
+    const unsigned chips = partition.numChips();
+    std::vector<LayerContext> contexts;
+    contexts.reserve(chips);
+    for (unsigned c = 0; c < chips; ++c) {
+        contexts.push_back(
+            arch_layer == 0
+                ? makeChipInputLayer(dataset, partition, c, config,
+                                     net)
+                : makeChipIntermediateLayer(dataset, partition, c,
+                                            config, net, arch_layer));
+    }
+
+    std::vector<const FeatureLayout *> in_layouts;
+    in_layouts.reserve(chips);
+    for (const LayerContext &ctx : contexts)
+        in_layouts.push_back(ctx.inLayout.get());
+
+    ShardedLayer out;
+    out.exchange = priceHaloExchange(partition, in_layouts, opts.link);
+
+    std::vector<LayerResult> chip_results(chips);
+    parallelFor(opts.jobs, chips, [&](std::size_t c) {
+        LayerEngine engine(config, contexts[c]);
+        chip_results[c] = engine.run(opts.mode);
+    });
+
+    out.chipCycles.reserve(chips);
+    for (const LayerResult &chip : chip_results)
+        out.chipCycles.push_back(chip.cycles);
+    out.merged = composeChipLayers(chip_results, out.exchange).merged;
+    return out;
+}
+
+/** The chips > 1 body of runNetwork; see RunOptions::chips. */
+RunResult
+runNetworkSharded(const AccelConfig &config, const Dataset &dataset,
+                  const NetworkSpec &net, const RunOptions &opts)
+{
+    RunResult run;
+    run.accelName = config.name;
+    run.datasetAbbrev = dataset.spec.abbrev;
+
+    std::shared_ptr<const CsrGraph> reordered;
+    const CsrGraph *graph = &dataset.graph;
+    if (config.islandReorder) {
+        reordered = PreprocessCache::instance().islandized(
+            dataset.graph);
+        graph = reordered.get();
+    }
+
+    const unsigned chips = static_cast<unsigned>(
+        std::min<std::uint64_t>(opts.chips, graph->numVertices()));
+    const auto partition = StreamArtifactCache::instance().partition(
+        *graph, chips, opts.partitionPolicy);
+
+    ShardStats &shard = run.shard;
+    shard.enabled = true;
+    shard.chips = chips;
+    shard.partitionPolicy = partitionPolicyName(opts.partitionPolicy);
+    shard.linkName = opts.link.name;
+    shard.haloVertices = partition->totalHaloVertices();
+    shard.chipCycles.assign(chips, 0);
+
+    // Exchange and per-chip totals follow run.total's extrapolation
+    // convention: input layer counted once, sampled intermediate
+    // layers scaled to the architectural depth.
+    const auto account = [&shard](const ShardedLayer &layer,
+                                  double scale) {
+        shard.exchangeBytes += static_cast<std::uint64_t>(
+            static_cast<double>(layer.exchange.totalBytes) * scale);
+        shard.exchangeCycles += static_cast<Cycle>(
+            static_cast<double>(layer.exchange.cycles) * scale);
+        shard.linkBusyCycles += static_cast<Cycle>(
+            static_cast<double>(layer.exchange.busiestPortCycles) *
+            scale);
+        for (unsigned c = 0; c < shard.chips; ++c) {
+            shard.chipCycles[c] += static_cast<Cycle>(
+                static_cast<double>(layer.chipCycles[c]) * scale);
+        }
+    };
+
+    if (opts.includeInputLayer) {
+        const ShardedLayer layer = runShardedLayer(
+            config, dataset, net, opts, *partition, 0);
+        run.inputLayer = layer.merged;
+        run.total.merge(run.inputLayer);
+        account(layer, 1.0);
+    }
+
+    const unsigned arch_intermediate = net.layers - 1;
+    const auto indices = sampleLayerIndices(
+        arch_intermediate, opts.sampledIntermediateLayers);
+    const double repeats = static_cast<double>(arch_intermediate) /
+                           static_cast<double>(indices.size());
+    LayerResult sampled_sum;
+    for (unsigned idx : indices) {
+        const ShardedLayer layer = runShardedLayer(
+            config, dataset, net, opts, *partition, idx + 1);
+        run.sampledLayers.push_back(layer.merged);
+        sampled_sum.merge(layer.merged);
+        account(layer, repeats);
+    }
+    sampled_sum.scale(repeats);
+    run.total.merge(sampled_sum);
+
+    if (opts.pipelined()) {
+        // Identical chaining to the monolithic path: the composed
+        // schedules satisfy criticalEnd() == cycles, and their
+        // exchange rides the input-DMA prefix, so the pipeline hides
+        // it behind the previous layer's drain where it fits.
+        const NetworkSchedule layer_sched = chainSampledSchedules(
+            run, arch_intermediate, opts.includeInputLayer,
+            PipelineGating::PerLayer);
+        const NetworkSchedule tile_sched = chainSampledSchedules(
+            run, arch_intermediate, opts.includeInputLayer,
+            PipelineGating::PerTile);
+        SGCN_ASSERT(layer_sched.totalCycles <= run.total.cycles,
+                    "pipelined sharded total exceeds its serial total");
+        SGCN_ASSERT(tile_sched.totalCycles <= layer_sched.totalCycles,
+                    "per-tile sharded total exceeds per-layer total");
+        const NetworkSchedule &sched =
+            opts.tileOverlap ? tile_sched : layer_sched;
+        run.pipeline.enabled = true;
+        run.pipeline.gating = opts.tileOverlap
+                                  ? PipelineGating::PerTile
+                                  : PipelineGating::PerLayer;
+        run.pipeline.serialCycles = run.total.cycles;
+        run.pipeline.pipelinedCycles = sched.totalCycles;
+        run.pipeline.overlapSavedCycles =
+            run.total.cycles - sched.totalCycles;
+        run.pipeline.perLayerCycles = layer_sched.totalCycles;
+        run.pipeline.perTileCycles = tile_sched.totalCycles;
+        run.pipeline.tileSavedCycles =
+            layer_sched.totalCycles - tile_sched.totalCycles;
+        const PipelinedLayer &bottleneck = sched.bottleneckStage();
+        run.pipeline.steadyStateAdvance = bottleneck.steadyCost();
+        run.pipeline.criticalPhase =
+            bottleneck.schedule.longestPhase();
+        run.total.cycles = sched.totalCycles;
+    }
+
+    shard.bottleneckChipCycles = *std::max_element(
+        shard.chipCycles.begin(), shard.chipCycles.end());
+    if (run.total.cycles > 0) {
+        // Every chip owns a private memory stack: the summed traffic
+        // spreads over chips x channels.
+        run.total.bwUtil = std::min(
+            1.0, static_cast<double>(run.total.traffic.totalLines()) *
+                     config.dram.burstCycles /
+                     (static_cast<double>(chips) *
+                      static_cast<double>(config.dram.channels) *
+                      static_cast<double>(run.total.cycles)));
+        shard.linkBusyFraction = std::min(
+            1.0, static_cast<double>(shard.linkBusyCycles) /
+                     static_cast<double>(run.total.cycles));
+    }
+
+    EnergyModel energy_model(
+        {}, config.dram.generation == DramGeneration::Hbm1);
+    RunCounts counts;
+    counts.macs = run.total.macs;
+    counts.cacheAccesses = run.total.cacheAccesses;
+    counts.dramLines = run.total.traffic.totalLines();
+    counts.cycles = run.total.cycles;
+    AccelDescriptor desc = config.energyDesc;
+    desc.cacheKb =
+        static_cast<double>(config.cache.sizeBytes) / 1024.0;
+    run.energy = energy_model.dynamicEnergy(counts, desc.cacheKb);
+    // TDP and area replicate per chip; dynamic energy already sums
+    // through the per-chip counts.
+    run.tdpWatts = energy_model.tdpWatts(desc) * chips;
+    run.areaMm2 = energy_model.areaMm2(desc) * chips;
+    return run;
 }
 
 } // namespace
@@ -85,6 +284,11 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
     dataflowFor(LayerEngine::effectiveDataflow(config, false));
     if (opts.includeInputLayer)
         dataflowFor(LayerEngine::effectiveDataflow(config, true));
+
+    // The sharded path is a separate body so chips=1 stays
+    // bit-identical to the monolithic code below by construction.
+    if (opts.chips > 1)
+        return runNetworkSharded(config, dataset, net, opts);
 
     RunResult run;
     run.accelName = config.name;

@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/interconnect/link.hh"
 #include "accel/result.hh"
 #include "gcn/spec.hh"
 #include "graph/datasets.hh"
+#include "graph/partition.hh"
 
 namespace sgcn
 {
@@ -83,6 +85,23 @@ struct RunOptions
      * hosts embedding the library) to bound the resident footprint.
      */
     bool releaseArtifacts = false;
+
+    /**
+     * Simulated accelerator chips. 1 (the default) is the monolithic
+     * path, bit-identical to every release before the sharded
+     * refactor. N > 1 partitions the graph with partitionPolicy,
+     * runs every layer on all chips concurrently (fanned over the
+     * same jobs pool), and composes the per-chip timelines with a
+     * halo-feature exchange over `link` between layers. Clamped to
+     * the vertex count. RunResult::shard reports the breakdown.
+     */
+    unsigned chips = 1;
+
+    /** How the multi-chip partitioner cuts the vertex space. */
+    PartitionPolicy partitionPolicy = PartitionPolicy::EdgeBalanced;
+
+    /** The interconnect the chips exchange halo features over. */
+    LinkConfig link = LinkConfig::pcie4();
 
     /** Whether any inter-layer pipelining (either gating) is on. */
     bool pipelined() const { return interLayerOverlap || tileOverlap; }

@@ -1,6 +1,7 @@
 #include "accel/stream_artifacts.hh"
 
 #include "core/beicsr.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace sgcn
@@ -127,6 +128,92 @@ StreamArtifactCache::tiledView(
     return std::shared_ptr<const TiledGraphView>(holder, &holder->view);
 }
 
+std::shared_ptr<const GraphPartition>
+StreamArtifactCache::partition(const CsrGraph &graph, unsigned chips,
+                               PartitionPolicy policy)
+{
+    const auto [lo, hi] = graph.contentFingerprint();
+    return partitions.lookup(
+        PartitionKey{lo, hi, chips,
+                     static_cast<std::uint8_t>(policy)},
+        [&] {
+            return std::make_shared<const GraphPartition>(graph, chips,
+                                                          policy);
+        },
+        [](const GraphPartition &p) { return p.footprintBytes(); });
+}
+
+namespace
+{
+
+/** splitMix64 mixing step for derived-key digests. */
+std::uint64_t
+mix64(std::uint64_t state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    state = (state ^ (state >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    state = (state ^ (state >> 27)) * 0x94d049bb133111ebULL;
+    return state ^ (state >> 31);
+}
+
+} // namespace
+
+StreamArtifactCache::MaskHandle
+StreamArtifactCache::chipMask(const MaskHandle &parent,
+                              const GraphPartition &partition,
+                              unsigned chip, bool include_halo)
+{
+    SGCN_ASSERT(parent, "chip mask needs a parent mask");
+    SGCN_ASSERT(chip < partition.numChips(), "chip out of range");
+    const ChipShard &shard = partition.shard(chip);
+    const auto total = static_cast<std::uint32_t>(shard.ownedRows() +
+                                                  shard.haloRows());
+
+    // Digest the parent key and the partition identity into the
+    // sparsity/seed slots: two chained splitMix64 streams over the
+    // same inputs from different initial states, so distinct inputs
+    // collide only if both 64-bit streams collide.
+    const auto [fp_lo, fp_hi] = partition.parentFingerprint();
+    const std::uint64_t inputs[] = {
+        static_cast<std::uint64_t>(std::get<0>(parent.key)),
+        std::get<1>(parent.key),
+        std::get<2>(parent.key),
+        std::get<3>(parent.key),
+        std::get<4>(parent.key),
+        fp_lo,
+        fp_hi,
+        static_cast<std::uint64_t>(partition.numChips()),
+        static_cast<std::uint64_t>(partition.policy()),
+        chip,
+        include_halo ? 1u : 0u,
+    };
+    std::uint64_t lo = 0x243f6a8885a308d3ULL;
+    std::uint64_t hi = 0x13198a2e03707344ULL;
+    for (std::uint64_t value : inputs) {
+        lo = mix64(lo ^ value);
+        hi = mix64(hi + value);
+    }
+
+    const MaskKey key{static_cast<std::uint8_t>(MaskKind::ChipGather),
+                      total, std::get<2>(parent.key), lo, hi};
+    auto mask = masks.lookup(
+        key,
+        [&]() -> std::shared_ptr<const FeatureMask> {
+            std::vector<VertexId> rows;
+            rows.reserve(include_halo ? total : shard.ownedRows());
+            for (VertexId v = shard.begin; v < shard.end; ++v)
+                rows.push_back(v);
+            if (include_halo) {
+                rows.insert(rows.end(), shard.halo.begin(),
+                            shard.halo.end());
+            }
+            return std::make_shared<const FeatureMask>(
+                FeatureMask::gatherRows(*parent.mask, rows, total));
+        },
+        [](const FeatureMask &m) { return m.footprintBytes(); });
+    return MaskHandle{std::move(mask), key};
+}
+
 std::shared_ptr<const std::vector<VertexId>>
 StreamArtifactCache::degreeOrder(const CsrGraph &graph)
 {
@@ -172,6 +259,7 @@ StreamArtifactCache::stats() const
     merged += views.stats();
     merged += degreeOrders.stats();
     merged += sageFractions.stats();
+    merged += partitions.stats();
     return merged;
 }
 
@@ -185,6 +273,7 @@ StreamArtifactCache::clear()
     layouts.clear();
     degreeOrders.clear();
     sageFractions.clear();
+    partitions.clear();
     masks.clear();
     graphs.clear();
 }

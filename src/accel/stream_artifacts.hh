@@ -49,6 +49,11 @@ class StreamArtifactCache
         Random,
         OneHot,
         Full,
+
+        /** Chip-local gather of a parent mask's rows (sharded runs).
+         *  Identified by a digest of the parent key + partition
+         *  identity in the sparsity/seed key slots. */
+        ChipGather,
     };
 
     /** Exact mask identity: (kind, rows, cols, sparsity bits, seed). */
@@ -117,6 +122,29 @@ class StreamArtifactCache
     tiledView(const std::shared_ptr<const CsrGraph> &graph,
               VertexId dst_span, VertexId src_span);
 
+    /**
+     * The @p chips-way partition of @p graph under @p policy,
+     * computed once per (topology, chips, policy) per sweep and
+     * shared across every personality and chip engine.
+     */
+    std::shared_ptr<const GraphPartition>
+    partition(const CsrGraph &graph, unsigned chips,
+              PartitionPolicy policy);
+
+    /**
+     * The chip-local slice of @p parent for @p chip of
+     * @p partition: rows [0, ownedRows) copy the chip's owned parent
+     * rows, and — when @p include_halo — rows
+     * [ownedRows, ownedRows + haloRows) copy the halo sources'
+     * parent rows (otherwise they stay all-zero, the shape of a chip
+     * *output* mask). The handle's key digests the parent key and
+     * the partition identity, so chip layouts prepared against it
+     * never alias global ones.
+     */
+    MaskHandle chipMask(const MaskHandle &parent,
+                        const GraphPartition &partition, unsigned chip,
+                        bool include_halo);
+
     /** Vertices of @p graph sorted by descending degree (EnGN DAVC
      *  pin order), computed once per topology per sweep. */
     std::shared_ptr<const std::vector<VertexId>>
@@ -166,6 +194,8 @@ class StreamArtifactCache
     using ViewKey = std::tuple<std::uint64_t, std::uint64_t, VertexId,
                                VertexId>;
     using SageKey = std::tuple<std::uint64_t, std::uint64_t, unsigned>;
+    using PartitionKey = std::tuple<std::uint64_t, std::uint64_t,
+                                    unsigned, std::uint8_t>;
 
     MaskHandle maskFor(const MaskKey &key);
 
@@ -175,6 +205,7 @@ class StreamArtifactCache
     KeyedCache<ViewKey, TiledView> views;
     KeyedCache<GraphKey, std::vector<VertexId>> degreeOrders;
     KeyedCache<SageKey, double> sageFractions;
+    KeyedCache<PartitionKey, GraphPartition> partitions;
 };
 
 } // namespace sgcn

@@ -40,6 +40,24 @@ fillCommon(LayerContext &ctx, const CsrGraph &graph,
     }
 }
 
+/** fillCommon for a chip shard: the shard already owns its shared
+ *  subgraph, so it needs no canonicalization round-trip. */
+void
+fillChipCommon(LayerContext &ctx, const ChipShard &shard,
+               const NetworkSpec &net)
+{
+    ctx.graphOwner = shard.graph;
+    ctx.graph = ctx.graphOwner.get();
+    ctx.residual = net.residual;
+    ctx.edgeBytes = net.edgeBytes();
+    ctx.ownedRows = shard.ownedRows();
+    if (net.agg == AggKind::Sage) {
+        ctx.edgeSampleFraction =
+            StreamArtifactCache::instance().sageEdgeFraction(
+                *ctx.graph, net.sageFanout);
+    }
+}
+
 } // namespace
 
 LayerContext
@@ -120,6 +138,113 @@ makeInputLayer(const Dataset &dataset, const CsrGraph &graph,
     // they are ultra-sparse (SVII-B). The output is always the
     // personality's intermediate format. Input layouts keep the
     // default expected density (no offline estimate exists for X^0).
+    const bool sparse_input =
+        config.firstLayerSparseInput && ctx.inSparsity > 0.90;
+    const FormatKind in_format =
+        sparse_input ? FormatKind::Csr : FormatKind::Dense;
+    ctx.inLayout = artifacts.preparedLayout(
+        in_format, ctx.inWidth, config.sliceC, 0.5,
+        AddressMap::kFeatureInBase, in_mask);
+    ctx.outLayout = artifacts.preparedLayout(
+        config.format, ctx.outWidth, config.sliceC, 0.5,
+        AddressMap::kFeatureOutBase, out_mask);
+    return ctx;
+}
+
+LayerContext
+makeChipIntermediateLayer(const Dataset &dataset,
+                          const GraphPartition &partition,
+                          unsigned chip, const AccelConfig &config,
+                          const NetworkSpec &net, unsigned arch_layer)
+{
+    SGCN_ASSERT(arch_layer >= 1 && arch_layer < net.layers,
+                "intermediate layer index out of range: ", arch_layer);
+    const ChipShard &shard = partition.shard(chip);
+
+    LayerContext ctx;
+    fillChipCommon(ctx, shard, net);
+    ctx.isInputLayer = false;
+    ctx.inWidth = net.hidden;
+    ctx.outWidth = net.hidden;
+    ctx.inSparsity = modeledLayerSparsity(dataset.spec, arch_layer,
+                                          net.layers, net.residual);
+    const unsigned out_layer = std::min(arch_layer + 1, net.layers);
+    ctx.outSparsity = modeledLayerSparsity(dataset.spec, out_layer,
+                                           net.layers, net.residual);
+
+    // The global masks (same keys as the monolithic path, so every
+    // chip and every personality share one copy), sliced to this
+    // chip's rows: the input covers owned + halo, the output covers
+    // owned rows only (the tail stays zero — the chip never writes
+    // halo outputs).
+    auto &artifacts = StreamArtifactCache::instance();
+    const VertexId n = partition.numVertices();
+    const auto in_global = artifacts.randomMask(
+        n, ctx.inWidth, ctx.inSparsity,
+        maskSeed(dataset.spec, arch_layer));
+    const auto out_global = artifacts.randomMask(
+        n, ctx.outWidth, ctx.outSparsity,
+        maskSeed(dataset.spec, arch_layer + 1));
+    const auto in_mask = artifacts.chipMask(in_global, partition, chip,
+                                            /*include_halo=*/true);
+    const auto out_mask = artifacts.chipMask(out_global, partition,
+                                             chip,
+                                             /*include_halo=*/false);
+    ctx.inMask = in_mask.mask;
+    ctx.outMask = out_mask.mask;
+
+    const double expected_density =
+        1.0 - modeledAvgSparsity(dataset.spec, net.layers,
+                                 net.residual);
+    ctx.inLayout = artifacts.preparedLayout(
+        config.format, ctx.inWidth, config.sliceC, expected_density,
+        AddressMap::kFeatureInBase, in_mask);
+    ctx.outLayout = artifacts.preparedLayout(
+        config.format, ctx.outWidth, config.sliceC, expected_density,
+        AddressMap::kFeatureOutBase, out_mask);
+    return ctx;
+}
+
+LayerContext
+makeChipInputLayer(const Dataset &dataset,
+                   const GraphPartition &partition, unsigned chip,
+                   const AccelConfig &config, const NetworkSpec &net)
+{
+    const ChipShard &shard = partition.shard(chip);
+
+    LayerContext ctx;
+    fillChipCommon(ctx, shard, net);
+    ctx.isInputLayer = true;
+    ctx.inWidth = dataset.inputWidth;
+    ctx.outWidth = net.hidden;
+    ctx.inSparsity = dataset.spec.inputSparsity;
+    ctx.outSparsity = modeledLayerSparsity(dataset.spec, 1, net.layers,
+                                           net.residual);
+
+    auto &artifacts = StreamArtifactCache::instance();
+    const VertexId n = partition.numVertices();
+    StreamArtifactCache::MaskHandle in_global;
+    if (dataset.spec.oneHotInput) {
+        in_global = artifacts.oneHotMask(n, ctx.inWidth,
+                                         maskSeed(dataset.spec, 0));
+        ctx.inSparsity = in_global->sparsity();
+    } else {
+        in_global = artifacts.randomMask(n, ctx.inWidth,
+                                         ctx.inSparsity,
+                                         maskSeed(dataset.spec, 0));
+    }
+    const auto out_global = artifacts.randomMask(
+        n, ctx.outWidth, ctx.outSparsity, maskSeed(dataset.spec, 1));
+    const auto in_mask = artifacts.chipMask(in_global, partition, chip,
+                                            /*include_halo=*/true);
+    const auto out_mask = artifacts.chipMask(out_global, partition,
+                                             chip,
+                                             /*include_halo=*/false);
+    ctx.inMask = in_mask.mask;
+    ctx.outMask = out_mask.mask;
+
+    // Format decision keys on the *global* input sparsity, matching
+    // the monolithic path, so every chip agrees on the layout kind.
     const bool sparse_input =
         config.firstLayerSparseInput && ctx.inSparsity > 0.90;
     const FormatKind in_format =

@@ -18,6 +18,7 @@
 #include "gcn/feature_matrix.hh"
 #include "gcn/spec.hh"
 #include "graph/datasets.hh"
+#include "graph/partition.hh"
 
 namespace sgcn
 {
@@ -78,6 +79,13 @@ struct LayerContext
     /** Effective average degree multiplier (GraphSAGE sampling
      *  reduces the edges actually walked). */
     double edgeSampleFraction = 1.0;
+
+    /** Rows this engine owns the *output* of: 0 means all (the
+     *  monolithic path). On a chip shard the first ownedRows rows are
+     *  owned destinations and the tail rows are halo sources the chip
+     *  reads but never writes — output-side streams (drain, residual,
+     *  combination of aggregated rows) clamp to this. */
+    VertexId ownedRows = 0;
 };
 
 /**
@@ -101,6 +109,28 @@ LayerContext makeInputLayer(const Dataset &dataset,
                             const CsrGraph &graph,
                             const AccelConfig &config,
                             const NetworkSpec &net);
+
+/**
+ * Chip-local variant of makeIntermediateLayer for sharded runs: the
+ * shard's renumbered subgraph, the *global* layer masks sliced to
+ * (owned + halo) rows bit-exactly, and ownedRows set so output-side
+ * streams stop at the chip boundary. Masks and layouts resolve
+ * through the stream-artifact cache, so chips sharing a boundary
+ * never regenerate the global masks.
+ */
+LayerContext makeChipIntermediateLayer(const Dataset &dataset,
+                                       const GraphPartition &partition,
+                                       unsigned chip,
+                                       const AccelConfig &config,
+                                       const NetworkSpec &net,
+                                       unsigned arch_layer);
+
+/** Chip-local variant of makeInputLayer. */
+LayerContext makeChipInputLayer(const Dataset &dataset,
+                                const GraphPartition &partition,
+                                unsigned chip,
+                                const AccelConfig &config,
+                                const NetworkSpec &net);
 
 /** Deterministic mask seed shared by all accelerators. */
 std::uint64_t maskSeed(const DatasetSpec &spec, unsigned arch_layer);

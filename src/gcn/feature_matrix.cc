@@ -182,6 +182,25 @@ FeatureMask::fromDense(const DenseMatrix &matrix)
     return mask;
 }
 
+FeatureMask
+FeatureMask::gatherRows(const FeatureMask &src,
+                        std::span<const VertexId> rows,
+                        std::uint32_t total_rows)
+{
+    SGCN_ASSERT(rows.size() <= total_rows,
+                "gather cannot exceed the destination");
+    FeatureMask mask(total_rows, src.numCols);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        SGCN_ASSERT(rows[i] < src.numRows, "gather row out of range");
+        std::copy_n(src.words.data() +
+                        static_cast<std::size_t>(rows[i]) *
+                            src.wordsPerRow,
+                    src.wordsPerRow,
+                    mask.words.data() + i * mask.wordsPerRow);
+    }
+    return mask;
+}
+
 DenseMatrix
 generateFeatures(std::uint32_t rows, std::uint32_t cols,
                  double sparsity, Rng &rng)

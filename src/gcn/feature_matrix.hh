@@ -14,6 +14,7 @@
 #define SGCN_GCN_FEATURE_MATRIX_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/rng.hh"
@@ -120,6 +121,16 @@ class FeatureMask
 
     /** Mask of the exactly-zero structure of @p matrix. */
     static FeatureMask fromDense(const DenseMatrix &matrix);
+
+    /**
+     * Gather rows of @p src into a new mask of @p total_rows rows:
+     * destination row i copies src row rows[i]; rows beyond
+     * rows.size() stay all-zero. Chip shards use this to slice the
+     * global layer mask into (owned + halo) local masks bit-exactly.
+     */
+    static FeatureMask gatherRows(const FeatureMask &src,
+                                  std::span<const VertexId> rows,
+                                  std::uint32_t total_rows);
 
     /** Host-memory footprint in bytes (artifact-cache accounting). */
     std::uint64_t

@@ -110,6 +110,34 @@ CsrGraph::CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
     computeFingerprint();
 }
 
+CsrGraph
+CsrGraph::fromCsrArrays(VertexId num_vertices,
+                        std::vector<EdgeId> row_ptr,
+                        std::vector<VertexId> col_idx,
+                        std::vector<float> weights, EdgeId self_loops)
+{
+    SGCN_ASSERT(num_vertices > 0, "graph needs at least one vertex");
+    SGCN_ASSERT(row_ptr.size() ==
+                    static_cast<std::size_t>(num_vertices) + 1,
+                "row pointer array size mismatch");
+    SGCN_ASSERT(row_ptr.front() == 0 &&
+                    row_ptr.back() == col_idx.size() &&
+                    col_idx.size() == weights.size(),
+                "CSR array sizes inconsistent");
+    CsrGraph graph;
+    graph.n = num_vertices;
+    graph.selfLoops = self_loops;
+    graph.rowPtr = std::move(row_ptr);
+    graph.colIdx = std::move(col_idx);
+    graph.edgeWeight = std::move(weights);
+    for (VertexId v = 0; v < graph.n; ++v) {
+        SGCN_ASSERT(graph.rowPtr[v] <= graph.rowPtr[v + 1],
+                    "row pointers must be monotone");
+    }
+    graph.computeFingerprint();
+    return graph;
+}
+
 double
 CsrGraph::avgDegree() const
 {

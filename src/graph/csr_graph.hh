@@ -43,6 +43,22 @@ class CsrGraph
     CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
              bool undirected = true, bool self_loops = true);
 
+    /**
+     * Build directly from CSR arrays, preserving the given edge
+     * weights instead of recomputing the normalization. Chip
+     * subgraphs use this: their rows are verbatim slices of a parent
+     * graph whose weights were normalized against the *parent*
+     * degrees, which a subgraph rebuild could not reproduce.
+     *
+     * @param self_loops number of (v, v) entries present in
+     *        @p col_idx, for numEdgesNoSelfLoops() accounting.
+     */
+    static CsrGraph fromCsrArrays(VertexId num_vertices,
+                                  std::vector<EdgeId> row_ptr,
+                                  std::vector<VertexId> col_idx,
+                                  std::vector<float> weights,
+                                  EdgeId self_loops);
+
     /** Number of vertices. */
     VertexId numVertices() const { return n; }
 

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The sharded (multi-chip) run path. The load-bearing contract is
+ * bit-identity of chips=1 with the monolithic path for every
+ * personality, dataset fixture, and execution mode; on top of that
+ * the sharded path itself must be deterministic under the jobs>1
+ * chip fan-out (this binary carries the "thread" ctest label and
+ * runs under the ThreadSanitizer CI job), and the shard statistics
+ * must be internally consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/personalities.hh"
+#include "accel/runner.hh"
+#include "fixtures.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+using testfx::expectRunIdentical;
+
+struct MultiChip : ::testing::Test
+{
+    NetworkSpec net;
+    RunOptions opts;
+
+    void
+    SetUp() override
+    {
+        opts.sampledIntermediateLayers = 2;
+    }
+};
+
+TEST_F(MultiChip, ChipsOneIsBitIdenticalToMonolithic)
+{
+    for (const char *abbrev : {"CR", "CS"}) {
+        const Dataset dataset = testfx::datasetFixture(abbrev);
+        for (ExecutionMode mode :
+             {ExecutionMode::Fast, ExecutionMode::Timing}) {
+            RunOptions mono = opts;
+            mono.mode = mode;
+            RunOptions one_chip = mono;
+            one_chip.chips = 1;
+            for (const AccelConfig &config : allPersonalities()) {
+                const RunResult a =
+                    runNetwork(config, dataset, net, mono);
+                const RunResult b =
+                    runNetwork(config, dataset, net, one_chip);
+                expectRunIdentical(a, b);
+                EXPECT_FALSE(b.shard.enabled);
+            }
+        }
+    }
+}
+
+TEST_F(MultiChip, ShardedChipFanOutIsDeterministic)
+{
+    const Dataset cora = testfx::cora();
+    for (ExecutionMode mode :
+         {ExecutionMode::Fast, ExecutionMode::Timing}) {
+        for (const AccelConfig &config : allPersonalities()) {
+            RunOptions serial = opts;
+            serial.mode = mode;
+            serial.chips = 4;
+            serial.jobs = 1;
+            RunOptions fanned = serial;
+            fanned.jobs = 8;
+            const RunResult a = runNetwork(config, cora, net, serial);
+            const RunResult b = runNetwork(config, cora, net, fanned);
+            expectRunIdentical(a, b);
+            ASSERT_EQ(a.shard.chipCycles.size(),
+                      b.shard.chipCycles.size());
+            for (std::size_t c = 0; c < a.shard.chipCycles.size();
+                 ++c) {
+                EXPECT_EQ(a.shard.chipCycles[c],
+                          b.shard.chipCycles[c]);
+            }
+            EXPECT_EQ(a.shard.exchangeBytes, b.shard.exchangeBytes);
+            EXPECT_EQ(a.shard.exchangeCycles, b.shard.exchangeCycles);
+        }
+    }
+}
+
+TEST_F(MultiChip, ShardStatsAreInternallyConsistent)
+{
+    const Dataset cora = testfx::cora();
+    RunOptions sharded = opts;
+    sharded.chips = 4;
+    sharded.jobs = 4;
+    const RunResult run = runNetwork(makeSgcn(), cora, net, sharded);
+
+    EXPECT_TRUE(run.shard.enabled);
+    EXPECT_EQ(run.shard.chips, 4u);
+    EXPECT_EQ(run.shard.partitionPolicy, "edge-balanced");
+    EXPECT_EQ(run.shard.linkName, "PCIe4");
+    ASSERT_EQ(run.shard.chipCycles.size(), 4u);
+    EXPECT_GT(run.shard.haloVertices, 0u);
+    EXPECT_GT(run.shard.exchangeBytes, 0u);
+    EXPECT_GT(run.shard.exchangeCycles, 0u);
+    EXPECT_GE(run.shard.exchangeCycles, run.shard.linkBusyCycles);
+    EXPECT_GE(run.shard.linkBusyFraction, 0.0);
+    EXPECT_LE(run.shard.linkBusyFraction, 1.0);
+    EXPECT_EQ(run.shard.bottleneckChipCycles,
+              *std::max_element(run.shard.chipCycles.begin(),
+                                run.shard.chipCycles.end()));
+    // The composed total covers the exchange plus the bottleneck
+    // chips, so no chip's extrapolated cycles can exceed it.
+    for (Cycle chip_cycles : run.shard.chipCycles)
+        EXPECT_LE(chip_cycles, run.total.cycles);
+}
+
+TEST_F(MultiChip, NocLinkOutrunsPcieOnTheSamePartition)
+{
+    const Dataset cora = testfx::cora();
+    RunOptions pcie = opts;
+    pcie.chips = 4;
+    RunOptions noc = pcie;
+    noc.link = LinkConfig::noc();
+    const RunResult a = runNetwork(makeSgcn(), cora, net, pcie);
+    const RunResult b = runNetwork(makeSgcn(), cora, net, noc);
+    // Same partition, same bytes; the wider, shorter-hop link
+    // must spend strictly fewer cycles moving them.
+    EXPECT_EQ(a.shard.exchangeBytes, b.shard.exchangeBytes);
+    EXPECT_LT(b.shard.exchangeCycles, a.shard.exchangeCycles);
+    EXPECT_LE(b.total.cycles, a.total.cycles);
+}
+
+TEST_F(MultiChip, ShardedPipelinedTotalsStayBounded)
+{
+    const Dataset cora = testfx::cora();
+    RunOptions serial = opts;
+    serial.chips = 4;
+    RunOptions pipelined = serial;
+    pipelined.tileOverlap = true;
+    const RunResult base = runNetwork(makeSgcn(), cora, net, serial);
+    const RunResult run =
+        runNetwork(makeSgcn(), cora, net, pipelined);
+    EXPECT_TRUE(run.pipeline.enabled);
+    EXPECT_TRUE(run.shard.enabled);
+    EXPECT_EQ(run.pipeline.serialCycles, base.total.cycles);
+    EXPECT_LE(run.pipeline.pipelinedCycles,
+              run.pipeline.serialCycles);
+    EXPECT_LE(run.pipeline.perTileCycles,
+              run.pipeline.perLayerCycles);
+    // Work counts never change with pipelining, sharded or not.
+    testfx::expectCountsIdentical(base.total, run.total);
+}
+
+} // namespace
+} // namespace sgcn

@@ -24,6 +24,7 @@
 #include "accel/personalities.hh"
 #include "accel/report.hh"
 #include "accel/runner.hh"
+#include "gcn/sparsity_model.hh"
 #include "graph/io.hh"
 #include "sim/cli.hh"
 #include "sim/table.hh"
@@ -59,6 +60,11 @@ runOptions(const Cli &cli)
                       cli.getString("pipeline", ""));
     opts.jobs = static_cast<unsigned>(
         cli.getInt("jobs", ThreadPool::hardwareJobs()));
+    opts.chips = static_cast<unsigned>(cli.getInt("chips", 1));
+    opts.partitionPolicy = partitionPolicyByName(cli.getString(
+        "partition", partitionPolicyName(opts.partitionPolicy)));
+    if (cli.has("link"))
+        opts.link = linkByName(cli.getString("link", "pcie4"));
     return opts;
 }
 
@@ -152,6 +158,11 @@ cmdRun(const Cli &cli)
                         pipelineSummaryLine(run).c_str());
         }
     }
+    if (opts.chips > 1) {
+        std::printf("\n");
+        for (const auto &run : results)
+            std::printf("%s\n", shardSummaryLine(run).c_str());
+    }
 
     if (cli.has("stats")) {
         for (const auto &run : results) {
@@ -164,6 +175,18 @@ cmdRun(const Cli &cli)
     if (!csv.empty()) {
         writeRunsCsv(results, csv);
         std::printf("\nwrote %s\n", csv.c_str());
+    }
+    const std::string sched_csv = cli.getString("export-schedule", "");
+    if (!sched_csv.empty()) {
+        // Mirror the runner's sampling so the exported rows carry
+        // the architectural layer indices they were simulated as.
+        std::vector<unsigned> arch_layers;
+        for (unsigned idx : sampleLayerIndices(
+                 net.layers - 1, opts.sampledIntermediateLayers)) {
+            arch_layers.push_back(idx + 1);
+        }
+        writeSchedulesCsv(results, arch_layers, sched_csv);
+        std::printf("\nwrote %s\n", sched_csv.c_str());
     }
     return 0;
 }
@@ -316,6 +339,12 @@ usage()
         "timeline; =tile gates on\n"
         "            per-tile output availability; see README "
         "\"Inter-layer pipelining\")\n"
+        "            --chips N (shard over N chips; "
+        "--partition contiguous|edge-balanced;\n"
+        "            --link pcie4|noc; see README \"Multi-chip "
+        "scale-out\")\n"
+        "            --export-schedule FILE (per-layer phase spans "
+        "and tile windows as CSV)\n"
         "  sweep     --knob cache|engines|layers|slice --dataset ...\n"
         "  describe  --accel SGCN|GCNAX|HyGCN|AWB-GCN|EnGN|I-GCN\n"
         "  datasets  [--scale X]\n"
