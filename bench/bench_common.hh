@@ -115,6 +115,23 @@ banner(const char *figure, const BenchOptions &options)
     }
 }
 
+/** One-line graph provenance: generation/build wall time plus the
+ *  CSR memory the run will carry (packed adjacency bytes/edge). */
+inline void
+graphLine(const Dataset &dataset)
+{
+    std::printf("  %s graph: %u vertices, %llu edges | "
+                "built %.0f ms | %.1f MB CSR | %.2f B/edge\n",
+                dataset.spec.abbrev, dataset.graph.numVertices(),
+                static_cast<unsigned long long>(
+                    dataset.graph.numEdges()),
+                dataset.buildMillis,
+                static_cast<double>(
+                    dataset.graph.footprintBytes()) /
+                    1e6,
+                dataset.graph.adjacencyBytesPerEdge());
+}
+
 /** Index of the personality named @p name, for pulling a baseline
  *  run back out of an input-ordered runAll result vector. */
 inline std::size_t

@@ -52,6 +52,7 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> speedups(personalities.size());
     for (const auto &spec : options.datasets) {
         const Dataset dataset = instantiateDataset(spec, options.scale);
+        graphLine(dataset);
         // One fan-out per dataset; the GCNAX baseline is just the
         // corresponding entry of the input-ordered result vector.
         const auto runs = runAll(personalities, dataset, options.net,

@@ -105,8 +105,10 @@ main(int argc, char **argv)
     for (int pct = 5; pct <= 95; pct += 10)
         pcts.push_back(pct);
     std::vector<Dataset> datasets;
-    for (const DatasetSpec &spec : specs)
+    for (const DatasetSpec &spec : specs) {
         datasets.push_back(instantiateDataset(spec, options.scale));
+        graphLine(datasets.back());
+    }
     const AccelConfig *formats[] = {&dense, &csr, &sgcn};
     const std::size_t num_formats = std::size(formats);
 

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks of the million-node graph
+ * substrate (the PR 8 tentpole): cold streaming CSR construction of
+ * a 100k-vertex clustered graph (two-pass builder, chunked RNG
+ * substreams), the warm stream-artifact canonical-graph hit, and
+ * packed (byte-width column indices, decode-on-access) versus
+ * unpacked (raw uint32) neighbour-scan throughput. Counts heap
+ * allocations (operator new replacement, this binary only) and
+ * aborts if the builder starts allocating per edge — the whole
+ * point of the streaming path is that its allocation count is
+ * O(vertices + chunks), never O(edges).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "accel/stream_artifacts.hh"
+#include "graph/generators.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+// Count every heap allocation in this binary. (GCC pairs its
+// built-in operator new model with the free() below and warns; the
+// replacement operators are matched.)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void *
+operator new(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace sgcn;
+
+/** Track allocations across the timed region and report per-item. */
+class AllocCounter
+{
+  public:
+    explicit AllocCounter(benchmark::State &state) : state(state)
+    {
+        start = g_allocs.load(std::memory_order_relaxed);
+    }
+
+    double
+    report(const char *counter, std::int64_t items)
+    {
+        const std::uint64_t end =
+            g_allocs.load(std::memory_order_relaxed);
+        const double per_item =
+            static_cast<double>(end - start) /
+            static_cast<double>(items > 0 ? items : 1);
+        state.counters[counter] = benchmark::Counter(per_item);
+        return per_item;
+    }
+
+  private:
+    benchmark::State &state;
+    std::uint64_t start;
+};
+
+/** The synth:100k shape, built directly (no dataset scaffolding). */
+ClusteredGraphParams
+benchParams()
+{
+    ClusteredGraphParams params;
+    params.vertices = 100000;
+    params.avgDegree = 8.0;
+    params.localityFraction = 0.8;
+    params.hubFraction = 0.05;
+    params.localityDistance = 100.0;
+    params.hubSetFraction = 0.002;
+    params.seed = 7;
+    params.chunkedRng = true;
+    params.jobs = 0;
+    return params;
+}
+
+void
+BM_GraphBuildCold(benchmark::State &state)
+{
+    const ClusteredGraphParams params = benchParams();
+
+    std::int64_t edges = 0;
+    AllocCounter allocs(state);
+    for (auto _ : state) {
+        const CsrGraph graph = clusteredGraph(params);
+        benchmark::DoNotOptimize(graph.numEdges());
+        edges += static_cast<std::int64_t>(graph.numEdges());
+    }
+    const double per_edge = allocs.report("allocs_per_edge", edges);
+    state.SetItemsProcessed(edges);
+
+    // The two-pass builder allocates the degree/cursor array, the
+    // scatter scratch, the packed output, and per-chunk thread-pool
+    // plumbing — all O(vertices + chunks). The old path's COO vector
+    // still amortized growth, so even it stayed below 1 allocation
+    // per edge; a per-edge allocation regression (say, per-row
+    // vectors) blows well past this bound.
+    constexpr double kMaxAllocsPerEdge = 0.01;
+    if (per_edge > kMaxAllocsPerEdge) {
+        std::fprintf(stderr,
+                     "FATAL: %.4f allocs/edge exceeds the %.2f "
+                     "bound — the streaming builder is allocating "
+                     "per edge\n",
+                     per_edge, kMaxAllocsPerEdge);
+        std::abort();
+    }
+}
+BENCHMARK(BM_GraphBuildCold)->Unit(benchmark::kMillisecond);
+
+void
+BM_WarmCanonicalGraphHit(benchmark::State &state)
+{
+    auto &artifacts = StreamArtifactCache::instance();
+    const CsrGraph graph = clusteredGraph(benchParams());
+    const auto canonical = artifacts.canonicalGraph(graph);
+    benchmark::DoNotOptimize(canonical);
+
+    AllocCounter allocs(state);
+    std::int64_t items = 0;
+    for (auto _ : state) {
+        const auto hit = artifacts.canonicalGraph(graph);
+        benchmark::DoNotOptimize(hit);
+        ++items;
+    }
+    const double per_hit = allocs.report("allocs_per_hit", items);
+    state.SetItemsProcessed(items);
+
+    // Warm hits key on the content fingerprint (already computed at
+    // construction) and copy a shared_ptr — allocation-free.
+    constexpr double kMaxAllocsPerHit = 0.1;
+    if (per_hit > kMaxAllocsPerHit) {
+        std::fprintf(stderr,
+                     "FATAL: %.3f allocs/hit exceeds the %.1f bound "
+                     "— the warm canonical-graph path is allocating "
+                     "per hit again\n",
+                     per_hit, kMaxAllocsPerHit);
+        std::abort();
+    }
+}
+BENCHMARK(BM_WarmCanonicalGraphHit);
+
+void
+BM_PackedNeighborScan(benchmark::State &state)
+{
+    const CsrGraph graph = clusteredGraph(benchParams());
+    const VertexId n = graph.numVertices();
+
+    std::int64_t edges = 0;
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        for (VertexId v = 0; v < n; ++v) {
+            for (VertexId u : graph.neighbors(v))
+                sum += u;
+        }
+        benchmark::DoNotOptimize(sum);
+        edges += static_cast<std::int64_t>(graph.numEdges());
+    }
+    state.SetItemsProcessed(edges);
+    state.counters["bytes_per_edge"] =
+        benchmark::Counter(graph.adjacencyBytesPerEdge());
+}
+BENCHMARK(BM_PackedNeighborScan)->Unit(benchmark::kMillisecond);
+
+void
+BM_UnpackedNeighborScan(benchmark::State &state)
+{
+    const CsrGraph graph = clusteredGraph(benchParams());
+    const VertexId n = graph.numVertices();
+    // What the scan costs on raw uint32 indices — the old storage.
+    const std::vector<VertexId> col_idx = graph.unpackedColumns();
+    const auto &row_ptr = graph.rowPointers();
+
+    std::int64_t edges = 0;
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        for (VertexId v = 0; v < n; ++v) {
+            for (EdgeId e = row_ptr[v]; e < row_ptr[v + 1]; ++e)
+                sum += col_idx[e];
+        }
+        benchmark::DoNotOptimize(sum);
+        edges += static_cast<std::int64_t>(graph.numEdges());
+    }
+    state.SetItemsProcessed(edges);
+    state.counters["bytes_per_edge"] =
+        benchmark::Counter(sizeof(VertexId));
+}
+BENCHMARK(BM_UnpackedNeighborScan)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

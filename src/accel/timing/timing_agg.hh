@@ -56,7 +56,7 @@ class TimingAgg
         VertexId curV = 0;
         /** Neighbour span of (curV, srcTile), cached at vertex load
          *  instead of re-resolved for every sampled edge. */
-        std::span<const VertexId> nbrs;
+        CsrGraph::NeighborRange nbrs;
         std::uint32_t edge = 0;
         std::uint32_t walk = 0;
         double stride = 1.0;

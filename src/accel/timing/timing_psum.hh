@@ -53,7 +53,7 @@ class TimingPsum
     /** Current vertex's neighbour span, resolved once per vertex and
      *  replayed for its remaining sampled edges (same memo TimingAgg
      *  keeps for tileNeighbors). */
-    std::span<const VertexId> nbrs;
+    CsrGraph::NeighborRange nbrs;
     std::uint32_t edge = 0;
     std::uint32_t walk = 0;
     double stride = 1.0;

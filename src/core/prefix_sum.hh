@@ -20,6 +20,19 @@
 namespace sgcn
 {
 
+/**
+ * Blocked exclusive prefix sum over a counts array, in place:
+ * counts[i] becomes sum(counts[0..i)), and the grand total is
+ * returned. Fanned over the thread pool in two passes (per-block
+ * local sums, then block-offset fixup) when @p jobs > 1 and the
+ * array is large enough to amortize the fan-out; bit-identical to
+ * the serial scan either way (unsigned addition is associative).
+ * The streaming CSR builder uses this to turn degree counts into
+ * row pointers without a serial O(V) bottleneck at 10^6+ vertices.
+ */
+std::uint64_t exclusivePrefixSum(std::vector<std::uint64_t> &counts,
+                                 unsigned jobs = 1);
+
 /** Combinational prefix-sum model. */
 class PrefixSumUnit
 {

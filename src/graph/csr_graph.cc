@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/csr_builder.hh"
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace sgcn
 {
@@ -29,6 +31,23 @@ fnv1a(std::uint64_t hash, const T *data, std::size_t count)
     return hash;
 }
 
+/** FNV-1a over the decoded values of a packed index array, hashing
+ *  the same uint32 byte stream the unpacked storage used to. */
+std::uint64_t
+fnv1aPacked(std::uint64_t hash, const PackedIndexArray &packed)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    const std::size_t count = packed.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint32_t value = packed[i];
+        for (std::size_t b = 0; b < sizeof(value); ++b) {
+            hash ^= (value >> (8 * b)) & 0xff;
+            hash *= kPrime;
+        }
+    }
+    return hash;
+}
+
 } // namespace
 
 void
@@ -37,77 +56,49 @@ CsrGraph::computeFingerprint()
     const std::uint64_t shape[2] = {n, numEdges()};
     fpLo = fnv1a(0xcbf29ce484222325ULL, shape, 2);
     fpLo = fnv1a(fpLo, rowPtr.data(), rowPtr.size());
-    fpLo = fnv1a(fpLo, colIdx.data(), colIdx.size());
+    fpLo = fnv1aPacked(fpLo, colIdx);
     fpHi = fnv1a(0x9e3779b97f4a7c15ULL, shape, 2);
-    fpHi = fnv1a(fpHi, colIdx.data(), colIdx.size());
+    fpHi = fnv1aPacked(fpHi, colIdx);
     fpHi = fnv1a(fpHi, rowPtr.data(), rowPtr.size());
+}
+
+void
+CsrGraph::computeNormalization(unsigned jobs)
+{
+    // Symmetric normalization with self loops:
+    // w(u, v) = 1 / sqrt(deg(u) * deg(v)) where deg counts the self
+    // loop, matching GCN's D^-1/2 (A + I) D^-1/2. Only the
+    // per-vertex 1/sqrt(deg) factors are stored; weights(v) forms
+    // the products on access.
+    invSqrtDeg.resize(n);
+    const unsigned threads = n >= (1u << 20)
+                                 ? ThreadPool::resolveJobs(jobs)
+                                 : 1;
+    const VertexId block =
+        static_cast<VertexId>(divCeil(n, threads));
+    parallelFor(threads, threads, [&](std::size_t b) {
+        const auto begin = static_cast<VertexId>(b * block);
+        const auto end = static_cast<VertexId>(
+            std::min<std::uint64_t>(begin + block, n));
+        for (VertexId v = begin; v < end; ++v) {
+            const double deg =
+                static_cast<double>(rowPtr[v + 1] - rowPtr[v]);
+            invSqrtDeg[v] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+        }
+    });
 }
 
 CsrGraph::CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
                    bool undirected, bool self_loops)
-    : n(num_vertices)
 {
-    SGCN_ASSERT(n > 0, "graph needs at least one vertex");
-
-    if (undirected) {
-        const std::size_t original = edges.size();
-        edges.reserve(original * 2);
-        for (std::size_t i = 0; i < original; ++i) {
-            if (edges[i].first != edges[i].second)
-                edges.emplace_back(edges[i].second, edges[i].first);
-        }
-    }
-
-    // Drop existing self loops; they are re-added uniformly below so
-    // the normalization always sees exactly one per vertex.
-    std::erase_if(edges, [](const EdgePair &e) {
-        return e.first == e.second;
-    });
-
-    if (self_loops) {
-        for (VertexId v = 0; v < n; ++v)
-            edges.emplace_back(v, v);
-        selfLoops = n;
-    }
-
-    std::sort(edges.begin(), edges.end());
-    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-
-    for (const auto &[src, dst] : edges) {
-        SGCN_ASSERT(src < n && dst < n, "edge endpoint out of range");
-    }
-
-    rowPtr.assign(n + 1, 0);
-    for (const auto &[src, dst] : edges)
-        ++rowPtr[src + 1];
-    for (VertexId v = 0; v < n; ++v)
-        rowPtr[v + 1] += rowPtr[v];
-
-    colIdx.resize(edges.size());
-    {
-        std::vector<EdgeId> cursor(rowPtr.begin(), rowPtr.end() - 1);
-        for (const auto &[src, dst] : edges)
-            colIdx[cursor[src]++] = dst;
-    }
-
-    // Symmetric normalization with self loops:
-    // w(u, v) = 1 / sqrt((deg(u)) * (deg(v))) where deg counts the
-    // self loop, matching GCN's D^-1/2 (A + I) D^-1/2.
-    edgeWeight.resize(colIdx.size());
-    std::vector<double> inv_sqrt_deg(n);
-    for (VertexId v = 0; v < n; ++v) {
-        const double deg =
-            static_cast<double>(rowPtr[v + 1] - rowPtr[v]);
-        inv_sqrt_deg[v] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
-    }
-    for (VertexId v = 0; v < n; ++v) {
-        for (EdgeId e = rowPtr[v]; e < rowPtr[v + 1]; ++e) {
-            edgeWeight[e] = static_cast<float>(
-                inv_sqrt_deg[v] * inv_sqrt_deg[colIdx[e]]);
-        }
-    }
-
-    computeFingerprint();
+    // Thin wrapper: stream the vector through the two-pass builder
+    // (pass 1 counts, pass 2 scatters; per-row sort+dedup inside
+    // finalize reproduces the old global sort+unique bit for bit).
+    CsrBuilder builder(num_vertices, undirected, self_loops, 0);
+    builder.countEdges(edges);
+    builder.finishCounting();
+    builder.addEdges(edges);
+    *this = CsrGraph(std::move(builder));
 }
 
 CsrGraph
@@ -128,7 +119,10 @@ CsrGraph::fromCsrArrays(VertexId num_vertices,
     graph.n = num_vertices;
     graph.selfLoops = self_loops;
     graph.rowPtr = std::move(row_ptr);
-    graph.colIdx = std::move(col_idx);
+    graph.colIdx = PackedIndexArray(
+        col_idx.size(), PackedIndexArray::widthFor(num_vertices));
+    for (std::size_t i = 0; i < col_idx.size(); ++i)
+        graph.colIdx.set(i, col_idx[i]);
     graph.edgeWeight = std::move(weights);
     for (VertexId v = 0; v < graph.n; ++v) {
         SGCN_ASSERT(graph.rowPtr[v] <= graph.rowPtr[v + 1],
@@ -173,20 +167,39 @@ CsrGraph::localityScore(VertexId window) const
 }
 
 CsrGraph
-CsrGraph::permuted(const std::vector<VertexId> &perm) const
+CsrGraph::permuted(const std::vector<VertexId> &perm,
+                   unsigned jobs) const
 {
     SGCN_ASSERT(perm.size() == n, "permutation size mismatch");
-    std::vector<EdgePair> edges;
-    edges.reserve(colIdx.size());
-    for (VertexId v = 0; v < n; ++v) {
-        for (VertexId u : neighbors(v)) {
-            if (u != v)
-                edges.emplace_back(perm[v], perm[u]);
-        }
-    }
-    // Edges already contain both directions; rebuild as directed to
-    // avoid doubling, then re-add self loops.
-    return CsrGraph(n, std::move(edges), false, selfLoops > 0);
+    // The CSR already contains both directions, so rebuild directed
+    // (self loops re-added by the builder). Both passes stream the
+    // existing rows — no COO copy — and fan over the pool: the
+    // builder's relaxed-atomic counters and per-row sort make the
+    // result independent of the fan-out.
+    CsrBuilder builder(n, false, selfLoops > 0, jobs);
+    const unsigned threads = builder.numVertices() >= (1u << 20) ||
+                                     numEdges() >= (1u << 22)
+                                 ? ThreadPool::resolveJobs(jobs)
+                                 : 1;
+    const VertexId block =
+        static_cast<VertexId>(divCeil(n, threads));
+    const auto each_pass = [&](auto &&emit) {
+        parallelFor(threads, threads, [&](std::size_t b) {
+            const auto begin = static_cast<VertexId>(b * block);
+            const auto end = static_cast<VertexId>(
+                std::min<std::uint64_t>(begin + block, n));
+            for (VertexId v = begin; v < end; ++v) {
+                for (VertexId u : neighbors(v)) {
+                    if (u != v)
+                        emit(perm[v], perm[u]);
+                }
+            }
+        });
+    };
+    each_pass([&](VertexId s, VertexId d) { builder.countEdge(s, d); });
+    builder.finishCounting();
+    each_pass([&](VertexId s, VertexId d) { builder.addEdge(s, d); });
+    return CsrGraph(std::move(builder));
 }
 
 std::vector<VertexId>

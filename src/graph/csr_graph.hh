@@ -7,32 +7,147 @@
  * 1/sqrt((d_u+1)(d_v+1)) including self loops, exactly the form the
  * accelerators consume (SIII-B: "the topology matrix is assumed to be
  * in a CSR format").
+ *
+ * Column indices are byte-width packed (PackedIndexArray: 1/2/3/4
+ * bytes per index picked from numVertices), and normalization
+ * weights are derived on access from a per-vertex 1/sqrt(deg) table
+ * instead of being materialized per edge — together ~3.5 bytes per
+ * directed edge at 10^6 vertices versus 12 before. Graphs built
+ * through fromCsrArrays (chip shards, whose weights come verbatim
+ * from a parent normalization) keep an explicit per-edge weight
+ * array. Both representations serve the same neighbors()/weights()
+ * range API, bit-identical to the old span-of-materialized-floats
+ * one.
  */
 
 #ifndef SGCN_GRAPH_CSR_GRAPH_HH
 #define SGCN_GRAPH_CSR_GRAPH_HH
 
 #include <cstdint>
-#include <span>
+#include <iterator>
 #include <utility>
 #include <vector>
 
+#include "graph/packed_index.hh"
 #include "sim/types.hh"
 
 namespace sgcn
 {
 
+class CsrBuilder;
+
 /** An undirected edge used during graph construction. */
 using EdgePair = std::pair<VertexId, VertexId>;
 
-/** Immutable CSR graph with optional normalized edge weights. */
+/**
+ * The normalized weights of one vertex's edge run. Values are either
+ * read from an explicit per-edge array or derived on access as
+ * float(invSqrtDeg[v] * invSqrtDeg[u]) — the exact expression the
+ * old constructor materialized, so the floats are bit-identical.
+ * Copyable value type, valid for the owning graph's lifetime.
+ */
+class EdgeWeightRange
+{
+  public:
+    EdgeWeightRange() = default;
+
+    /** Explicit per-edge weights. */
+    explicit EdgeWeightRange(const float *weights, std::size_t count)
+        : explicitW(weights), count_(count)
+    {
+    }
+
+    /** Derived from the per-vertex normalization table. */
+    EdgeWeightRange(double inv_sqrt_deg_v, const double *inv_sqrt_deg,
+                    PackedIndexRange cols)
+        : invV(inv_sqrt_deg_v), inv(inv_sqrt_deg), cols(cols),
+          count_(cols.size())
+    {
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    float
+    operator[](std::size_t i) const
+    {
+        if (explicitW)
+            return explicitW[i];
+        return static_cast<float>(invV * inv[cols[i]]);
+    }
+
+    /** Sub-run [first, first + count). */
+    EdgeWeightRange
+    subrange(std::size_t first, std::size_t count) const
+    {
+        if (explicitW)
+            return EdgeWeightRange(explicitW + first, count);
+        return EdgeWeightRange(invV, inv,
+                               cols.subrange(first, count));
+    }
+
+    class Iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = float;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const float *;
+        using reference = float;
+
+        Iterator() = default;
+        Iterator(const EdgeWeightRange *r, std::size_t i) : r(r), i(i)
+        {
+        }
+
+        float operator*() const { return (*r)[i]; }
+        Iterator &
+        operator++()
+        {
+            ++i;
+            return *this;
+        }
+        Iterator
+        operator++(int)
+        {
+            Iterator tmp = *this;
+            ++i;
+            return tmp;
+        }
+        friend bool
+        operator==(const Iterator &a, const Iterator &b)
+        {
+            return a.i == b.i;
+        }
+
+      private:
+        const EdgeWeightRange *r = nullptr;
+        std::size_t i = 0;
+    };
+
+    Iterator begin() const { return {this, 0}; }
+    Iterator end() const { return {this, count_}; }
+
+  private:
+    const float *explicitW = nullptr;
+    double invV = 0.0;
+    const double *inv = nullptr;
+    PackedIndexRange cols;
+    std::size_t count_ = 0;
+};
+
+/** Immutable CSR graph with normalized edge weights. */
 class CsrGraph
 {
   public:
+    /** The span-shaped view neighbors() hands out. */
+    using NeighborRange = PackedIndexRange;
+
     CsrGraph() = default;
 
     /**
-     * Build from an edge list.
+     * Build from an edge list (now a thin wrapper that streams the
+     * vector through CsrBuilder's two passes).
      *
      * @param num_vertices Number of vertices.
      * @param edges Edge list; duplicates and self loops are dropped.
@@ -42,6 +157,13 @@ class CsrGraph
      */
     CsrGraph(VertexId num_vertices, std::vector<EdgePair> edges,
              bool undirected = true, bool self_loops = true);
+
+    /**
+     * Move the finished arrays out of a streaming builder (both
+     * passes and finishCounting() must have run). Defined in
+     * csr_builder.cc.
+     */
+    explicit CsrGraph(CsrBuilder &&builder);
 
     /**
      * Build directly from CSR arrays, preserving the given edge
@@ -76,26 +198,40 @@ class CsrGraph
     }
 
     /** Neighbors of @p v in ascending order. */
-    std::span<const VertexId>
+    NeighborRange
     neighbors(VertexId v) const
     {
-        return {colIdx.data() + rowPtr[v],
-                colIdx.data() + rowPtr[v + 1]};
+        return colIdx.range(rowPtr[v],
+                            static_cast<std::size_t>(rowPtr[v + 1] -
+                                                     rowPtr[v]));
     }
 
     /** Normalized weights parallel to neighbors(). */
-    std::span<const float>
+    EdgeWeightRange
     weights(VertexId v) const
     {
-        return {edgeWeight.data() + rowPtr[v],
-                edgeWeight.data() + rowPtr[v + 1]};
+        if (!edgeWeight.empty()) {
+            return EdgeWeightRange(
+                edgeWeight.data() + rowPtr[v],
+                static_cast<std::size_t>(rowPtr[v + 1] - rowPtr[v]));
+        }
+        return EdgeWeightRange(invSqrtDeg[v], invSqrtDeg.data(),
+                               neighbors(v));
     }
 
     /** Raw row-pointer array (size numVertices()+1). */
     const std::vector<EdgeId> &rowPointers() const { return rowPtr; }
 
-    /** Raw column-index array. */
-    const std::vector<VertexId> &columnIndices() const { return colIdx; }
+    /** Packed column-index array (decode-on-access). */
+    const PackedIndexArray &columnIndices() const { return colIdx; }
+
+    /** Decoded uint32 copy of the column indices (binary snapshots
+     *  and other raw-array consumers). */
+    std::vector<VertexId>
+    unpackedColumns() const
+    {
+        return colIdx.unpacked();
+    }
 
     /** Average degree (directed edges / vertices). */
     double avgDegree() const;
@@ -110,8 +246,11 @@ class CsrGraph
      */
     double localityScore(VertexId window) const;
 
-    /** Relabel vertices: new_id = perm[old_id]. */
-    CsrGraph permuted(const std::vector<VertexId> &perm) const;
+    /** Relabel vertices: new_id = perm[old_id]. Streams the edges
+     *  through CsrBuilder (never materializes a COO copy); @p jobs
+     *  as in CsrBuilder (0 = auto). */
+    CsrGraph permuted(const std::vector<VertexId> &perm,
+                      unsigned jobs = 0) const;
 
     /** Vertices sorted by descending degree (for EnGN's DAVC). */
     std::vector<VertexId> verticesByDegree() const;
@@ -119,9 +258,12 @@ class CsrGraph
     /**
      * 128-bit content fingerprint of the topology (two independent
      * FNV-1a streams over shape + row pointers + column indices),
-     * computed once at construction. The edge weights are a pure
-     * function of the topology, so this identifies the graph
-     * completely; process-wide caches key on it.
+     * computed once at construction. The column indices are hashed
+     * as decoded uint32 values, so the fingerprint is independent of
+     * the packed byte width (and unchanged from the unpacked-storage
+     * era). The edge weights are a pure function of the topology, so
+     * this identifies the graph completely; process-wide caches key
+     * on it.
      */
     std::pair<std::uint64_t, std::uint64_t>
     contentFingerprint() const
@@ -133,19 +275,45 @@ class CsrGraph
     std::uint64_t
     footprintBytes() const
     {
-        return rowPtr.size() * sizeof(EdgeId) +
-               colIdx.size() * sizeof(VertexId) +
-               edgeWeight.size() * sizeof(float);
+        return rowPtr.size() * sizeof(EdgeId) + colIdx.byteSize() +
+               edgeWeight.size() * sizeof(float) +
+               invSqrtDeg.size() * sizeof(double);
+    }
+
+    /** Adjacency bytes (packed indices + weight storage) per
+     *  directed edge — the scale metric the million-node substrate
+     *  targets (<= ~6 B/edge at 10^6 vertices). */
+    double
+    adjacencyBytesPerEdge() const
+    {
+        if (numEdges() == 0)
+            return 0.0;
+        return static_cast<double>(colIdx.byteSize() +
+                                   edgeWeight.size() * sizeof(float) +
+                                   invSqrtDeg.size() * sizeof(double)) /
+               static_cast<double>(numEdges());
     }
 
   private:
+    friend class CsrBuilder;
+
     void computeFingerprint();
+
+    /** Fill invSqrtDeg from the final row pointers. */
+    void computeNormalization(unsigned jobs);
 
     VertexId n = 0;
     EdgeId selfLoops = 0;
     std::vector<EdgeId> rowPtr{0};
-    std::vector<VertexId> colIdx;
+    PackedIndexArray colIdx;
+
+    /** Explicit per-edge weights (fromCsrArrays graphs only). */
     std::vector<float> edgeWeight;
+
+    /** Per-vertex 1/sqrt(deg) (builder-made graphs; weights derive
+     *  on access). */
+    std::vector<double> invSqrtDeg;
+
     std::uint64_t fpLo = 0;
     std::uint64_t fpHi = 0;
 };

@@ -1,12 +1,103 @@
 #include "graph/datasets.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
 
 #include "sim/logging.hh"
 
 namespace sgcn
 {
+
+namespace
+{
+
+/** Stable storage for synth-spec strings (DatasetSpec holds
+ *  const char*); deque never relocates elements. */
+const char *
+internString(const std::string &text)
+{
+    static std::mutex mutex;
+    static std::deque<std::string> pool;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto &entry : pool) {
+        if (entry == text)
+            return entry.c_str();
+    }
+    pool.push_back(text);
+    return pool.back().c_str();
+}
+
+/** Parse "200", "200k", "1M" into a count; false on junk. */
+bool
+parseScaledCount(std::string text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t multiplier = 1;
+    const char suffix = text.back();
+    if (suffix == 'k' || suffix == 'K') {
+        multiplier = 1000;
+        text.pop_back();
+    } else if (suffix == 'M' || suffix == 'm') {
+        multiplier = 1000000;
+        text.pop_back();
+    }
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    out = std::strtoull(text.c_str(), nullptr, 10) * multiplier;
+    return true;
+}
+
+/** Mint a DatasetSpec for "synth:<N>[:deg<D>]". */
+DatasetSpec
+synthSpec(const std::string &abbrev)
+{
+    const std::string rest = abbrev.substr(6);
+    const std::size_t colon = rest.find(':');
+    std::uint64_t vertices = 0;
+    if (!parseScaledCount(rest.substr(0, colon), vertices) ||
+        vertices < 2 || vertices > 0xffffffffull) {
+        fatal("bad synth vertex count in '", abbrev,
+              "' (want e.g. synth:200k or synth:1M:deg12)");
+    }
+    double degree = 8.0;
+    if (colon != std::string::npos) {
+        const std::string option = rest.substr(colon + 1);
+        char *end = nullptr;
+        if (option.rfind("deg", 0) == 0)
+            degree = std::strtod(option.c_str() + 3, &end);
+        if (option.rfind("deg", 0) != 0 || end == nullptr ||
+            *end != '\0' || !(degree > 0.0)) {
+            fatal("bad synth option '", option, "' in '", abbrev,
+                  "' (only deg<D> is understood)");
+        }
+    }
+
+    DatasetSpec spec{};
+    spec.name = internString("Synthetic clustered");
+    spec.abbrev = internString(abbrev);
+    spec.fullVertices = static_cast<VertexId>(vertices);
+    spec.fullEdges = static_cast<EdgeId>(
+        degree * static_cast<double>(vertices));
+    spec.inputFeatures = 128;
+    spec.featureSparsity28 = 0.6;
+    spec.inputSparsity = 0.9;
+    spec.oneHotInput = false;
+    spec.paperAccuracy = 0.0;
+    spec.localityFraction = 0.8;
+    spec.hubFraction = 0.05;
+    spec.localityDistanceFraction = 0.001;
+    spec.degreeCap = 1e9;
+    spec.synthetic = true;
+    return spec;
+}
+
+} // namespace
 
 const std::vector<DatasetSpec> &
 allDatasets()
@@ -59,13 +150,15 @@ datasetsBySparsity()
     return sorted;
 }
 
-const DatasetSpec &
+DatasetSpec
 datasetByAbbrev(const std::string &abbrev)
 {
     for (const auto &spec : allDatasets()) {
         if (abbrev == spec.abbrev)
             return spec;
     }
+    if (abbrev.rfind("synth:", 0) == 0)
+        return synthSpec(abbrev);
     fatal("unknown dataset abbreviation: ", abbrev);
 }
 
@@ -77,7 +170,10 @@ instantiateDataset(const DatasetSpec &spec, double scale,
 
     const auto cap = static_cast<VertexId>(
         std::max(256.0, static_cast<double>(kDatasetVertexCap) * scale));
-    const VertexId vertices = std::min(spec.fullVertices, cap);
+    // synth: specs exist to run at full size — no cap.
+    const VertexId vertices =
+        spec.synthetic ? spec.fullVertices
+                       : std::min(spec.fullVertices, cap);
     const double vertex_scale = static_cast<double>(vertices) /
                                 static_cast<double>(spec.fullVertices);
 
@@ -98,13 +194,24 @@ instantiateDataset(const DatasetSpec &spec, double scale,
             static_cast<double>(spec.fullVertices),
         4.0, static_cast<double>(vertices) / 3.0);
     params.hubSetFraction = 0.002;
-    // Stable seed per dataset: hash the abbreviation.
+    // Stable seed per dataset: hash the abbreviation (synth specs
+    // embed N and deg in theirs, so they get distinct seeds too).
     std::uint64_t seed = 0x5ac5ac5ac5ac5acULL;
     for (const char *p = spec.abbrev; *p; ++p)
         seed = Rng::splitMix64(seed) ^ static_cast<std::uint64_t>(*p);
     params.seed = seed + seed_offset;
+    // Frozen Table II datasets must keep the legacy serial stream
+    // (bit-identical graphs across releases); synth ones use the
+    // chunked protocol and all hardware threads.
+    params.chunkedRng = spec.synthetic;
+    params.jobs = spec.synthetic ? 0 : 1;
 
+    const auto start = std::chrono::steady_clock::now();
     Dataset dataset{spec, clusteredGraph(params), 0, vertex_scale};
+    dataset.buildMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
 
     const auto width_cap = static_cast<unsigned>(
         std::max(64.0, static_cast<double>(kInputWidthCap) * scale));

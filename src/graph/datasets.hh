@@ -64,6 +64,15 @@ struct DatasetSpec
     /** Average-degree cap applied when scaling down (Reddit). */
     double degreeCap;
 
+    /**
+     * True for synth:<N> specs: the vertex count is NOT capped by
+     * --scale (the point is million-node runs), and generation uses
+     * the chunked parallel RNG protocol instead of the frozen legacy
+     * stream. Defaulted so the Table II positional initializers stay
+     * untouched.
+     */
+    bool synthetic = false;
+
     /** Full-size average directed degree. */
     double
     fullAvgDegree() const
@@ -84,6 +93,10 @@ struct Dataset
 
     /** scaled vertices / full vertices. */
     double vertexScale;
+
+    /** Wall time spent generating + building the graph, for the
+     *  bench banner and sgcn_sim's dataset line. */
+    double buildMillis = 0.0;
 };
 
 /** All nine datasets in Table II order (CR CS PM NL RD FK YP DB GH). */
@@ -93,8 +106,17 @@ const std::vector<DatasetSpec> &allDatasets();
  *  the order Fig. 3 uses (GH FK NL RD DB YP CR CS PM). */
 std::vector<DatasetSpec> datasetsBySparsity();
 
-/** Lookup by abbreviation ("CR", "RD", ...); fatal on miss. */
-const DatasetSpec &datasetByAbbrev(const std::string &abbrev);
+/**
+ * Lookup by abbreviation ("CR", "RD", ...); fatal on miss.
+ *
+ * Also accepts on-the-fly synthetic specs "synth:<N>[:deg<D>]" with
+ * k/M count suffixes — e.g. "synth:200k", "synth:1M:deg12" — which
+ * describe an uncapped clustered graph of N vertices and average
+ * directed degree D (default 8). Returned by value: synthetic specs
+ * are minted on demand (their strings are interned, so the
+ * const char* fields stay valid for the process lifetime).
+ */
+DatasetSpec datasetByAbbrev(const std::string &abbrev);
 
 /**
  * Build the synthetic stand-in graph.

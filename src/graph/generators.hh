@@ -52,6 +52,19 @@ struct ClusteredGraphParams
 
     /** RNG seed. */
     std::uint64_t seed = 1;
+
+    /**
+     * Draw edges in fixed-size chunks, each from its own RNG
+     * substream (seeded from the chunk index), instead of one serial
+     * stream. The chunk size is a protocol constant, so the edge
+     * multiset — hence the graph — is independent of @ref jobs; but
+     * it differs from the legacy serial stream, so only datasets
+     * with no frozen baseline (synth:) enable it.
+     */
+    bool chunkedRng = false;
+
+    /** Generation/build parallelism when chunkedRng (0 = auto). */
+    unsigned jobs = 1;
 };
 
 /** Clustered / locality-preserving community graph (see above). */

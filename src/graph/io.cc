@@ -82,8 +82,8 @@ saveCsrBinary(const CsrGraph &graph, const std::string &path)
     out.write(reinterpret_cast<const char *>(
                   graph.rowPointers().data()),
               static_cast<std::streamsize>((n + 1) * sizeof(EdgeId)));
-    out.write(reinterpret_cast<const char *>(
-                  graph.columnIndices().data()),
+    const std::vector<VertexId> col_idx = graph.unpackedColumns();
+    out.write(reinterpret_cast<const char *>(col_idx.data()),
               static_cast<std::streamsize>(m * sizeof(VertexId)));
 }
 

@@ -7,6 +7,15 @@
 namespace sgcn
 {
 
+namespace
+{
+
+/** Offset-table budget; above it edgeBegin switches to on-demand
+ *  binary search (see the header comment). */
+constexpr std::uint64_t kMaxTileTableBytes = 1ull << 26;
+
+} // namespace
+
 TiledGraphView::TiledGraphView(const CsrGraph &graph,
                                VertexId dst_tile_rows,
                                VertexId src_tile_cols)
@@ -17,6 +26,11 @@ TiledGraphView::TiledGraphView(const CsrGraph &graph,
     const VertexId n = topo.numVertices();
     dstTiles = static_cast<unsigned>(divCeil(n, dstSpan));
     srcTiles = static_cast<unsigned>(divCeil(n, srcSpan));
+
+    const std::uint64_t table_bytes = static_cast<std::uint64_t>(n) *
+                                      (srcTiles + 1) * sizeof(EdgeId);
+    if (table_bytes > kMaxTileTableBytes)
+        return;
 
     // For every vertex, find where each src tile begins in its sorted
     // neighbour list via a single sweep.
@@ -58,23 +72,40 @@ TiledGraphView::dstTileEnd(unsigned t) const
         topo.numVertices()));
 }
 
-std::span<const VertexId>
+EdgeId
+TiledGraphView::searchEdgeBegin(VertexId v, unsigned c) const
+{
+    const auto &row_ptr = topo.rowPointers();
+    if (c == 0)
+        return row_ptr[v];
+    if (c >= srcTiles)
+        return row_ptr[v + 1];
+    const VertexId tile_begin = static_cast<VertexId>(
+        static_cast<std::uint64_t>(c) * srcSpan);
+    const auto nbrs = topo.neighbors(v);
+    const auto it =
+        std::lower_bound(nbrs.begin(), nbrs.end(), tile_begin);
+    return row_ptr[v] + static_cast<EdgeId>(it - nbrs.begin());
+}
+
+CsrGraph::NeighborRange
 TiledGraphView::tileNeighbors(VertexId v, unsigned c) const
 {
     const EdgeId begin = edgeBegin(v, c);
     const EdgeId end = edgeBegin(v, c + 1);
-    return {topo.columnIndices().data() + begin,
-            topo.columnIndices().data() + end};
+    return topo.columnIndices().range(
+        begin, static_cast<std::size_t>(end - begin));
 }
 
-std::span<const float>
+EdgeWeightRange
 TiledGraphView::tileWeights(VertexId v, unsigned c) const
 {
     const EdgeId begin = edgeBegin(v, c);
     const EdgeId end = edgeBegin(v, c + 1);
-    const auto all = topo.weights(v);
     const EdgeId base = topo.rowPointers()[v];
-    return all.subspan(begin - base, end - begin);
+    return topo.weights(v).subrange(
+        static_cast<std::size_t>(begin - base),
+        static_cast<std::size_t>(end - begin));
 }
 
 VertexId

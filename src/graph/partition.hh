@@ -52,17 +52,28 @@ class TiledGraphView
     VertexId dstTileEnd(unsigned t) const;
 
     /** Neighbours of @p v restricted to src tile @p c. */
-    std::span<const VertexId> tileNeighbors(VertexId v,
-                                            unsigned c) const;
+    CsrGraph::NeighborRange tileNeighbors(VertexId v,
+                                          unsigned c) const;
 
     /** Weights parallel to tileNeighbors(). */
-    std::span<const float> tileWeights(VertexId v, unsigned c) const;
+    EdgeWeightRange tileWeights(VertexId v, unsigned c) const;
 
-    /** CSR edge index where tile @p c starts for vertex @p v. */
+    /**
+     * CSR edge index where tile @p c starts for vertex @p v. Served
+     * from the precomputed per-vertex offset table when it fits the
+     * budget, otherwise answered on demand by a binary search over
+     * the vertex's sorted neighbour run — at 10^6 vertices the table
+     * would cost n * (srcTiles + 1) * 8 bytes (gigabytes for small
+     * src tiles), dwarfing the packed adjacency itself.
+     */
     EdgeId edgeBegin(VertexId v, unsigned c) const
     {
-        return tileOffsets[static_cast<std::size_t>(v) * (srcTiles + 1)
-                           + c];
+        if (!tileOffsets.empty()) {
+            return tileOffsets[static_cast<std::size_t>(v) *
+                                   (srcTiles + 1) +
+                               c];
+        }
+        return searchEdgeBegin(v, c);
     }
 
     /** The underlying graph. */
@@ -82,12 +93,16 @@ class TiledGraphView
     }
 
   private:
+    /** On-demand lower_bound over v's packed neighbour run. */
+    EdgeId searchEdgeBegin(VertexId v, unsigned c) const;
+
     const CsrGraph &topo;
     VertexId dstSpan;
     VertexId srcSpan;
     unsigned dstTiles;
     unsigned srcTiles;
-    /** (srcTiles+1) offsets per vertex into the CSR edge arrays. */
+    /** (srcTiles+1) offsets per vertex into the CSR edge arrays;
+     *  empty when the table exceeds the budget (see edgeBegin). */
     std::vector<EdgeId> tileOffsets;
 };
 

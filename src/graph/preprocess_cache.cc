@@ -15,7 +15,7 @@ computeReorder(const CsrGraph &graph, ReorderKind kind)
     switch (kind) {
       case ReorderKind::BfsIslands:
         return std::make_shared<const CsrGraph>(
-            graph.permuted(bfsIslandOrder(graph)));
+            graph.permuted(bfsIslandOrder(graph, 0), 0));
     }
     panic("unknown ReorderKind ", static_cast<int>(kind));
 }

@@ -20,9 +20,16 @@ namespace sgcn
 
 /**
  * BFS-based islandization order.
+ *
+ * @param jobs 1 = serial; 0 = auto (parallel for million-node
+ *        graphs); else fan island BFS over that many workers. The
+ *        parallel path labels connected components first, orders
+ *        islands by their best seed, and runs one BFS per island —
+ *        bit-identical to the serial sweep for any value.
  * @return permutation where perm[old_id] = new_id.
  */
-std::vector<VertexId> bfsIslandOrder(const CsrGraph &graph);
+std::vector<VertexId> bfsIslandOrder(const CsrGraph &graph,
+                                     unsigned jobs = 1);
 
 /** Descending-degree order as a permutation (perm[old] = new). */
 std::vector<VertexId> degreeOrder(const CsrGraph &graph);

@@ -23,7 +23,7 @@ class SparsitySweep
     : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
 {
   protected:
-    const DatasetSpec &
+    DatasetSpec
     spec() const
     {
         return datasetByAbbrev(std::get<0>(GetParam()));

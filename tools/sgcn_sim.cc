@@ -128,11 +128,18 @@ cmdRun(const Cli &cli)
         configs.push_back(std::move(config));
     }
 
-    std::printf("%s: %u vertices, %llu edges | %u-layer %s\n\n",
+    std::printf("%s: %u vertices, %llu edges | %u-layer %s\n",
                 dataset.spec.name, dataset.graph.numVertices(),
                 static_cast<unsigned long long>(
                     dataset.graph.numEdges()),
                 net.layers, aggKindName(net.agg));
+    std::printf("graph: built in %.0f ms | %.1f MB CSR | "
+                "%.2f B/edge adjacency\n\n",
+                dataset.buildMillis,
+                static_cast<double>(
+                    dataset.graph.footprintBytes()) /
+                    1e6,
+                dataset.graph.adjacencyBytesPerEdge());
 
     const auto results = runAll(configs, dataset, net, opts);
 
@@ -329,8 +336,10 @@ usage()
     std::fputs(
         "usage: sgcn_sim <run|sweep|describe|datasets|generate> "
         "[flags]\n"
-        "  run       --dataset CR|... or --edge-list FILE; "
-        "--accels A,B; --mode fast|timing;\n"
+        "  run       --dataset CR|...|synth:<N>[:deg<D>] or "
+        "--edge-list FILE; --accels A,B; --mode fast|timing;\n"
+        "            (synth:200k, synth:1M:deg12, ... generate "
+        "uncapped clustered graphs in parallel)\n"
         "            --layers N --hidden N --agg gcn|gin|sage "
         "--cache-kb N --engines N\n"
         "            --dram hbm1|hbm2 --csv FILE --stats "
