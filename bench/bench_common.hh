@@ -20,6 +20,11 @@
  *   --partition contiguous|edge-balanced
  *                        multi-chip vertex partitioner policy
  *   --link pcie4|noc     interconnect preset for halo exchanges
+ *   --faults SPEC        deterministic fault plan (see FaultPlan);
+ *                        the banner echoes the canonical spec so any
+ *                        run can be replayed exactly
+ *   --degraded-mode repartition|fail-fast
+ *                        chip-fail reaction (default repartition)
  */
 
 #ifndef SGCN_BENCH_BENCH_COMMON_HH
@@ -74,6 +79,13 @@ struct BenchOptions
             options.run.link =
                 linkByName(cli.getString("link", "pcie4"));
         }
+        options.run.faults =
+            FaultPlan::parse(cli.getString("faults", "")).orFatal();
+        options.run.degradedMode =
+            parseDegradedMode(
+                cli.getString("degraded-mode",
+                              degradedModeName(options.run.degradedMode)))
+                .orFatal();
         options.scale = cli.scale();
 
         const std::string list = cli.getString("datasets", "");
@@ -112,6 +124,11 @@ banner(const char *figure, const BenchOptions &options)
                     options.run.chips,
                     partitionPolicyName(options.run.partitionPolicy),
                     options.run.link.name);
+    }
+    if (options.run.faults.active()) {
+        std::printf("faults=%s degraded-mode=%s\n\n",
+                    options.run.faults.canonical().c_str(),
+                    degradedModeName(options.run.degradedMode));
     }
 }
 

@@ -58,18 +58,26 @@ findDataflow(DataflowKind kind)
     return it == r.end() ? nullptr : it->second.get();
 }
 
-const Dataflow &
-dataflowFor(DataflowKind kind)
+Expected<const Dataflow *>
+tryDataflowFor(DataflowKind kind)
 {
     const Dataflow *strategy = findDataflow(kind);
     if (!strategy) {
-        fatal("no dataflow strategy registered for kind ",
-              static_cast<unsigned>(kind), " (",
-              dataflowKindName(kind),
-              "); known kinds: aggregation-first row product, "
-              "combination-first row product, column product");
+        return makeError(
+            ErrorCode::NotFound,
+            "no dataflow strategy registered for kind ",
+            static_cast<unsigned>(kind), " (",
+            dataflowKindName(kind),
+            "); known kinds: aggregation-first row product, "
+            "combination-first row product, column product");
     }
-    return *strategy;
+    return strategy;
+}
+
+const Dataflow &
+dataflowFor(DataflowKind kind)
+{
+    return *tryDataflowFor(kind).orFatal();
 }
 
 std::unique_ptr<Dataflow>

@@ -22,6 +22,7 @@
 
 #include "accel/config.hh"
 #include "accel/dataflow/dataflow.hh"
+#include "sim/error.hh"
 
 namespace sgcn
 {
@@ -32,6 +33,10 @@ const Dataflow *findDataflow(DataflowKind kind);
 /** Strategy registered for @p kind; fatal() with a clear message
  *  when no strategy is registered (bad personality configuration). */
 const Dataflow &dataflowFor(DataflowKind kind);
+
+/** Strategy registered for @p kind; typed NotFound error naming the
+ *  known kinds when missing (never null on success). */
+Expected<const Dataflow *> tryDataflowFor(DataflowKind kind);
 
 /** Register (or replace) the strategy executing @p kind. Passing
  *  nullptr removes the entry. Returns the previous strategy. */

@@ -8,10 +8,56 @@
 namespace sgcn
 {
 
+namespace
+{
+
+/**
+ * Retry/backoff penalty of one degraded port's exchange: each
+ * failed attempt re-serializes the port's traffic and then backs
+ * off exponentially; the penalty is capped at the link's exchange
+ * timeout (counting a timeout), and exhausting the attempt budget
+ * also times out. Decisions are pure hashes of (plan seed, chip,
+ * layer, attempt), so the timeline is identical at any --jobs.
+ */
+Cycle
+degradedPortPenalty(const ExchangeFaultContext &faults,
+                    const LinkConfig &link, unsigned chip_id,
+                    double prob, Cycle serialization,
+                    ExchangeCost &cost)
+{
+    Cycle penalty = 0;
+    unsigned attempt = 1;
+    for (; attempt <= link.maxTransferAttempts; ++attempt) {
+        if (!faults.injector->attemptFails(chip_id, faults.archLayer,
+                                           attempt, prob)) {
+            break;
+        }
+        const Cycle backoff = link.retryBackoffCycles
+                              << (attempt - 1);
+        penalty += serialization + backoff;
+        cost.backoffCycles += backoff;
+        ++cost.retries;
+        if (penalty >= link.exchangeTimeoutCycles) {
+            ++cost.timeouts;
+            return link.exchangeTimeoutCycles;
+        }
+    }
+    if (attempt > link.maxTransferAttempts) {
+        // Budget exhausted: the exchange gives up on retrying and
+        // eats the full timeout instead.
+        ++cost.timeouts;
+        return link.exchangeTimeoutCycles;
+    }
+    return penalty;
+}
+
+} // namespace
+
 ExchangeCost
 priceHaloExchange(const GraphPartition &partition,
                   std::span<const FeatureLayout *const> chip_in_layouts,
-                  const LinkConfig &link)
+                  const LinkConfig &link,
+                  const ExchangeFaultContext *faults)
 {
     const unsigned chips = partition.numChips();
     SGCN_ASSERT(chip_in_layouts.size() == chips,
@@ -39,11 +85,26 @@ priceHaloExchange(const GraphPartition &partition,
     if (cost.totalBytes == 0)
         return cost;
 
-    for (const ChipExchange &port : cost.perChip) {
+    const bool inject = faults != nullptr &&
+                        faults->injector != nullptr &&
+                        faults->injector->plan().active();
+    for (unsigned c = 0; c < chips; ++c) {
+        const ChipExchange &port = cost.perChip[c];
+        Cycle port_cycles = link.serializationCycles(
+            std::max(port.inBytes, port.outBytes));
+        if (inject && port_cycles > 0) {
+            const unsigned chip_id = faults->originalChip != nullptr
+                                         ? faults->originalChip[c]
+                                         : c;
+            const double prob =
+                faults->injector->plan().linkDegradeProb(chip_id);
+            if (prob > 0.0) {
+                port_cycles += degradedPortPenalty(
+                    *faults, link, chip_id, prob, port_cycles, cost);
+            }
+        }
         cost.busiestPortCycles =
-            std::max(cost.busiestPortCycles,
-                     link.serializationCycles(
-                         std::max(port.inBytes, port.outBytes)));
+            std::max(cost.busiestPortCycles, port_cycles);
     }
     cost.cycles = static_cast<Cycle>(link.hops(chips)) *
                       link.hopLatency +

@@ -19,6 +19,7 @@
 
 #include "accel/interconnect/link.hh"
 #include "graph/partition.hh"
+#include "sim/fault/fault.hh"
 
 namespace sgcn
 {
@@ -51,6 +52,33 @@ struct ExchangeCost
     /** Serialization cycles of the busiest port (link-busy metric:
      *  busiestPortCycles / layer cycles). */
     Cycle busiestPortCycles = 0;
+
+    /** Failed transfer attempts re-serialized (fault injection). */
+    std::uint64_t retries = 0;
+
+    /** Backoff cycles injected between retry attempts. */
+    Cycle backoffCycles = 0;
+
+    /** Exchanges whose retry budget hit the link timeout. */
+    std::uint64_t timeouts = 0;
+};
+
+/**
+ * Fault context for exchange pricing: when non-null (and the plan is
+ * active), degraded link ports are re-priced with bounded
+ * exponential-backoff retries and a per-exchange timeout. The
+ * originalChip map carries survivor-partition chip indices back to
+ * the chip ids fault clauses name; null means identity.
+ */
+struct ExchangeFaultContext
+{
+    const FaultInjector *injector = nullptr;
+
+    /** Architectural layer the exchange feeds (hash stream). */
+    unsigned archLayer = 0;
+
+    /** Maps local chip index -> original chip id; null = identity. */
+    const unsigned *originalChip = nullptr;
 };
 
 /**
@@ -61,11 +89,14 @@ struct ExchangeCost
  *        layer about to run; chip c's halo rows live at local rows
  *        [ownedRows, ownedRows + haloRows)
  * @param link the interconnect
+ * @param faults optional fault context (see ExchangeFaultContext);
+ *        null — the default — prices exactly the fault-free path
  */
 ExchangeCost priceHaloExchange(
     const GraphPartition &partition,
     std::span<const FeatureLayout *const> chip_in_layouts,
-    const LinkConfig &link);
+    const LinkConfig &link,
+    const ExchangeFaultContext *faults = nullptr);
 
 } // namespace sgcn
 

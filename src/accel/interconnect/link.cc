@@ -39,6 +39,12 @@ LinkConfig::pcie4()
     config.topology = LinkTopology::Switch;
     config.bytesPerCycle = 32.0;
     config.hopLatency = 600;
+    // Long-haul fabric: replay timers and credit recovery are slow
+    // relative to the NoC, so backoff and the give-up ceiling are
+    // generous.
+    config.retryBackoffCycles = 256;
+    config.maxTransferAttempts = 5;
+    config.exchangeTimeoutCycles = 100000;
     return config;
 }
 
@@ -50,17 +56,28 @@ LinkConfig::noc()
     config.topology = LinkTopology::Mesh;
     config.bytesPerCycle = 128.0;
     config.hopLatency = 24;
+    // On-package retries are cheap and fast to detect.
+    config.retryBackoffCycles = 16;
+    config.maxTransferAttempts = 5;
+    config.exchangeTimeoutCycles = 20000;
     return config;
 }
 
-LinkConfig
-linkByName(const std::string &name)
+Expected<LinkConfig>
+tryLinkByName(const std::string &name)
 {
     if (name == "pcie4")
         return LinkConfig::pcie4();
     if (name == "noc")
         return LinkConfig::noc();
-    fatal("unknown link preset '", name, "' (expected pcie4|noc)");
+    return makeError(ErrorCode::NotFound, "unknown link preset '",
+                     name, "' (expected pcie4|noc)");
+}
+
+LinkConfig
+linkByName(const std::string &name)
+{
+    return tryLinkByName(name).orFatal();
 }
 
 } // namespace sgcn

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/error.hh"
 #include "sim/types.hh"
 
 namespace sgcn
@@ -64,6 +65,24 @@ struct LinkConfig
     /** Latency of one hop (link traversal + switch/router). */
     Cycle hopLatency = 600;
 
+    /**
+     * Base backoff after a failed transfer attempt on a degraded
+     * port (fault injection): attempt k waits base << (k-1) cycles
+     * before re-serializing, bounded by maxTransferAttempts and
+     * capped at exchangeTimeoutCycles. Irrelevant (never read) when
+     * no link fault is injected.
+     */
+    Cycle retryBackoffCycles = 256;
+
+    /** Transfer attempts before a degraded exchange gives up and
+     *  charges the full timeout instead. */
+    unsigned maxTransferAttempts = 5;
+
+    /** Per-exchange penalty ceiling: the retry/backoff penalty of
+     *  one chip's exchange never exceeds this (a timeout is counted
+     *  when it would). */
+    Cycle exchangeTimeoutCycles = 100000;
+
     /** Hops on the average route across @p chips chips. */
     unsigned hops(unsigned chips) const;
 
@@ -79,6 +98,9 @@ struct LinkConfig
 
 /** Preset by CLI name ("pcie4"|"noc"); fatal on miss. */
 LinkConfig linkByName(const std::string &name);
+
+/** Preset by CLI name; typed error on miss. */
+Expected<LinkConfig> tryLinkByName(const std::string &name);
 
 } // namespace sgcn
 

@@ -91,6 +91,7 @@ LayerEngine::finalize(LayerResult &result)
         result.cacheHits += psum_stats.hits;
     }
     result.macs = ec.aggMacs + ec.combMacs;
+    result.dramRetries = ec.mem->dram().transientRetries();
 
     if (result.cycles > 0) {
         result.bwUtil = std::min(

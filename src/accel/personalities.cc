@@ -123,14 +123,28 @@ allPersonalities()
             makeIgcn(), makeSgcn()};
 }
 
-AccelConfig
-personalityByName(const std::string &name)
+Expected<AccelConfig>
+tryPersonalityByName(const std::string &name)
 {
     for (auto &config : allPersonalities()) {
         if (config.name == name)
             return config;
     }
-    fatal("unknown accelerator personality: ", name);
+    std::string known;
+    for (const auto &config : allPersonalities()) {
+        if (!known.empty())
+            known += "|";
+        known += config.name;
+    }
+    return makeError(ErrorCode::NotFound,
+                     "unknown accelerator personality: ", name,
+                     " (expected ", known, ")");
+}
+
+AccelConfig
+personalityByName(const std::string &name)
+{
+    return tryPersonalityByName(name).orFatal();
 }
 
 } // namespace sgcn

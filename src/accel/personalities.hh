@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "sim/error.hh"
 
 namespace sgcn
 {
@@ -40,6 +41,9 @@ std::vector<AccelConfig> allPersonalities();
 
 /** Lookup by name; fatal on miss. */
 AccelConfig personalityByName(const std::string &name);
+
+/** Lookup by name; typed NotFound error listing the known names. */
+Expected<AccelConfig> tryPersonalityByName(const std::string &name);
 
 } // namespace sgcn
 

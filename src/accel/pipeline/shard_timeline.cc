@@ -31,6 +31,7 @@ composeChipLayers(std::span<const LayerResult> chip_layers,
         merged.cacheAccesses += chip.cacheAccesses;
         merged.cacheHits += chip.cacheHits;
         merged.macs += chip.macs;
+        merged.dramRetries += chip.dramRetries;
     }
 
     // The bottleneck chip's schedule, delayed by the exchange. The

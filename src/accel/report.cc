@@ -65,6 +65,37 @@ runResultCsvRow(const RunResult &run)
     return os.str();
 }
 
+std::string
+faultCsvHeaderSuffix()
+{
+    return ",faults,fault_spec,fault_seed,degraded_mode,"
+           "link_retries,backoff_cycles,link_timeouts,dram_retries,"
+           "stall_cycles,recovery_cycles,failed_chips,"
+           "surviving_chips,repartitions";
+}
+
+std::string
+faultCsvRowSuffix(const RunResult &run)
+{
+    const FaultStats &f = run.faults;
+    // The canonical spec separates clauses with ',' — re-separate
+    // with ';' inside the CSV cell so row arity stays intact.
+    std::string spec = f.spec;
+    for (char &ch : spec) {
+        if (ch == ',')
+            ch = ';';
+    }
+    std::ostringstream os;
+    os << ',' << (f.enabled ? 1 : 0) << ',' << spec << ',' << f.seed
+       << ','
+       << f.degradedMode << ',' << f.linkRetries << ','
+       << f.backoffCycles << ',' << f.timeouts << ','
+       << f.dramRetries << ',' << f.stallCycles << ','
+       << f.recoveryCycles << ',' << f.failedChips << ','
+       << f.survivingChips << ',' << f.repartitions;
+    return os.str();
+}
+
 void
 writeRunsCsv(const std::vector<RunResult> &runs,
              const std::string &path)
@@ -72,9 +103,21 @@ writeRunsCsv(const std::vector<RunResult> &runs,
     std::ofstream out(path);
     if (!out)
         fatal("cannot write CSV: ", path);
-    out << runResultCsvHeader() << '\n';
+    // Fault columns appear only when some run injected faults:
+    // fault-free sweep CSVs stay byte-identical to pre-fault output.
+    bool any_faults = false;
     for (const auto &run : runs)
-        out << runResultCsvRow(run) << '\n';
+        any_faults = any_faults || run.faults.enabled;
+    out << runResultCsvHeader();
+    if (any_faults)
+        out << faultCsvHeaderSuffix();
+    out << '\n';
+    for (const auto &run : runs) {
+        out << runResultCsvRow(run);
+        if (any_faults)
+            out << faultCsvRowSuffix(run);
+        out << '\n';
+    }
 }
 
 StatSet
@@ -133,6 +176,26 @@ runResultStats(const RunResult &run)
         stats["shard.bottleneck_chip_cycles"] =
             static_cast<double>(run.shard.bottleneckChipCycles);
     }
+    if (run.faults.enabled) {
+        stats["fault.link_retries"] =
+            static_cast<double>(run.faults.linkRetries);
+        stats["fault.backoff_cycles"] =
+            static_cast<double>(run.faults.backoffCycles);
+        stats["fault.link_timeouts"] =
+            static_cast<double>(run.faults.timeouts);
+        stats["fault.dram_retries"] =
+            static_cast<double>(run.faults.dramRetries);
+        stats["fault.stall_cycles"] =
+            static_cast<double>(run.faults.stallCycles);
+        stats["fault.recovery_cycles"] =
+            static_cast<double>(run.faults.recoveryCycles);
+        stats["fault.failed_chips"] =
+            static_cast<double>(run.faults.failedChips);
+        stats["fault.surviving_chips"] =
+            static_cast<double>(run.faults.survivingChips);
+        stats["fault.repartitions"] =
+            static_cast<double>(run.faults.repartitions);
+    }
     return stats;
 }
 
@@ -168,6 +231,27 @@ shardSummaryLine(const RunResult &run)
        << run.shard.linkBusyFraction * 100.0
        << "%, bottleneck chip " << run.shard.bottleneckChipCycles
        << " cycles";
+    return os.str();
+}
+
+std::string
+faultSummaryLine(const RunResult &run)
+{
+    if (!run.faults.enabled)
+        return "";
+    const FaultStats &f = run.faults;
+    std::ostringstream os;
+    os << run.accelName << ": faults=" << f.spec << " ("
+       << f.degradedMode << "): " << f.linkRetries
+       << " link retries (" << f.backoffCycles << " backoff cycles, "
+       << f.timeouts << " timeouts), " << f.dramRetries
+       << " DRAM retries, " << f.stallCycles << " stall cycles";
+    if (f.failedChips > 0) {
+        os << ", " << f.failedChips << " chip(s) failed -> "
+           << f.survivingChips << " survivors ("
+           << f.repartitions << " repartition(s), "
+           << f.recoveryCycles << " recovery cycles)";
+    }
     return os.str();
 }
 

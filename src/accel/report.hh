@@ -23,7 +23,19 @@ std::string runResultCsvHeader();
 /** One CSV row for a run. */
 std::string runResultCsvRow(const RunResult &run);
 
-/** Write runs as a CSV file (header + one row per run). */
+/** Extra header fragment for fault-injection columns (leading comma
+ *  included). Appended by writeRunsCsv only when some run actually
+ *  injected faults, so fault-free CSVs stay byte-identical to
+ *  pre-fault releases. */
+std::string faultCsvHeaderSuffix();
+
+/** Fault-column values for one run, matching faultCsvHeaderSuffix()
+ *  (leading comma included; all-zero columns when the run itself was
+ *  fault-free). */
+std::string faultCsvRowSuffix(const RunResult &run);
+
+/** Write runs as a CSV file (header + one row per run). Fault
+ *  columns are appended when any run has faults enabled. */
 void writeRunsCsv(const std::vector<RunResult> &runs,
                   const std::string &path);
 
@@ -35,6 +47,9 @@ std::string pipelineSummaryLine(const RunResult &run);
 
 /** One-line multi-chip summary ("" when the run was monolithic). */
 std::string shardSummaryLine(const RunResult &run);
+
+/** One-line fault summary ("" when the run was fault-free). */
+std::string faultSummaryLine(const RunResult &run);
 
 /**
  * Write the run's layer schedules as CSV (the ROADMAP Gantt export):

@@ -363,6 +363,10 @@ struct LayerResult
     std::uint64_t cacheHits = 0;
     std::uint64_t macs = 0;
 
+    /** Transient-error DRAM retries (fault injection; 0 unless a
+     *  dram-retry fault is active and the run is timing-mode). */
+    std::uint64_t dramRetries = 0;
+
     /** Fraction of DRAM bandwidth used over the layer. */
     double bwUtil = 0.0;
 
@@ -381,6 +385,7 @@ struct LayerResult
         cacheAccesses += other.cacheAccesses;
         cacheHits += other.cacheHits;
         macs += other.macs;
+        dramRetries += other.dramRetries;
     }
 
     /** Scale all additive quantities by @p factor. */
@@ -405,6 +410,8 @@ struct LayerResult
             static_cast<double>(cacheHits) * factor);
         macs = static_cast<std::uint64_t>(
             static_cast<double>(macs) * factor);
+        dramRetries = static_cast<std::uint64_t>(
+            static_cast<double>(dramRetries) * factor);
     }
 };
 
@@ -491,6 +498,55 @@ struct ShardStats
     Cycle bottleneckChipCycles = 0;
 };
 
+/**
+ * Summary of an injected-fault run, filled by runNetwork when
+ * RunOptions::faults is active. Event counts follow the exchange
+ * extrapolation convention (sampled layers scaled to depth) except
+ * recoveryCycles, which sums the actual one-time recovery costs.
+ */
+struct FaultStats
+{
+    /** True when a fault plan was active for the run. */
+    bool enabled = false;
+
+    /** Canonical replayable spec (FaultPlan::canonical()). */
+    std::string spec;
+
+    /** The plan's fault RNG seed. */
+    std::uint64_t seed = 0;
+
+    /** Degraded-mode policy name ("repartition"/"fail-fast"). */
+    std::string degradedMode;
+
+    /** Failed link-transfer attempts re-serialized. */
+    std::uint64_t linkRetries = 0;
+
+    /** Backoff cycles injected between link retries. */
+    Cycle backoffCycles = 0;
+
+    /** Exchanges that hit the link's retry timeout. */
+    std::uint64_t timeouts = 0;
+
+    /** Transient-error DRAM retries (== total.dramRetries). */
+    std::uint64_t dramRetries = 0;
+
+    /** Stall cycles injected into chip timelines. */
+    Cycle stallCycles = 0;
+
+    /** Cycles spent detecting failures and re-materializing dead
+     *  chips' shard state on the survivors (unscaled). */
+    Cycle recoveryCycles = 0;
+
+    /** Chips that died during the run. */
+    unsigned failedChips = 0;
+
+    /** Chips still alive at the end of the run. */
+    unsigned survivingChips = 0;
+
+    /** Survivor re-partitions performed. */
+    unsigned repartitions = 0;
+};
+
 /** Outcome of a whole-network simulation. */
 struct RunResult
 {
@@ -511,6 +567,9 @@ struct RunResult
 
     /** Multi-chip sharding summary (enabled=false when chips=1). */
     ShardStats shard;
+
+    /** Fault-injection summary (enabled=false when no faults). */
+    FaultStats faults;
 
     /** Dynamic energy and peak power. */
     EnergyBreakdown energy;

@@ -1,6 +1,7 @@
 #include "accel/runner.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "accel/dataflow/registry.hh"
 #include "accel/interconnect/exchange.hh"
@@ -52,8 +53,14 @@ chainSampledSchedules(const RunResult &run, unsigned arch_intermediate,
 struct ShardedLayer
 {
     LayerResult merged;
+
+    /** Pure exchange pricing (fault retries included, recovery not). */
     ExchangeCost exchange;
+
     std::vector<Cycle> chipCycles;
+
+    /** Stall cycles injected into this layer's chip timelines. */
+    Cycle stallCycles = 0;
 };
 
 /**
@@ -62,11 +69,23 @@ struct ShardedLayer
  * halo exchange priced off the chip input layouts, the chip engines
  * fanned over the jobs pool — and compose the results onto the
  * shared timeline. @p arch_layer 0 is the input layer.
+ *
+ * @param injector fault decisions, or null for the fault-free path
+ *        (which then prices bit-identically to the pre-fault code)
+ * @param original_chip maps partition chip index -> the original chip
+ *        id fault clauses name (identity until a chip-fail shrinks
+ *        the partition onto the survivors)
+ * @param recovery_cycles one-time failure-recovery cost charged to
+ *        this layer's exchange prefix (the schedule slot the network
+ *        pipeline already knows how to hide)
  */
 ShardedLayer
 runShardedLayer(const AccelConfig &config, const Dataset &dataset,
                 const NetworkSpec &net, const RunOptions &opts,
-                const GraphPartition &partition, unsigned arch_layer)
+                const GraphPartition &partition, unsigned arch_layer,
+                const FaultInjector *injector,
+                const std::vector<unsigned> &original_chip,
+                Cycle recovery_cycles)
 {
     const unsigned chips = partition.numChips();
     std::vector<LayerContext> contexts;
@@ -86,25 +105,69 @@ runShardedLayer(const AccelConfig &config, const Dataset &dataset,
         in_layouts.push_back(ctx.inLayout.get());
 
     ShardedLayer out;
-    out.exchange = priceHaloExchange(partition, in_layouts, opts.link);
+    ExchangeFaultContext fault_ctx;
+    fault_ctx.injector = injector;
+    fault_ctx.archLayer = arch_layer;
+    fault_ctx.originalChip = original_chip.data();
+    out.exchange =
+        priceHaloExchange(partition, in_layouts, opts.link,
+                          injector ? &fault_ctx : nullptr);
 
+    const double retry_prob =
+        injector ? injector->plan().dramRetryProb() : 0.0;
     std::vector<LayerResult> chip_results(chips);
     parallelFor(opts.jobs, chips, [&](std::size_t c) {
-        LayerEngine engine(config, contexts[c]);
+        // A dram-retry fault gives every chip its own derived retry
+        // seed so chip timelines decorrelate; without one the shared
+        // config is used untouched.
+        const AccelConfig *cfg = &config;
+        AccelConfig chip_cfg;
+        if (retry_prob > 0.0) {
+            chip_cfg = config;
+            chip_cfg.dram.transientRetryProb = retry_prob;
+            chip_cfg.dram.retrySeed = FaultInjector::deriveSeed(
+                injector->plan().seed, original_chip[c]);
+            cfg = &chip_cfg;
+        }
+        LayerEngine engine(*cfg, contexts[c]);
         chip_results[c] = engine.run(opts.mode);
     });
+
+    if (injector) {
+        // Chip stalls extend the stalled chip's drain (and so its
+        // critical path), keeping criticalEnd() == cycles and the
+        // last tile pinned to the drain end.
+        for (unsigned c = 0; c < chips; ++c) {
+            const Cycle stall = injector->plan().chipStall(
+                original_chip[c], arch_layer);
+            if (stall == 0)
+                continue;
+            LayerResult &chip = chip_results[c];
+            chip.cycles += stall;
+            chip.schedule.outputDrain.end = chip.cycles;
+            chip.schedule.tileSpans.back().outputReady =
+                chip.schedule.outputDrain.end;
+            out.stallCycles += stall;
+        }
+    }
 
     out.chipCycles.reserve(chips);
     for (const LayerResult &chip : chip_results)
         out.chipCycles.push_back(chip.cycles);
-    out.merged = composeChipLayers(chip_results, out.exchange).merged;
+
+    // Recovery rides the exchange slot of the composed schedule: the
+    // compose shifts the bottleneck timeline by the exchange cycles,
+    // so adding recovery there keeps every schedule invariant.
+    ExchangeCost priced = out.exchange;
+    priced.cycles += recovery_cycles;
+    out.merged = composeChipLayers(chip_results, priced).merged;
     return out;
 }
 
 /** The chips > 1 body of runNetwork; see RunOptions::chips. */
-RunResult
-runNetworkSharded(const AccelConfig &config, const Dataset &dataset,
-                  const NetworkSpec &net, const RunOptions &opts)
+Expected<RunResult>
+tryRunNetworkSharded(const AccelConfig &config, const Dataset &dataset,
+                     const NetworkSpec &net, const RunOptions &opts)
 {
     RunResult run;
     run.accelName = config.name;
@@ -120,8 +183,23 @@ runNetworkSharded(const AccelConfig &config, const Dataset &dataset,
 
     const unsigned chips = static_cast<unsigned>(
         std::min<std::uint64_t>(opts.chips, graph->numVertices()));
-    const auto partition = StreamArtifactCache::instance().partition(
+    if (Status valid = opts.faults.validate(chips); !valid.ok())
+        return valid.error();
+
+    const bool faulty = opts.faults.active();
+    const FaultInjector injector_storage(opts.faults);
+    const FaultInjector *injector = faulty ? &injector_storage : nullptr;
+
+    // Live partition state: shrinks when a chip-fail redistributes a
+    // dead chip's shard onto the survivors. original_chip maps the
+    // current partition's chip index back to the chip id fault
+    // clauses (and ShardStats::chipCycles) use.
+    auto partition = StreamArtifactCache::instance().partition(
         *graph, chips, opts.partitionPolicy);
+    std::vector<unsigned> original_chip(chips);
+    for (unsigned c = 0; c < chips; ++c)
+        original_chip[c] = c;
+    Cycle pending_recovery = 0;
 
     ShardStats &shard = run.shard;
     shard.enabled = true;
@@ -131,11 +209,22 @@ runNetworkSharded(const AccelConfig &config, const Dataset &dataset,
     shard.haloVertices = partition->totalHaloVertices();
     shard.chipCycles.assign(chips, 0);
 
+    FaultStats &faults = run.faults;
+    if (faulty) {
+        faults.enabled = true;
+        faults.spec = opts.faults.canonical();
+        faults.seed = opts.faults.seed;
+        faults.degradedMode = degradedModeName(opts.degradedMode);
+    }
+
     // Exchange and per-chip totals follow run.total's extrapolation
     // convention: input layer counted once, sampled intermediate
-    // layers scaled to the architectural depth.
-    const auto account = [&shard](const ShardedLayer &layer,
-                                  double scale) {
+    // layers scaled to the architectural depth. Fault event counts
+    // follow the same convention; recovery costs are one-time and
+    // accounted unscaled where they happen.
+    const auto account = [&shard, &faults, faulty,
+                          &original_chip](const ShardedLayer &layer,
+                                          double scale) {
         shard.exchangeBytes += static_cast<std::uint64_t>(
             static_cast<double>(layer.exchange.totalBytes) * scale);
         shard.exchangeCycles += static_cast<Cycle>(
@@ -143,18 +232,103 @@ runNetworkSharded(const AccelConfig &config, const Dataset &dataset,
         shard.linkBusyCycles += static_cast<Cycle>(
             static_cast<double>(layer.exchange.busiestPortCycles) *
             scale);
-        for (unsigned c = 0; c < shard.chips; ++c) {
-            shard.chipCycles[c] += static_cast<Cycle>(
+        for (unsigned c = 0; c < layer.chipCycles.size(); ++c) {
+            shard.chipCycles[original_chip[c]] += static_cast<Cycle>(
                 static_cast<double>(layer.chipCycles[c]) * scale);
+        }
+        if (faulty) {
+            faults.linkRetries += static_cast<std::uint64_t>(
+                static_cast<double>(layer.exchange.retries) * scale);
+            faults.backoffCycles += static_cast<Cycle>(
+                static_cast<double>(layer.exchange.backoffCycles) *
+                scale);
+            faults.timeouts += static_cast<std::uint64_t>(
+                static_cast<double>(layer.exchange.timeouts) * scale);
+            faults.stallCycles += static_cast<Cycle>(
+                static_cast<double>(layer.stallCycles) * scale);
         }
     };
 
+    /**
+     * Detect chips that die at @p arch_layer, then run the layer on
+     * whatever partition survives. Detection happens at the layer
+     * boundary — the previous layer completed everywhere — so the
+     * replay resumes from the last completed layer with no partial
+     * work lost; the recovery cost (detection timeout, route latency,
+     * re-materializing the dead shard's X^l on the survivors) is
+     * charged to the replayed layer's exchange prefix.
+     */
+    const auto run_layer =
+        [&](unsigned arch_layer) -> Expected<ShardedLayer> {
+        if (faulty && opts.faults.hasChipFailure()) {
+            std::vector<unsigned> dead;
+            for (unsigned c = 0;
+                 c < static_cast<unsigned>(original_chip.size()); ++c) {
+                if (opts.faults.failsAt(original_chip[c], arch_layer))
+                    dead.push_back(c);
+            }
+            if (!dead.empty() &&
+                opts.degradedMode == DegradedMode::FailFast) {
+                return makeError(
+                    ErrorCode::ChipFailure, "chip ",
+                    original_chip[dead.front()], " failed at layer ",
+                    arch_layer, " on ", dataset.spec.abbrev, " ('",
+                    config.name,
+                    "'); --degraded-mode fail-fast aborts the run "
+                    "(use repartition to continue on the survivors)");
+            }
+            if (dead.size() >= original_chip.size()) {
+                return makeError(ErrorCode::ChipFailure,
+                                 "every chip failed by layer ",
+                                 arch_layer,
+                                 "; no survivors to repartition onto");
+            }
+            if (!dead.empty()) {
+                const unsigned survivors = static_cast<unsigned>(
+                    original_chip.size() - dead.size());
+                const unsigned width =
+                    arch_layer == 0 ? dataset.inputWidth : net.hidden;
+                Cycle recovery = 0;
+                for (unsigned c : dead) {
+                    // Detection (the exchange timeout expiring on the
+                    // dead port), the redistribution route, and the
+                    // re-materialization of the dead shard's dense
+                    // X^l rows on the survivors.
+                    const std::uint64_t bytes =
+                        static_cast<std::uint64_t>(
+                            partition->shard(c).ownedRows()) *
+                        width * 4;
+                    recovery += opts.link.exchangeTimeoutCycles +
+                                opts.link.hops(survivors) *
+                                    opts.link.hopLatency +
+                                opts.link.serializationCycles(bytes);
+                }
+                for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+                    original_chip.erase(original_chip.begin() + *it);
+                }
+                partition = StreamArtifactCache::instance().partition(
+                    *graph, survivors, opts.partitionPolicy);
+                faults.failedChips +=
+                    static_cast<unsigned>(dead.size());
+                faults.repartitions += 1;
+                faults.recoveryCycles += recovery;
+                pending_recovery += recovery;
+            }
+        }
+        ShardedLayer layer = runShardedLayer(
+            config, dataset, net, opts, *partition, arch_layer,
+            injector, original_chip, pending_recovery);
+        pending_recovery = 0;
+        return layer;
+    };
+
     if (opts.includeInputLayer) {
-        const ShardedLayer layer = runShardedLayer(
-            config, dataset, net, opts, *partition, 0);
-        run.inputLayer = layer.merged;
+        Expected<ShardedLayer> layer = run_layer(0);
+        if (!layer.ok())
+            return layer.error();
+        run.inputLayer = layer.value().merged;
         run.total.merge(run.inputLayer);
-        account(layer, 1.0);
+        account(layer.value(), 1.0);
     }
 
     const unsigned arch_intermediate = net.layers - 1;
@@ -164,11 +338,12 @@ runNetworkSharded(const AccelConfig &config, const Dataset &dataset,
                            static_cast<double>(indices.size());
     LayerResult sampled_sum;
     for (unsigned idx : indices) {
-        const ShardedLayer layer = runShardedLayer(
-            config, dataset, net, opts, *partition, idx + 1);
-        run.sampledLayers.push_back(layer.merged);
-        sampled_sum.merge(layer.merged);
-        account(layer, repeats);
+        Expected<ShardedLayer> layer = run_layer(idx + 1);
+        if (!layer.ok())
+            return layer.error();
+        run.sampledLayers.push_back(layer.value().merged);
+        sampled_sum.merge(layer.value().merged);
+        account(layer.value(), repeats);
     }
     sampled_sum.scale(repeats);
     run.total.merge(sampled_sum);
@@ -207,6 +382,12 @@ runNetworkSharded(const AccelConfig &config, const Dataset &dataset,
         run.pipeline.criticalPhase =
             bottleneck.schedule.longestPhase();
         run.total.cycles = sched.totalCycles;
+    }
+
+    if (faulty) {
+        faults.survivingChips =
+            static_cast<unsigned>(original_chip.size());
+        faults.dramRetries = run.total.dramRetries;
     }
 
     shard.bottleneckChipCycles = *std::max_element(
@@ -268,9 +449,9 @@ applyPipelineFlag(RunOptions &opts, bool present,
     }
 }
 
-RunResult
-runNetwork(const AccelConfig &config, const Dataset &dataset,
-           const NetworkSpec &net, const RunOptions &opts)
+Expected<RunResult>
+tryRunNetwork(const AccelConfig &config, const Dataset &dataset,
+              const NetworkSpec &net, const RunOptions &opts)
 {
     SGCN_ASSERT(net.layers >= 2, "need at least two layers");
     SGCN_ASSERT(opts.sampledIntermediateLayers >= 1,
@@ -288,7 +469,25 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
     // The sharded path is a separate body so chips=1 stays
     // bit-identical to the monolithic code below by construction.
     if (opts.chips > 1)
-        return runNetworkSharded(config, dataset, net, opts);
+        return tryRunNetworkSharded(config, dataset, net, opts);
+
+    // Only dram-retry survives validation on a monolithic run; the
+    // faulted config copy exists only when it is actually wanted, so
+    // the fault-free path runs the caller's config untouched.
+    if (Status valid = opts.faults.validate(1); !valid.ok())
+        return valid.error();
+    const double retry_prob =
+        opts.faults.active() ? opts.faults.dramRetryProb() : 0.0;
+    AccelConfig faulted_config;
+    const AccelConfig *cfgp = &config;
+    if (retry_prob > 0.0) {
+        faulted_config = config;
+        faulted_config.dram.transientRetryProb = retry_prob;
+        faulted_config.dram.retrySeed =
+            FaultInjector::deriveSeed(opts.faults.seed, 0);
+        cfgp = &faulted_config;
+    }
+    const AccelConfig &cfg = *cfgp;
 
     RunResult run;
     run.accelName = config.name;
@@ -307,8 +506,8 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
     }
 
     if (opts.includeInputLayer) {
-        LayerContext ctx = makeInputLayer(dataset, *graph, config, net);
-        LayerEngine engine(config, ctx);
+        LayerContext ctx = makeInputLayer(dataset, *graph, cfg, net);
+        LayerEngine engine(cfg, ctx);
         run.inputLayer = engine.run(opts.mode);
         run.total.merge(run.inputLayer);
     }
@@ -321,9 +520,9 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
     for (unsigned idx : indices) {
         const unsigned arch_layer = idx + 1;
         LayerContext ctx = makeIntermediateLayer(dataset, *graph,
-                                                 config, net,
+                                                 cfg, net,
                                                  arch_layer);
-        LayerEngine engine(config, ctx);
+        LayerEngine engine(cfg, ctx);
         LayerResult layer = engine.run(opts.mode);
         run.sampledLayers.push_back(layer);
         sampled_sum.merge(layer);
@@ -397,12 +596,29 @@ runNetwork(const AccelConfig &config, const Dataset &dataset,
     run.energy = energy_model.dynamicEnergy(counts, desc.cacheKb);
     run.tdpWatts = energy_model.tdpWatts(desc);
     run.areaMm2 = energy_model.areaMm2(desc);
+
+    if (opts.faults.active()) {
+        run.faults.enabled = true;
+        run.faults.spec = opts.faults.canonical();
+        run.faults.seed = opts.faults.seed;
+        run.faults.degradedMode = degradedModeName(opts.degradedMode);
+        run.faults.dramRetries = run.total.dramRetries;
+        run.faults.survivingChips = 1;
+    }
     return run;
 }
 
-std::vector<RunResult>
-runAll(const std::vector<AccelConfig> &configs, const Dataset &dataset,
-       const NetworkSpec &net, const RunOptions &opts)
+RunResult
+runNetwork(const AccelConfig &config, const Dataset &dataset,
+           const NetworkSpec &net, const RunOptions &opts)
+{
+    return tryRunNetwork(config, dataset, net, opts).orFatal();
+}
+
+Expected<std::vector<RunResult>>
+tryRunAll(const std::vector<AccelConfig> &configs,
+          const Dataset &dataset, const NetworkSpec &net,
+          const RunOptions &opts)
 {
     // Resolve every dataflow before fanning out: registration is
     // startup-only (see dataflow/registry.hh), so a missing strategy
@@ -413,13 +629,33 @@ runAll(const std::vector<AccelConfig> &configs, const Dataset &dataset,
             dataflowFor(LayerEngine::effectiveDataflow(config, true));
     }
 
+    // Per-index error slots keep the fan-out lock-free and make the
+    // reported error deterministic (lowest failing index) at any
+    // --jobs value.
     std::vector<RunResult> results(configs.size());
+    std::vector<std::unique_ptr<SgcnError>> errors(configs.size());
     parallelFor(opts.jobs, configs.size(), [&](std::size_t i) {
-        results[i] = runNetwork(configs[i], dataset, net, opts);
+        Expected<RunResult> r =
+            tryRunNetwork(configs[i], dataset, net, opts);
+        if (r.ok())
+            results[i] = std::move(r.value());
+        else
+            errors[i] = std::make_unique<SgcnError>(r.error());
     });
     if (opts.releaseArtifacts)
         clearSweepArtifacts();
+    for (const auto &err : errors) {
+        if (err)
+            return *err;
+    }
     return results;
+}
+
+std::vector<RunResult>
+runAll(const std::vector<AccelConfig> &configs, const Dataset &dataset,
+       const NetworkSpec &net, const RunOptions &opts)
+{
+    return tryRunAll(configs, dataset, net, opts).orFatal();
 }
 
 void

@@ -27,6 +27,8 @@
 #include "gcn/spec.hh"
 #include "graph/datasets.hh"
 #include "graph/partition.hh"
+#include "sim/error.hh"
+#include "sim/fault/fault.hh"
 
 namespace sgcn
 {
@@ -103,6 +105,19 @@ struct RunOptions
     /** The interconnect the chips exchange halo features over. */
     LinkConfig link = LinkConfig::pcie4();
 
+    /**
+     * Deterministic fault schedule (--faults). Empty (the default)
+     * injects nothing and leaves every path bit-identical to the
+     * fault-free build. Chip-targeted faults require chips > 1;
+     * dram-retry applies to any run shape (timing mode only — fast
+     * mode never issues timing DRAM requests). RunResult::faults
+     * reports what was injected and what it cost.
+     */
+    FaultPlan faults = {};
+
+    /** Reaction to an injected chip-fail (--degraded-mode). */
+    DegradedMode degradedMode = DegradedMode::Repartition;
+
     /** Whether any inter-layer pipelining (either gating) is on. */
     bool pipelined() const { return interLayerOverlap || tileOverlap; }
 };
@@ -125,7 +140,18 @@ void clearSweepArtifacts();
 void applyPipelineFlag(RunOptions &opts, bool present,
                        const std::string &value);
 
-/** Simulate @p net on @p dataset with accelerator @p config. */
+/**
+ * Simulate @p net on @p dataset with accelerator @p config,
+ * reporting recoverable failures — an invalid fault plan for the run
+ * shape, or a chip failure under --degraded-mode fail-fast — as
+ * typed errors instead of exiting.
+ */
+Expected<RunResult> tryRunNetwork(const AccelConfig &config,
+                                  const Dataset &dataset,
+                                  const NetworkSpec &net,
+                                  const RunOptions &opts = {});
+
+/** tryRunNetwork, fatal on error (the CLI-boundary convenience). */
 RunResult runNetwork(const AccelConfig &config, const Dataset &dataset,
                      const NetworkSpec &net, const RunOptions &opts = {});
 
@@ -133,8 +159,15 @@ RunResult runNetwork(const AccelConfig &config, const Dataset &dataset,
  * Run several personalities on one dataset. With opts.jobs != 1 the
  * simulations fan out across a thread pool; results keep the input
  * order and are bit-identical to the serial path (each simulation
- * owns all of its state — see src/sim/thread_pool.hh).
+ * owns all of its state — see src/sim/thread_pool.hh). On failure
+ * the error of the lowest-index failing run is returned.
  */
+Expected<std::vector<RunResult>>
+tryRunAll(const std::vector<AccelConfig> &configs,
+          const Dataset &dataset, const NetworkSpec &net,
+          const RunOptions &opts = {});
+
+/** tryRunAll, fatal on error (the CLI-boundary convenience). */
 std::vector<RunResult> runAll(const std::vector<AccelConfig> &configs,
                               const Dataset &dataset,
                               const NetworkSpec &net,

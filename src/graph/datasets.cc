@@ -54,7 +54,7 @@ parseScaledCount(std::string text, std::uint64_t &out)
 }
 
 /** Mint a DatasetSpec for "synth:<N>[:deg<D>]". */
-DatasetSpec
+Expected<DatasetSpec>
 synthSpec(const std::string &abbrev)
 {
     const std::string rest = abbrev.substr(6);
@@ -62,8 +62,9 @@ synthSpec(const std::string &abbrev)
     std::uint64_t vertices = 0;
     if (!parseScaledCount(rest.substr(0, colon), vertices) ||
         vertices < 2 || vertices > 0xffffffffull) {
-        fatal("bad synth vertex count in '", abbrev,
-              "' (want e.g. synth:200k or synth:1M:deg12)");
+        return makeError(
+            ErrorCode::ParseError, "bad synth vertex count in '",
+            abbrev, "' (want e.g. synth:200k or synth:1M:deg12)");
     }
     double degree = 8.0;
     if (colon != std::string::npos) {
@@ -73,8 +74,9 @@ synthSpec(const std::string &abbrev)
             degree = std::strtod(option.c_str() + 3, &end);
         if (option.rfind("deg", 0) != 0 || end == nullptr ||
             *end != '\0' || !(degree > 0.0)) {
-            fatal("bad synth option '", option, "' in '", abbrev,
-                  "' (only deg<D> is understood)");
+            return makeError(ErrorCode::ParseError,
+                             "bad synth option '", option, "' in '",
+                             abbrev, "' (only deg<D> is understood)");
         }
     }
 
@@ -150,8 +152,8 @@ datasetsBySparsity()
     return sorted;
 }
 
-DatasetSpec
-datasetByAbbrev(const std::string &abbrev)
+Expected<DatasetSpec>
+tryDatasetByAbbrev(const std::string &abbrev)
 {
     for (const auto &spec : allDatasets()) {
         if (abbrev == spec.abbrev)
@@ -159,7 +161,14 @@ datasetByAbbrev(const std::string &abbrev)
     }
     if (abbrev.rfind("synth:", 0) == 0)
         return synthSpec(abbrev);
-    fatal("unknown dataset abbreviation: ", abbrev);
+    return makeError(ErrorCode::NotFound,
+                     "unknown dataset abbreviation: ", abbrev);
+}
+
+DatasetSpec
+datasetByAbbrev(const std::string &abbrev)
+{
+    return tryDatasetByAbbrev(abbrev).orFatal();
 }
 
 Dataset

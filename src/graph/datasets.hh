@@ -20,6 +20,7 @@
 
 #include "graph/csr_graph.hh"
 #include "graph/generators.hh"
+#include "sim/error.hh"
 
 namespace sgcn
 {
@@ -117,6 +118,10 @@ std::vector<DatasetSpec> datasetsBySparsity();
  * const char* fields stay valid for the process lifetime).
  */
 DatasetSpec datasetByAbbrev(const std::string &abbrev);
+
+/** datasetByAbbrev with a typed error (NotFound/ParseError) instead
+ *  of the fatal exit. */
+Expected<DatasetSpec> tryDatasetByAbbrev(const std::string &abbrev);
 
 /**
  * Build the synthetic stand-in graph.

@@ -6,18 +6,17 @@
 #include <fstream>
 #include <sstream>
 
-#include "sim/logging.hh"
-
 namespace sgcn
 {
 
-CsrGraph
+Expected<CsrGraph>
 loadEdgeList(const std::string &path, VertexId num_vertices,
              bool undirected)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open edge list: ", path);
+        return makeError(ErrorCode::IoError,
+                         "cannot open edge list: ", path);
 
     std::vector<EdgePair> edges;
     VertexId max_id = 0;
@@ -30,8 +29,9 @@ loadEdgeList(const std::string &path, VertexId num_vertices,
         std::istringstream fields(line);
         std::uint64_t src, dst;
         if (!(fields >> src >> dst)) {
-            fatal("malformed edge at ", path, ":", line_no, ": '",
-                  line, "'");
+            return makeError(ErrorCode::CorruptData,
+                             "malformed edge at ", path, ":", line_no,
+                             ": '", line, "'");
         }
         edges.emplace_back(static_cast<VertexId>(src),
                            static_cast<VertexId>(dst));
@@ -41,18 +41,20 @@ loadEdgeList(const std::string &path, VertexId num_vertices,
     const VertexId n =
         num_vertices != 0 ? num_vertices : max_id + 1;
     if (num_vertices != 0 && max_id >= num_vertices) {
-        fatal("edge list ", path, " references vertex ", max_id,
-              " >= declared count ", num_vertices);
+        return makeError(ErrorCode::CorruptData, "edge list ", path,
+                         " references vertex ", max_id,
+                         " >= declared count ", num_vertices);
     }
     return CsrGraph(n, std::move(edges), undirected, true);
 }
 
-void
+Status
 saveEdgeList(const CsrGraph &graph, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("cannot write edge list: ", path);
+        return makeError(ErrorCode::IoError,
+                         "cannot write edge list: ", path);
     out << "# sgcn edge list: " << graph.numVertices() << " vertices, "
         << graph.numEdgesNoSelfLoops() << " directed edges\n";
     for (VertexId v = 0; v < graph.numVertices(); ++v) {
@@ -61,6 +63,7 @@ saveEdgeList(const CsrGraph &graph, const std::string &path)
                 out << v << ' ' << u << '\n';
         }
     }
+    return Status::success();
 }
 
 namespace
@@ -68,12 +71,13 @@ namespace
 constexpr char kMagic[8] = {'S', 'G', 'C', 'N', 'C', 'S', 'R', '1'};
 } // namespace
 
-void
+Status
 saveCsrBinary(const CsrGraph &graph, const std::string &path)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        fatal("cannot write CSR snapshot: ", path);
+        return makeError(ErrorCode::IoError,
+                         "cannot write CSR snapshot: ", path);
     out.write(kMagic, sizeof(kMagic));
     const std::uint64_t n = graph.numVertices();
     const std::uint64_t m = graph.numEdges();
@@ -85,23 +89,46 @@ saveCsrBinary(const CsrGraph &graph, const std::string &path)
     const std::vector<VertexId> col_idx = graph.unpackedColumns();
     out.write(reinterpret_cast<const char *>(col_idx.data()),
               static_cast<std::streamsize>(m * sizeof(VertexId)));
+    return Status::success();
 }
 
-CsrGraph
+Expected<CsrGraph>
 loadCsrBinary(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open CSR snapshot: ", path);
+        return makeError(ErrorCode::IoError,
+                         "cannot open CSR snapshot: ", path);
     char magic[8];
     in.read(magic, sizeof(magic));
     if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0)
-        fatal("not an SGCN CSR snapshot: ", path);
+        return makeError(ErrorCode::CorruptData,
+                         "not an SGCN CSR snapshot: ", path);
     std::uint64_t n = 0, m = 0;
     in.read(reinterpret_cast<char *>(&n), sizeof(n));
     in.read(reinterpret_cast<char *>(&m), sizeof(m));
     if (!in || n == 0)
-        fatal("corrupt CSR snapshot header: ", path);
+        return makeError(ErrorCode::CorruptData,
+                         "corrupt CSR snapshot header: ", path);
+
+    // Validate the declared sizes against the actual payload length
+    // BEFORE allocating anything: a corrupted header must not drive
+    // a multi-gigabyte allocation or a short read into zero-filled
+    // arrays.
+    const std::streamoff body_start = in.tellg();
+    in.seekg(0, std::ios::end);
+    const std::streamoff body_bytes = in.tellg() - body_start;
+    in.seekg(body_start, std::ios::beg);
+    const std::uint64_t expected =
+        (n + 1) * sizeof(EdgeId) + m * sizeof(VertexId);
+    if (body_bytes < 0 ||
+        static_cast<std::uint64_t>(body_bytes) < expected) {
+        return makeError(ErrorCode::CorruptData,
+                         "truncated CSR snapshot: ", path, " (",
+                         expected, " payload bytes declared, ",
+                         body_bytes, " present)");
+    }
+
     std::vector<EdgeId> row_ptr(n + 1);
     std::vector<VertexId> col_idx(m);
     in.read(reinterpret_cast<char *>(row_ptr.data()),
@@ -109,7 +136,31 @@ loadCsrBinary(const std::string &path)
     in.read(reinterpret_cast<char *>(col_idx.data()),
             static_cast<std::streamsize>(m * sizeof(VertexId)));
     if (!in)
-        fatal("corrupt CSR snapshot body: ", path);
+        return makeError(ErrorCode::CorruptData,
+                         "corrupt CSR snapshot body: ", path);
+
+    // Cross-check the CSR structure itself: monotone row pointers
+    // covering exactly m edges, every column id in range.
+    if (row_ptr.front() != 0 || row_ptr.back() != m) {
+        return makeError(ErrorCode::CorruptData,
+                         "corrupt CSR snapshot row pointers: ", path);
+    }
+    for (std::uint64_t v = 0; v < n; ++v) {
+        if (row_ptr[v] > row_ptr[v + 1]) {
+            return makeError(ErrorCode::CorruptData,
+                             "corrupt CSR snapshot: ", path,
+                             " (row pointers not monotone at vertex ",
+                             v, ")");
+        }
+    }
+    for (std::uint64_t e = 0; e < m; ++e) {
+        if (col_idx[e] >= n) {
+            return makeError(ErrorCode::CorruptData,
+                             "corrupt CSR snapshot: ", path,
+                             " (column id ", col_idx[e], " >= ", n,
+                             " at edge ", e, ")");
+        }
+    }
 
     // Rebuild through the edge-list constructor so normalization and
     // invariants are re-established.

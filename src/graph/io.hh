@@ -7,6 +7,10 @@
  * experiments, but a user with the original Planetoid/SNAP/OGB
  * files can export them to an edge list and run every harness on
  * the real topology via loadEdgeList().
+ *
+ * All entry points return typed errors (sim/error.hh) instead of
+ * exiting: unreadable files are IoError, malformed or truncated
+ * content is CorruptData. CLI tools unwrap with orFatal().
  */
 
 #ifndef SGCN_GRAPH_IO_HH
@@ -15,6 +19,7 @@
 #include <string>
 
 #include "graph/csr_graph.hh"
+#include "sim/error.hh"
 
 namespace sgcn
 {
@@ -25,22 +30,24 @@ namespace sgcn
  * Lines: "src dst" (whitespace separated). Lines starting with '#'
  * or '%' are comments. Vertex ids are zero-based; the vertex count
  * is max id + 1 unless @p num_vertices overrides it.
- * Fatal on unreadable files or malformed lines.
  */
-CsrGraph loadEdgeList(const std::string &path,
-                      VertexId num_vertices = 0,
-                      bool undirected = true);
+Expected<CsrGraph> loadEdgeList(const std::string &path,
+                                VertexId num_vertices = 0,
+                                bool undirected = true);
 
 /** Write a graph as an edge-list text file (self loops skipped). */
-void saveEdgeList(const CsrGraph &graph, const std::string &path);
+Status saveEdgeList(const CsrGraph &graph, const std::string &path);
 
 /**
  * Save / load the compact binary CSR snapshot (magic "SGCNCSR1",
  * then n, m, row pointers, column indices; weights are rebuilt from
- * the normalization on load).
+ * the normalization on load). The loader validates the header
+ * against the file size and the row pointers / column ids against
+ * each other before touching the payload, so truncated or corrupt
+ * snapshots come back as CorruptData instead of crashing.
  */
-void saveCsrBinary(const CsrGraph &graph, const std::string &path);
-CsrGraph loadCsrBinary(const std::string &path);
+Status saveCsrBinary(const CsrGraph &graph, const std::string &path);
+Expected<CsrGraph> loadCsrBinary(const std::string &path);
 
 } // namespace sgcn
 

@@ -122,15 +122,21 @@ chooseSrcTileSpan(std::uint64_t cache_bytes,
     return std::min(span, num_vertices);
 }
 
-PartitionPolicy
-partitionPolicyByName(const std::string &name)
+Expected<PartitionPolicy>
+tryPartitionPolicyByName(const std::string &name)
 {
     if (name == "contiguous")
         return PartitionPolicy::Contiguous;
     if (name == "edge" || name == "edge-balanced")
         return PartitionPolicy::EdgeBalanced;
-    fatal("unknown partition policy '", name,
-          "' (expected contiguous|edge)");
+    return makeError(ErrorCode::NotFound, "unknown partition policy '",
+                     name, "' (expected contiguous|edge)");
+}
+
+PartitionPolicy
+partitionPolicyByName(const std::string &name)
+{
+    return tryPartitionPolicyByName(name).orFatal();
 }
 
 VertexId

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/csr_graph.hh"
+#include "sim/error.hh"
 
 namespace sgcn
 {
@@ -144,6 +145,10 @@ partitionPolicyName(PartitionPolicy policy)
 
 /** Policy by CLI name ("contiguous"|"edge"); fatal on miss. */
 PartitionPolicy partitionPolicyByName(const std::string &name);
+
+/** Policy by CLI name; typed error on miss. */
+Expected<PartitionPolicy>
+tryPartitionPolicyByName(const std::string &name);
 
 /**
  * One chip's share of a partitioned graph.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace sgcn
@@ -323,6 +324,23 @@ Dram::issueRequest(Channel &channel, std::size_t pick)
     channel.busFreeAt = data_end;
     busBusy += cfg.burstCycles;
 
+    // Fault injection: a transient error wastes this attempt (the
+    // bank cycle and bus burst above are already booked) and re-rides
+    // the normal queue path. Bounded per request; the decision is a
+    // pure hash over a per-device sequence, so a chip's retry
+    // timeline is identical at any --jobs.
+    if (cfg.transientRetryProb > 0.0 &&
+        pending.attempts < cfg.maxTransientRetries &&
+        FaultInjector::hashUniform(cfg.retrySeed,
+                                   pending.request.lineAddr,
+                                   retrySeq++) <
+            cfg.transientRetryProb) {
+        ++retryCount;
+        ++pending.attempts;
+        channel.queue.push_back(std::move(pending));
+        return;
+    }
+
     MemCallback done = std::move(pending.done);
     events.schedule(data_end, [this, done = std::move(done)]() mutable {
         --outstanding;
@@ -366,6 +384,7 @@ Dram::resetStats()
     rowHitCount = 0;
     rowMissCount = 0;
     busBusy = 0;
+    retryCount = 0;
 }
 
 } // namespace sgcn

@@ -76,6 +76,23 @@ struct DramConfig
     /** FR-FCFS scan window; 1 degenerates to FCFS. */
     unsigned schedWindow = 16;
 
+    /**
+     * Fault injection: probability a burst suffers a transient error
+     * and re-rides the queue (the failed attempt still occupies the
+     * bus and bank). 0 — the default and every preset — disables the
+     * path entirely. Traffic counters book at enqueue, so retries
+     * change cycles and bus occupancy but never the traffic counts.
+     */
+    double transientRetryProb = 0.0;
+
+    /** Retry attempts per request before it is forced through. */
+    unsigned maxTransientRetries = 3;
+
+    /** Seed of the per-device retry hash (pure counter hash; each
+     *  chip's Dram is private to its event sim, so the sequence is
+     *  deterministic at any --jobs). */
+    std::uint64_t retrySeed = 0;
+
     /** Derived: peak bandwidth in bytes/cycle (= bytes/ns at 1GHz). */
     double
     peakBytesPerCycle() const
@@ -144,6 +161,10 @@ class Dram
     /** Aggregate data-bus busy cycles across channels. */
     Cycle busBusyCycles() const { return busBusy; }
 
+    /** Transient-error retries taken (fault injection; 0 unless
+     *  DramConfig::transientRetryProb > 0). */
+    std::uint64_t transientRetries() const { return retryCount; }
+
     /**
      * Achieved bandwidth utilization over an execution window:
      * busy-cycles / (channels * window).
@@ -166,6 +187,9 @@ class Dram
          *  every queued request many times) never re-divides. */
         unsigned bank;
         std::uint64_t row;
+
+        /** Transient-error retries already taken (fault injection). */
+        unsigned attempts = 0;
     };
 
     struct Bank
@@ -237,6 +261,9 @@ class Dram
     std::uint64_t rowHitCount = 0;
     std::uint64_t rowMissCount = 0;
     Cycle busBusy = 0;
+    std::uint64_t retryCount = 0;
+    /** Monotone issue sequence feeding the retry hash. */
+    std::uint64_t retrySeq = 0;
 };
 
 } // namespace sgcn

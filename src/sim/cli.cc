@@ -47,7 +47,12 @@ Cli::getInt(const std::string &name, std::int64_t fallback) const
     auto it = flags.find(name);
     if (it == flags.end() || it->second.empty())
         return fallback;
-    return std::strtoll(it->second.c_str(), nullptr, 0);
+    char *end = nullptr;
+    const std::int64_t value =
+        std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("bad integer flag --", name, "=", it->second);
+    return value;
 }
 
 double
@@ -56,7 +61,11 @@ Cli::getDouble(const std::string &name, double fallback) const
     auto it = flags.find(name);
     if (it == flags.end() || it->second.empty())
         return fallback;
-    return std::strtod(it->second.c_str(), nullptr);
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("bad numeric flag --", name, "=", it->second);
+    return value;
 }
 
 bool
@@ -73,6 +82,20 @@ Cli::getBool(const std::string &name, bool fallback) const
     if (value == "0" || value == "false" || value == "no")
         return false;
     fatal("bad boolean flag --", name, "=", value);
+}
+
+std::vector<std::string>
+Cli::unknownFlags(const std::vector<std::string> &known) const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[name, value] : flags) {
+        bool found = false;
+        for (const std::string &k : known)
+            found = found || k == name;
+        if (!found)
+            unknown.push_back(name);
+    }
+    return unknown;
 }
 
 double

@@ -48,6 +48,12 @@ class Cli
         return positionalArgs;
     }
 
+    /** Flags that were given but are not in @p known, in sorted
+     *  order. Lets each tool subcommand reject typos ("--chps 4")
+     *  instead of silently ignoring them. */
+    std::vector<std::string>
+    unknownFlags(const std::vector<std::string> &known) const;
+
     /**
      * Global workload scale factor: 1.0 default, overridable via the
      * --scale flag or the SGCN_BENCH_SCALE environment variable.

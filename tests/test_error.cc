@@ -1,0 +1,358 @@
+/**
+ * @file
+ * The recoverable-error layer (Expected/Status) and every library
+ * path converted from fatal() to typed errors: graph loaders fed
+ * crafted corrupt fixtures, synth-spec parsing, registry and
+ * personality lookups, and the sgcn_sim CLI's exit-code contract
+ * (carries the "corrupt" ctest label; the ASan+UBSan CI job runs
+ * exactly this label over the malformed-input fixtures).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "accel/dataflow/registry.hh"
+#include "accel/personalities.hh"
+#include "graph/datasets.hh"
+#include "graph/generators.hh"
+#include "graph/io.hh"
+#include "graph/partition.hh"
+#include "sim/error.hh"
+
+namespace sgcn
+{
+namespace
+{
+
+/** Self-deleting scratch path. */
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const char *suffix)
+        : path("/tmp/sgcn_err_" + std::to_string(::getpid()) + suffix)
+    {
+    }
+
+    ~TempFile() { std::remove(path.c_str()); }
+
+    void
+    writeText(const std::string &text) const
+    {
+        std::ofstream out(path);
+        out << text;
+    }
+
+    void
+    writeBytes(const std::vector<char> &bytes) const
+    {
+        std::ofstream out(path, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+};
+
+/** A well-formed binary CSR snapshot to corrupt from. */
+std::vector<char>
+goodSnapshotBytes()
+{
+    const CsrGraph graph = erdosRenyi(64, 4.0, 7);
+    TempFile file("_seed.csr");
+    EXPECT_TRUE(saveCsrBinary(graph, file.path).ok());
+    std::ifstream in(file.path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+expectLoadFails(const TempFile &file, ErrorCode code)
+{
+    Expected<CsrGraph> loaded = loadCsrBinary(file.path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, code) << loaded.error().message;
+    EXPECT_NE(loaded.error().message.find(file.path),
+              std::string::npos);
+}
+
+// --------------------------------------------------------------
+// Expected / Status semantics
+// --------------------------------------------------------------
+
+TEST(ExpectedT, CarriesAValueOrAnError)
+{
+    Expected<int> good(42);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(std::move(good).orFatal(), 42);
+
+    Expected<int> bad(makeError(ErrorCode::NotFound, "no ", 7));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::NotFound);
+    EXPECT_EQ(bad.error().message, "no 7");
+}
+
+TEST(StatusT, DefaultsToSuccess)
+{
+    EXPECT_TRUE(Status::success().ok());
+    Status failed(makeError(ErrorCode::IoError, "disk on fire"));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().code, ErrorCode::IoError);
+    EXPECT_STREQ(errorCodeName(failed.error().code), "io-error");
+}
+
+// --------------------------------------------------------------
+// Edge-list loader
+// --------------------------------------------------------------
+
+TEST(EdgeListLoader, MissingFileIsAnIoError)
+{
+    Expected<CsrGraph> loaded =
+        loadEdgeList("/nonexistent/sgcn_nowhere.el");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::IoError);
+}
+
+TEST(EdgeListLoader, MalformedLineNamesTheOffendingLine)
+{
+    TempFile file(".el");
+    file.writeText("# comment\n0 1\n1 banana\n");
+    Expected<CsrGraph> loaded = loadEdgeList(file.path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::CorruptData);
+    // Line numbers count comments, so the bad row is line 3.
+    EXPECT_NE(loaded.error().message.find(":3"), std::string::npos)
+        << loaded.error().message;
+}
+
+TEST(EdgeListLoader, VertexBeyondDeclaredCountIsCorruptData)
+{
+    TempFile file(".el");
+    file.writeText("0 1\n1 99\n");
+    Expected<CsrGraph> loaded =
+        loadEdgeList(file.path, /*num_vertices=*/10);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::CorruptData);
+}
+
+TEST(EdgeListLoader, RoundTripsThroughSave)
+{
+    const CsrGraph graph = erdosRenyi(32, 3.0, 11);
+    TempFile file(".el");
+    ASSERT_TRUE(saveEdgeList(graph, file.path).ok());
+    Expected<CsrGraph> loaded =
+        loadEdgeList(file.path, graph.numVertices());
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().numVertices(), graph.numVertices());
+    EXPECT_EQ(loaded.value().numEdges(), graph.numEdges());
+}
+
+TEST(EdgeListSaver, UnwritablePathIsAnIoError)
+{
+    Status saved =
+        saveEdgeList(erdosRenyi(8, 2.0, 1), "/nonexistent/dir/x.el");
+    ASSERT_FALSE(saved.ok());
+    EXPECT_EQ(saved.error().code, ErrorCode::IoError);
+}
+
+// --------------------------------------------------------------
+// Binary CSR snapshots: one crafted fixture per validation step
+// --------------------------------------------------------------
+
+TEST(CsrSnapshot, MissingFileIsAnIoError)
+{
+    Expected<CsrGraph> loaded =
+        loadCsrBinary("/nonexistent/sgcn_nowhere.csr");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().code, ErrorCode::IoError);
+}
+
+TEST(CsrSnapshot, BadMagicIsCorruptData)
+{
+    std::vector<char> bytes = goodSnapshotBytes();
+    bytes[0] = 'X';
+    TempFile file("_magic.csr");
+    file.writeBytes(bytes);
+    expectLoadFails(file, ErrorCode::CorruptData);
+}
+
+TEST(CsrSnapshot, ShorterThanTheHeaderIsCorruptData)
+{
+    TempFile file("_stub.csr");
+    file.writeBytes({'S', 'G', 'C', 'N'});
+    expectLoadFails(file, ErrorCode::CorruptData);
+}
+
+TEST(CsrSnapshot, ZeroVertexHeaderIsCorruptData)
+{
+    std::vector<char> bytes = goodSnapshotBytes();
+    // n is the first u64 after the 8-byte magic.
+    std::memset(bytes.data() + 8, 0, sizeof(std::uint64_t));
+    TempFile file("_zero.csr");
+    file.writeBytes(bytes);
+    expectLoadFails(file, ErrorCode::CorruptData);
+}
+
+TEST(CsrSnapshot, TruncatedBodyIsCorruptDataNotAnAllocation)
+{
+    std::vector<char> bytes = goodSnapshotBytes();
+    bytes.resize(bytes.size() / 2);
+    TempFile file("_trunc.csr");
+    file.writeBytes(bytes);
+    expectLoadFails(file, ErrorCode::CorruptData);
+}
+
+TEST(CsrSnapshot, HugeDeclaredSizeIsRejectedBeforeAllocating)
+{
+    // A header declaring 2^40 edges over a tiny payload must fail the
+    // size cross-check, not attempt a terabyte allocation.
+    std::vector<char> bytes = goodSnapshotBytes();
+    const std::uint64_t huge = 1ull << 40;
+    std::memcpy(bytes.data() + 16, &huge, sizeof(huge));
+    TempFile file("_huge.csr");
+    file.writeBytes(bytes);
+    expectLoadFails(file, ErrorCode::CorruptData);
+}
+
+TEST(CsrSnapshot, NonMonotoneRowPointersAreCorruptData)
+{
+    const CsrGraph graph = erdosRenyi(16, 3.0, 3);
+    TempFile file("_mono.csr");
+    ASSERT_TRUE(saveCsrBinary(graph, file.path).ok());
+    std::ifstream in(file.path, std::ios::binary);
+    std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    in.close();
+    // Swap row_ptr[1] (offset 24) far above row_ptr[2].
+    const std::uint64_t spike = graph.numEdges() + 100;
+    std::memcpy(bytes.data() + 24 + sizeof(EdgeId), &spike,
+                sizeof(EdgeId));
+    file.writeBytes(bytes);
+    expectLoadFails(file, ErrorCode::CorruptData);
+}
+
+TEST(CsrSnapshot, OutOfRangeColumnIdIsCorruptData)
+{
+    const CsrGraph graph = erdosRenyi(16, 3.0, 3);
+    TempFile file("_col.csr");
+    ASSERT_TRUE(saveCsrBinary(graph, file.path).ok());
+    std::ifstream in(file.path, std::ios::binary);
+    std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    in.close();
+    // Poison the first column id (right after the row-pointer array).
+    const std::size_t col_off =
+        8 + 2 * sizeof(std::uint64_t) +
+        (graph.numVertices() + 1) * sizeof(EdgeId);
+    const VertexId bad = graph.numVertices() + 5;
+    std::memcpy(bytes.data() + col_off, &bad, sizeof(VertexId));
+    file.writeBytes(bytes);
+    expectLoadFails(file, ErrorCode::CorruptData);
+}
+
+TEST(CsrSnapshot, RoundTripsThroughSave)
+{
+    const CsrGraph graph = erdosRenyi(64, 4.0, 7);
+    TempFile file(".csr");
+    ASSERT_TRUE(saveCsrBinary(graph, file.path).ok());
+    Expected<CsrGraph> loaded = loadCsrBinary(file.path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().numVertices(), graph.numVertices());
+    EXPECT_EQ(loaded.value().numEdges(), graph.numEdges());
+}
+
+// --------------------------------------------------------------
+// Name lookups and spec parsing
+// --------------------------------------------------------------
+
+TEST(Lookups, BadSynthSpecsAreParseErrors)
+{
+    for (const char *bad :
+         {"synth:", "synth:0", "synth:1", "synth:abc", "synth:2q",
+          "synth:2k:deg", "synth:2k:deg0", "synth:2k:degx",
+          "synth:2k:speed9"}) {
+        Expected<DatasetSpec> spec = tryDatasetByAbbrev(bad);
+        ASSERT_FALSE(spec.ok()) << bad;
+        EXPECT_EQ(spec.error().code, ErrorCode::ParseError) << bad;
+    }
+    EXPECT_TRUE(tryDatasetByAbbrev("synth:2k:deg12").ok());
+}
+
+TEST(Lookups, UnknownDatasetIsNotFound)
+{
+    Expected<DatasetSpec> spec = tryDatasetByAbbrev("ZZ");
+    ASSERT_FALSE(spec.ok());
+    EXPECT_EQ(spec.error().code, ErrorCode::NotFound);
+    EXPECT_TRUE(tryDatasetByAbbrev("CR").ok());
+}
+
+TEST(Lookups, UnknownPartitionPolicyIsNotFound)
+{
+    Expected<PartitionPolicy> policy =
+        tryPartitionPolicyByName("bogus");
+    ASSERT_FALSE(policy.ok());
+    EXPECT_EQ(policy.error().code, ErrorCode::NotFound);
+    EXPECT_TRUE(tryPartitionPolicyByName("edge").ok());
+}
+
+TEST(Lookups, UnknownPersonalityIsNotFoundAndListsTheRoster)
+{
+    Expected<AccelConfig> config = tryPersonalityByName("bogus");
+    ASSERT_FALSE(config.ok());
+    EXPECT_EQ(config.error().code, ErrorCode::NotFound);
+    EXPECT_NE(config.error().message.find("SGCN"), std::string::npos);
+    EXPECT_TRUE(tryPersonalityByName("SGCN").ok());
+}
+
+TEST(Lookups, RegisteredDataflowsResolve)
+{
+    Expected<const Dataflow *> flow =
+        tryDataflowFor(DataflowKind::AggFirstRowProduct);
+    ASSERT_TRUE(flow.ok());
+    EXPECT_NE(flow.value(), nullptr);
+}
+
+// --------------------------------------------------------------
+// sgcn_sim exit codes (the CLI boundary keeps fatal/usage exits)
+// --------------------------------------------------------------
+
+/** Run the sgcn_sim binary (cwd = build dir under ctest); -1 when it
+ *  is not where ctest puts it (manual runs from elsewhere). */
+int
+runSim(const std::string &args)
+{
+    if (!std::ifstream("./sgcn_sim").good())
+        return -1;
+    const std::string cmd =
+        "./sgcn_sim " + args + " >/dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -2;
+}
+
+TEST(SimCli, ExitCodesDistinguishUsageFromRuntimeErrors)
+{
+    const int probe = runSim("datasets");
+    if (probe == -1)
+        GTEST_SKIP() << "sgcn_sim binary not in the working directory";
+    EXPECT_EQ(probe, 0);
+
+    // Unknown flags and commands are usage errors: exit 2.
+    EXPECT_EQ(runSim("datasets --chps 4"), 2);
+    EXPECT_EQ(runSim("frobnicate"), 2);
+    EXPECT_EQ(runSim(""), 2);
+
+    // Bad flag values hit the CLI-boundary fatal(): exit 1.
+    EXPECT_EQ(runSim("datasets --scale banana"), 1);
+}
+
+} // namespace
+} // namespace sgcn

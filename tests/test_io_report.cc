@@ -37,11 +37,11 @@ TEST(GraphIo, EdgeListRoundTrip)
 {
     CsrGraph graph = clusteredGraph({.vertices = 300, .seed = 71});
     TempFile file(".edges");
-    saveEdgeList(graph, file.path);
+    ASSERT_TRUE(saveEdgeList(graph, file.path).ok());
     // Saved edges include both directions; load as directed to avoid
     // doubling, self loops are re-added by the constructor.
     CsrGraph loaded =
-        loadEdgeList(file.path, graph.numVertices(), false);
+        loadEdgeList(file.path, graph.numVertices(), false).value();
     EXPECT_EQ(loaded.numVertices(), graph.numVertices());
     EXPECT_EQ(loaded.numEdges(), graph.numEdges());
     EXPECT_EQ(loaded.columnIndices(), graph.columnIndices());
@@ -59,7 +59,7 @@ TEST(GraphIo, EdgeListParsesCommentsAndGaps)
                "% another comment\n"
                "2 0\n";
     }
-    CsrGraph graph = loadEdgeList(file.path);
+    CsrGraph graph = loadEdgeList(file.path).value();
     EXPECT_EQ(graph.numVertices(), 3u);
     EXPECT_EQ(graph.numEdgesNoSelfLoops(), 4u); // undirected
 }
@@ -68,8 +68,8 @@ TEST(GraphIo, BinarySnapshotRoundTrip)
 {
     CsrGraph graph = clusteredGraph({.vertices = 500, .seed = 73});
     TempFile file(".csr");
-    saveCsrBinary(graph, file.path);
-    CsrGraph loaded = loadCsrBinary(file.path);
+    ASSERT_TRUE(saveCsrBinary(graph, file.path).ok());
+    CsrGraph loaded = loadCsrBinary(file.path).value();
     EXPECT_EQ(loaded.numVertices(), graph.numVertices());
     EXPECT_EQ(loaded.columnIndices(), graph.columnIndices());
     EXPECT_EQ(loaded.rowPointers(), graph.rowPointers());
@@ -90,7 +90,7 @@ TEST(GraphIo, DeclaredVertexCountOverridesMax)
         std::ofstream out(file.path);
         out << "0 1\n";
     }
-    CsrGraph graph = loadEdgeList(file.path, 10);
+    CsrGraph graph = loadEdgeList(file.path, 10).value();
     EXPECT_EQ(graph.numVertices(), 10u);
 }
 

@@ -50,9 +50,11 @@ RunOptions
 runOptions(const Cli &cli)
 {
     RunOptions opts;
-    opts.mode = cli.getString("mode", "fast") == "timing"
-                    ? ExecutionMode::Timing
-                    : ExecutionMode::Fast;
+    const std::string mode = cli.getString("mode", "fast");
+    if (mode != "fast" && mode != "timing")
+        fatal("bad --mode '", mode, "' (expected fast|timing)");
+    opts.mode = mode == "timing" ? ExecutionMode::Timing
+                                 : ExecutionMode::Fast;
     opts.sampledIntermediateLayers =
         static_cast<unsigned>(cli.getInt("sampled", 4));
     opts.includeInputLayer = cli.getBool("input-layer", true);
@@ -65,6 +67,15 @@ runOptions(const Cli &cli)
         "partition", partitionPolicyName(opts.partitionPolicy)));
     if (cli.has("link"))
         opts.link = linkByName(cli.getString("link", "pcie4"));
+    if (cli.has("faults")) {
+        opts.faults =
+            FaultPlan::parse(cli.getString("faults", "")).orFatal();
+    }
+    if (cli.has("degraded-mode")) {
+        opts.degradedMode =
+            parseDegradedMode(cli.getString("degraded-mode", ""))
+                .orFatal();
+    }
     return opts;
 }
 
@@ -93,7 +104,7 @@ datasetFromCli(const Cli &cli)
     if (!edge_list.empty()) {
         // User-provided topology; synthesize the rest of the spec.
         Dataset dataset{datasetByAbbrev("CR"),
-                        loadEdgeList(edge_list), 0, 1.0};
+                        loadEdgeList(edge_list).orFatal(), 0, 1.0};
         dataset.spec.name = "user-graph";
         dataset.spec.abbrev = "UG";
         dataset.inputWidth = static_cast<unsigned>(
@@ -140,8 +151,23 @@ cmdRun(const Cli &cli)
                     dataset.graph.footprintBytes()) /
                     1e6,
                 dataset.graph.adjacencyBytesPerEdge());
+    if (opts.faults.active()) {
+        // The canonical spec is the replay handle: feed it back via
+        // --faults to reproduce this exact fault timeline.
+        std::printf("faults: %s (degraded-mode %s)\n\n",
+                    opts.faults.canonical().c_str(),
+                    degradedModeName(opts.degradedMode));
+    }
 
-    const auto results = runAll(configs, dataset, net, opts);
+    Expected<std::vector<RunResult>> maybe_results =
+        tryRunAll(configs, dataset, net, opts);
+    if (!maybe_results.ok()) {
+        std::fprintf(stderr, "sgcn_sim: %s\n",
+                     maybe_results.error().message.c_str());
+        return 1;
+    }
+    const std::vector<RunResult> results =
+        std::move(maybe_results.value());
 
     Table table("results");
     table.header({"accel", "cycles", "offchip MB", "hit rate",
@@ -169,6 +195,11 @@ cmdRun(const Cli &cli)
         std::printf("\n");
         for (const auto &run : results)
             std::printf("%s\n", shardSummaryLine(run).c_str());
+    }
+    if (opts.faults.active()) {
+        std::printf("\n");
+        for (const auto &run : results)
+            std::printf("%s\n", faultSummaryLine(run).c_str());
     }
 
     if (cli.has("stats")) {
@@ -322,7 +353,7 @@ cmdGenerate(const Cli &cli)
     const std::string out =
         cli.getString("out", std::string(dataset.spec.abbrev) +
                                  ".edges");
-    saveEdgeList(dataset.graph, out);
+    saveEdgeList(dataset.graph, out).orFatal();
     std::printf("wrote %s: %u vertices, %llu directed edges\n",
                 out.c_str(), dataset.graph.numVertices(),
                 static_cast<unsigned long long>(
@@ -352,6 +383,12 @@ usage()
         "--partition contiguous|edge-balanced;\n"
         "            --link pcie4|noc; see README \"Multi-chip "
         "scale-out\")\n"
+        "            --faults SPEC (deterministic fault injection, "
+        "e.g. link-degrade:chip1:0.5,\n"
+        "            chip-stall:chip0:5000@layer2, chip-fail:chip2, "
+        "dram-retry:0.01, seed:<n>)\n"
+        "            --degraded-mode repartition|fail-fast "
+        "(reaction to chip-fail)\n"
         "            --export-schedule FILE (per-layer phase spans "
         "and tile windows as CSV)\n"
         "  sweep     --knob cache|engines|layers|slice --dataset ...\n"
@@ -361,27 +398,81 @@ usage()
         stderr);
 }
 
+/** Flags every dataset/run-shaped subcommand understands. */
+std::vector<std::string>
+sharedRunFlags()
+{
+    return {"dataset",     "edge-list", "input-width", "scale",
+            "mode",        "sampled",   "input-layer", "pipeline",
+            "jobs",        "chips",     "partition",   "link",
+            "layers",      "hidden",    "residual",    "agg",
+            "faults",      "degraded-mode"};
+}
+
+/** Reject flags the subcommand does not understand: exit 2 with the
+ *  offenders named and the usage hint, instead of silently ignoring
+ *  a typo like --chps 4. */
+int
+rejectUnknownFlags(const Cli &cli, const std::string &command,
+                   std::vector<std::string> known)
+{
+    const std::vector<std::string> unknown = cli.unknownFlags(known);
+    if (unknown.empty())
+        return 0;
+    for (const std::string &flag : unknown) {
+        std::fprintf(stderr, "sgcn_sim %s: unknown flag --%s\n",
+                     command.c_str(), flag.c_str());
+    }
+    usage();
+    return 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv);
-    if (cli.positional().empty()) {
+    if (cli.positional().size() != 1) {
         usage();
         return 2;
     }
     const std::string &command = cli.positional().front();
-    if (command == "run")
+    std::vector<std::string> known = sharedRunFlags();
+    if (command == "run") {
+        for (const char *extra : {"accels", "cache-kb", "engines",
+                                  "dram", "csv", "stats",
+                                  "export-schedule"}) {
+            known.push_back(extra);
+        }
+        if (int rc = rejectUnknownFlags(cli, command, known))
+            return rc;
         return cmdRun(cli);
-    if (command == "sweep")
+    }
+    if (command == "sweep") {
+        known.push_back("knob");
+        if (int rc = rejectUnknownFlags(cli, command, known))
+            return rc;
         return cmdSweep(cli);
-    if (command == "describe")
+    }
+    if (command == "describe") {
+        if (int rc = rejectUnknownFlags(cli, command, {"accel"}))
+            return rc;
         return cmdDescribe(cli);
-    if (command == "datasets")
+    }
+    if (command == "datasets") {
+        if (int rc = rejectUnknownFlags(cli, command, {"scale"}))
+            return rc;
         return cmdDatasets(cli);
-    if (command == "generate")
+    }
+    if (command == "generate") {
+        known.push_back("out");
+        if (int rc = rejectUnknownFlags(cli, command, known))
+            return rc;
         return cmdGenerate(cli);
+    }
+    std::fprintf(stderr, "sgcn_sim: unknown command '%s'\n",
+                 command.c_str());
     usage();
     return 2;
 }
