@@ -37,6 +37,7 @@
 
 #include "accel/personalities.hh"
 #include "accel/runner.hh"
+#include "serve/serve.hh"
 #include "sim/cli.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -100,6 +101,35 @@ struct BenchOptions
         return options;
     }
 };
+
+/** ServeOptions from the shared serving flags (--rate, --requests,
+ *  --batch-max, --linger, --arrival poisson|fixed, --hops, --fanout,
+ *  --serve-seed), defaulting like `sgcn_sim serve`. */
+inline ServeOptions
+serveOptionsFromCli(const Cli &cli)
+{
+    ServeOptions serve;
+    serve.offeredQps = cli.getDouble("rate", serve.offeredQps);
+    serve.requests = static_cast<unsigned>(
+        cli.getInt("requests", serve.requests));
+    serve.maxBatch = static_cast<unsigned>(
+        cli.getInt("batch-max", serve.maxBatch));
+    serve.maxLingerCycles = static_cast<Cycle>(cli.getInt(
+        "linger", static_cast<std::int64_t>(serve.maxLingerCycles)));
+    serve.sample.hops = static_cast<unsigned>(
+        cli.getInt("hops", serve.sample.hops));
+    serve.sample.fanout = static_cast<unsigned>(
+        cli.getInt("fanout", serve.sample.fanout));
+    serve.sample.seed = static_cast<std::uint64_t>(cli.getInt(
+        "serve-seed", static_cast<std::int64_t>(serve.sample.seed)));
+    const std::string arrival = cli.getString("arrival", "poisson");
+    if (arrival == "fixed")
+        serve.poisson = false;
+    else if (arrival != "poisson")
+        fatal("bad --arrival '", arrival,
+              "' (expected poisson|fixed)");
+    return serve;
+}
 
 /** Print the standard harness banner. */
 inline void

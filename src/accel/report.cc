@@ -1,5 +1,6 @@
 #include "accel/report.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -96,6 +97,34 @@ faultCsvRowSuffix(const RunResult &run)
     return os.str();
 }
 
+std::string
+serveCsvHeaderSuffix()
+{
+    return ",serve_requests,serve_batches,serve_arrival,"
+           "serve_offered_qps,serve_max_batch,serve_linger_cycles,"
+           "serve_p50_cycles,serve_p95_cycles,serve_p99_cycles,"
+           "serve_qps,serve_mean_batch,serve_peak_batch,"
+           "serve_makespan_cycles,serve_subgraph_vertices,"
+           "serve_subgraph_edges";
+}
+
+std::string
+serveCsvRowSuffix(const RunResult &run)
+{
+    const ServeStats &s = run.serve;
+    const char *arrival =
+        s.enabled ? (s.poisson ? "poisson" : "fixed") : "";
+    std::ostringstream os;
+    os << ',' << s.requests << ',' << s.batches << ',' << arrival
+       << ',' << s.offeredQps << ',' << s.maxBatch << ','
+       << s.maxLingerCycles << ',' << s.p50Cycles << ','
+       << s.p95Cycles << ',' << s.p99Cycles << ',' << s.sustainedQps
+       << ',' << s.meanOccupancy << ',' << s.peakOccupancy << ','
+       << s.makespanCycles << ',' << s.subgraphVertices << ','
+       << s.subgraphEdges;
+    return os.str();
+}
+
 void
 writeRunsCsv(const std::vector<RunResult> &runs,
              const std::string &path)
@@ -103,19 +132,28 @@ writeRunsCsv(const std::vector<RunResult> &runs,
     std::ofstream out(path);
     if (!out)
         fatal("cannot write CSV: ", path);
-    // Fault columns appear only when some run injected faults:
-    // fault-free sweep CSVs stay byte-identical to pre-fault output.
+    // Fault (serve) columns appear only when some run injected
+    // faults (served a trace) — and then on every row, so mixed
+    // sweeps stay rectangular. Plain sweep CSVs stay byte-identical
+    // to pre-fault/pre-serve output.
     bool any_faults = false;
-    for (const auto &run : runs)
+    bool any_serve = false;
+    for (const auto &run : runs) {
         any_faults = any_faults || run.faults.enabled;
+        any_serve = any_serve || run.serve.enabled;
+    }
     out << runResultCsvHeader();
     if (any_faults)
         out << faultCsvHeaderSuffix();
+    if (any_serve)
+        out << serveCsvHeaderSuffix();
     out << '\n';
     for (const auto &run : runs) {
         out << runResultCsvRow(run);
         if (any_faults)
             out << faultCsvRowSuffix(run);
+        if (any_serve)
+            out << serveCsvRowSuffix(run);
         out << '\n';
     }
 }
@@ -195,6 +233,31 @@ runResultStats(const RunResult &run)
             static_cast<double>(run.faults.survivingChips);
         stats["fault.repartitions"] =
             static_cast<double>(run.faults.repartitions);
+        stats["fault.recovered_layers"] =
+            static_cast<double>(run.faults.recoveredLayers.size());
+    }
+    if (run.serve.enabled) {
+        stats["serve.requests"] =
+            static_cast<double>(run.serve.requests);
+        stats["serve.batches"] =
+            static_cast<double>(run.serve.batches);
+        stats["serve.offered_qps"] = run.serve.offeredQps;
+        stats["serve.sustained_qps"] = run.serve.sustainedQps;
+        stats["serve.p50_cycles"] =
+            static_cast<double>(run.serve.p50Cycles);
+        stats["serve.p95_cycles"] =
+            static_cast<double>(run.serve.p95Cycles);
+        stats["serve.p99_cycles"] =
+            static_cast<double>(run.serve.p99Cycles);
+        stats["serve.mean_batch"] = run.serve.meanOccupancy;
+        stats["serve.peak_batch"] =
+            static_cast<double>(run.serve.peakOccupancy);
+        stats["serve.makespan_cycles"] =
+            static_cast<double>(run.serve.makespanCycles);
+        stats["serve.subgraph_vertices"] =
+            static_cast<double>(run.serve.subgraphVertices);
+        stats["serve.subgraph_edges"] =
+            static_cast<double>(run.serve.subgraphEdges);
     }
     return stats;
 }
@@ -255,17 +318,47 @@ faultSummaryLine(const RunResult &run)
     return os.str();
 }
 
+std::string
+serveSummaryLine(const RunResult &run)
+{
+    if (!run.serve.enabled)
+        return "";
+    const ServeStats &s = run.serve;
+    std::ostringstream os;
+    os << run.accelName << ": " << s.requests << " requests in "
+       << s.batches << " batches ("
+       << (s.poisson ? "poisson" : "fixed") << " @ " << s.offeredQps
+       << " qps offered, " << s.sustainedQps
+       << " sustained), latency p50/p95/p99 = " << s.p50Cycles << '/'
+       << s.p95Cycles << '/' << s.p99Cycles
+       << " cycles, occupancy mean " << s.meanOccupancy << " peak "
+       << s.peakOccupancy;
+    return os.str();
+}
+
 namespace
 {
 
 void
 writeLayerScheduleRows(std::ofstream &out, const RunResult &run,
-                       unsigned layer, const LayerSchedule &schedule)
+                       unsigned layer, const LayerSchedule &schedule,
+                       bool recovered_column)
 {
+    // Trailing "recovered" cell, present only when some exported run
+    // replayed a layer on a post-repartition topology — fault-free
+    // schedule CSVs stay byte-identical.
+    const char *tail = "";
+    if (recovered_column) {
+        const auto &replayed = run.faults.recoveredLayers;
+        const bool recovered =
+            std::find(replayed.begin(), replayed.end(), layer) !=
+            replayed.end();
+        tail = recovered ? ",1" : ",0";
+    }
     const auto phase = [&](LayerPhase p, const PhaseSpan &span) {
         out << run.accelName << ',' << run.datasetAbbrev << ','
             << layer << ",phase," << layerPhaseName(p) << ','
-            << span.start << ',' << span.end << ",\n";
+            << span.start << ',' << span.end << ',' << tail << '\n';
     };
     phase(LayerPhase::InputDma, schedule.inputDma);
     phase(LayerPhase::Aggregation, schedule.aggregation);
@@ -275,23 +368,36 @@ writeLayerScheduleRows(std::ofstream &out, const RunResult &run,
         out << run.accelName << ',' << run.datasetAbbrev << ','
             << layer << ",tile," << span.tile << ','
             << span.inputConsume.start << ',' << span.inputConsume.end
-            << ',' << span.outputReady << '\n';
+            << ',' << span.outputReady << tail << '\n';
     }
 }
 
 void
 writeRunSchedule(std::ofstream &out, const RunResult &run,
-                 const std::vector<unsigned> &sampled_layers)
+                 const std::vector<unsigned> &sampled_layers,
+                 bool recovered_column)
 {
-    if (run.inputLayer.schedule.criticalEnd() > 0)
-        writeLayerScheduleRows(out, run, 0, run.inputLayer.schedule);
+    if (run.inputLayer.schedule.criticalEnd() > 0) {
+        writeLayerScheduleRows(out, run, 0, run.inputLayer.schedule,
+                               recovered_column);
+    }
     for (std::size_t i = 0; i < run.sampledLayers.size(); ++i) {
         const unsigned layer = i < sampled_layers.size()
                                    ? sampled_layers[i]
                                    : static_cast<unsigned>(i + 1);
         writeLayerScheduleRows(out, run, layer,
-                               run.sampledLayers[i].schedule);
+                               run.sampledLayers[i].schedule,
+                               recovered_column);
     }
+}
+
+const char *
+scheduleCsvHeader(bool recovered_column)
+{
+    return recovered_column
+               ? "accel,dataset,layer,record,name,start,end,ready,"
+                 "recovered\n"
+               : "accel,dataset,layer,record,name,start,end,ready\n";
 }
 
 } // anonymous namespace
@@ -304,8 +410,9 @@ writeScheduleCsv(const RunResult &run,
     std::ofstream out(path);
     if (!out)
         fatal("cannot write schedule CSV: ", path);
-    out << "accel,dataset,layer,record,name,start,end,ready\n";
-    writeRunSchedule(out, run, sampled_layers);
+    const bool recovered = !run.faults.recoveredLayers.empty();
+    out << scheduleCsvHeader(recovered);
+    writeRunSchedule(out, run, sampled_layers, recovered);
 }
 
 void
@@ -316,9 +423,16 @@ writeSchedulesCsv(const std::vector<RunResult> &runs,
     std::ofstream out(path);
     if (!out)
         fatal("cannot write schedule CSV: ", path);
-    out << "accel,dataset,layer,record,name,start,end,ready\n";
+    // Mirror writeRunsCsv's mixed-sweep policy: when any run
+    // recovered, every row carries the column so arity stays uniform.
+    bool any_recovered = false;
+    for (const RunResult &run : runs) {
+        any_recovered =
+            any_recovered || !run.faults.recoveredLayers.empty();
+    }
+    out << scheduleCsvHeader(any_recovered);
     for (const RunResult &run : runs)
-        writeRunSchedule(out, run, sampled_layers);
+        writeRunSchedule(out, run, sampled_layers, any_recovered);
 }
 
 } // namespace sgcn

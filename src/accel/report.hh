@@ -34,8 +34,19 @@ std::string faultCsvHeaderSuffix();
  *  fault-free). */
 std::string faultCsvRowSuffix(const RunResult &run);
 
-/** Write runs as a CSV file (header + one row per run). Fault
- *  columns are appended when any run has faults enabled. */
+/** Extra header fragment for serving-trace columns (leading comma
+ *  included). Appended by writeRunsCsv only when some run served a
+ *  trace, under the same mixed-sweep policy as the fault columns. */
+std::string serveCsvHeaderSuffix();
+
+/** Serve-column values for one run, matching serveCsvHeaderSuffix()
+ *  (leading comma included; all-zero columns when the run itself
+ *  did not serve). */
+std::string serveCsvRowSuffix(const RunResult &run);
+
+/** Write runs as a CSV file (header + one row per run). Fault and
+ *  serve columns are appended — for every row, so mixed sweeps stay
+ *  rectangular — when any run has the matching stats enabled. */
 void writeRunsCsv(const std::vector<RunResult> &runs,
                   const std::string &path);
 
@@ -50,6 +61,9 @@ std::string shardSummaryLine(const RunResult &run);
 
 /** One-line fault summary ("" when the run was fault-free). */
 std::string faultSummaryLine(const RunResult &run);
+
+/** One-line serving summary ("" when the run served no trace). */
+std::string serveSummaryLine(const RunResult &run);
 
 /**
  * Write the run's layer schedules as CSV (the ROADMAP Gantt export):

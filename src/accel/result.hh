@@ -490,8 +490,16 @@ struct ShardStats
     /** linkBusyCycles / total cycles: how hard the link binds. */
     double linkBusyFraction = 0.0;
 
-    /** Per-chip compute cycles (extrapolated), indexed by chip. */
+    /** Per-chip compute cycles (extrapolated). Slot i reports the
+     *  chip chipIds[i]: after a chip-fail + repartition only the
+     *  survivors are reported, so exports always match the final
+     *  topology. */
     std::vector<Cycle> chipCycles;
+
+    /** Original chip id behind each chipCycles slot. The identity
+     *  mapping [0, chips) on clean runs; the surviving ids, in
+     *  order, after failures. */
+    std::vector<unsigned> chipIds;
 
     /** Largest entry of chipCycles (the per-layer bottleneck chips
      *  summed, so it can exceed any single chip's total). */
@@ -545,6 +553,62 @@ struct FaultStats
 
     /** Survivor re-partitions performed. */
     unsigned repartitions = 0;
+
+    /** Architectural layers replayed on the post-repartition
+     *  topology (ascending). Schedule exports label these rows so
+     *  downstream tooling can tell recovered spans from clean ones. */
+    std::vector<unsigned> recoveredLayers;
+};
+
+/**
+ * Summary of a serving-trace run (src/serve/), filled by
+ * tryServeTrace. Latencies are simulated cycles on the accelerator
+ * clock (serve.hh's kServeClockHz maps them to wall time); totals
+ * below RunResult::total sum the per-batch service simulations.
+ */
+struct ServeStats
+{
+    /** True when the run executed a serving trace. */
+    bool enabled = false;
+
+    /** Requests in the trace. */
+    unsigned requests = 0;
+
+    /** Admitted batches the scheduler drove. */
+    unsigned batches = 0;
+
+    /** Open-loop offered arrival rate (requests/second). */
+    double offeredQps = 0.0;
+
+    /** Poisson arrivals (false: fixed-rate spacing). */
+    bool poisson = true;
+
+    /** Admission cap: max requests per batch. */
+    unsigned maxBatch = 0;
+
+    /** Admission cap: max cycles the first request of a batch may
+     *  linger before the batch closes. */
+    Cycle maxLingerCycles = 0;
+
+    /** Nearest-rank request-latency percentiles (cycles from arrival
+     *  to the owning batch's completion). */
+    Cycle p50Cycles = 0;
+    Cycle p95Cycles = 0;
+    Cycle p99Cycles = 0;
+
+    /** requests / makespan: the throughput the trace sustained. */
+    double sustainedQps = 0.0;
+
+    /** Mean and peak requests per admitted batch. */
+    double meanOccupancy = 0.0;
+    unsigned peakOccupancy = 0;
+
+    /** Cycle the last batch completed (arrival of request 0 is 0). */
+    Cycle makespanCycles = 0;
+
+    /** Sampled subgraph volume summed over batches. */
+    std::uint64_t subgraphVertices = 0;
+    std::uint64_t subgraphEdges = 0;
 };
 
 /** Outcome of a whole-network simulation. */
@@ -570,6 +634,9 @@ struct RunResult
 
     /** Fault-injection summary (enabled=false when no faults). */
     FaultStats faults;
+
+    /** Serving-trace summary (enabled=false outside serve runs). */
+    ServeStats serve;
 
     /** Dynamic energy and peak power. */
     EnergyBreakdown energy;

@@ -312,6 +312,7 @@ tryRunNetworkSharded(const AccelConfig &config, const Dataset &dataset,
                     static_cast<unsigned>(dead.size());
                 faults.repartitions += 1;
                 faults.recoveryCycles += recovery;
+                faults.recoveredLayers.push_back(arch_layer);
                 pending_recovery += recovery;
             }
         }
@@ -390,15 +391,31 @@ tryRunNetworkSharded(const AccelConfig &config, const Dataset &dataset,
         faults.dramRetries = run.total.dramRetries;
     }
 
+    // Exports report the post-repartition topology: slot i of
+    // chipCycles is the chip shard.chipIds[i]. Clean runs keep the
+    // identity mapping (and byte-identical CSV output); after
+    // failures the dead chips' half-accumulated slots are dropped so
+    // per-chip tables, the bottleneck, and bwUtil index only the
+    // survivors.
+    shard.chipIds = original_chip;
+    const unsigned live_chips =
+        static_cast<unsigned>(original_chip.size());
+    if (faults.failedChips > 0) {
+        std::vector<Cycle> survivor_cycles(live_chips);
+        for (unsigned i = 0; i < live_chips; ++i)
+            survivor_cycles[i] = shard.chipCycles[original_chip[i]];
+        shard.chipCycles = std::move(survivor_cycles);
+    }
     shard.bottleneckChipCycles = *std::max_element(
         shard.chipCycles.begin(), shard.chipCycles.end());
     if (run.total.cycles > 0) {
         // Every chip owns a private memory stack: the summed traffic
-        // spreads over chips x channels.
+        // spreads over chips x channels (the surviving chips' stacks
+        // once any failed chip's stack is lost).
         run.total.bwUtil = std::min(
             1.0, static_cast<double>(run.total.traffic.totalLines()) *
                      config.dram.burstCycles /
-                     (static_cast<double>(chips) *
+                     (static_cast<double>(live_chips) *
                       static_cast<double>(config.dram.channels) *
                       static_cast<double>(run.total.cycles)));
         shard.linkBusyFraction = std::min(

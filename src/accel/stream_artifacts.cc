@@ -1,5 +1,7 @@
 #include "accel/stream_artifacts.hh"
 
+#include <algorithm>
+
 #include "core/beicsr.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -229,18 +231,51 @@ StreamArtifactCache::degreeOrder(const CsrGraph &graph)
         });
 }
 
+namespace
+{
+
+/** Distinct neighbours hit by @p fanout draws with replacement from
+ *  a degree-@p degree vertex, under a per-vertex deterministic RNG. */
+unsigned
+distinctDraws(unsigned degree, unsigned fanout, Rng &rng)
+{
+    // Small fixed scratch: fanout is a sample size (tens), so a
+    // sort-and-count over the drawn indices beats a degree-sized
+    // bitmap for every realistic configuration.
+    std::vector<std::uint32_t> draws(fanout);
+    for (auto &draw : draws)
+        draw = static_cast<std::uint32_t>(rng.uniformInt(degree));
+    std::sort(draws.begin(), draws.end());
+    return static_cast<unsigned>(
+        std::unique(draws.begin(), draws.end()) - draws.begin());
+}
+
+} // anonymous namespace
+
 double
 StreamArtifactCache::sageEdgeFraction(const CsrGraph &graph,
-                                      unsigned fanout)
+                                      unsigned fanout,
+                                      std::uint64_t seed)
 {
     const auto [lo, hi] = graph.contentFingerprint();
     auto fraction = sageFractions.lookup(
-        SageKey{lo, hi, fanout},
+        SageKey{lo, hi, fanout, seed},
         [&] {
             double sampled = 0.0;
             for (VertexId v = 0; v < graph.numVertices(); ++v) {
-                sampled +=
-                    std::min<double>(graph.degree(v), fanout);
+                const unsigned degree =
+                    static_cast<unsigned>(graph.degree(v));
+                if (seed == 0 || degree <= fanout) {
+                    sampled += std::min(degree, fanout);
+                } else {
+                    // Seeded draw-with-replacement: per-vertex RNG
+                    // derived from (seed, v) so the estimate is
+                    // independent of traversal order.
+                    std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL *
+                                              (std::uint64_t{v} + 1));
+                    Rng rng(Rng::splitMix64(x));
+                    sampled += distinctDraws(degree, fanout, rng);
+                }
             }
             return std::make_shared<const double>(
                 sampled / static_cast<double>(graph.numEdges()));

@@ -150,10 +150,15 @@ class StreamArtifactCache
     std::shared_ptr<const std::vector<VertexId>>
     degreeOrder(const CsrGraph &graph);
 
-    /** GraphSAGE sampled-edge fraction of @p graph at @p fanout:
-     *  sum(min(degree, fanout)) / numEdges, an O(V) pass memoized
-     *  per topology. */
-    double sageEdgeFraction(const CsrGraph &graph, unsigned fanout);
+    /** GraphSAGE sampled-edge fraction of @p graph at @p fanout.
+     *  seed == 0 is the analytic expectation,
+     *  sum(min(degree, fanout)) / numEdges, an O(V) pass; a nonzero
+     *  @p seed draws fanout neighbours with replacement per
+     *  high-degree vertex and counts the distinct picks, so two
+     *  configs with different sampling seeds get (and cache)
+     *  different fractions. Memoized per (topology, fanout, seed). */
+    double sageEdgeFraction(const CsrGraph &graph, unsigned fanout,
+                            std::uint64_t seed = 0);
 
     /** Merged counters over every artifact family. */
     ArtifactStats stats() const;
@@ -193,7 +198,8 @@ class StreamArtifactCache
                    std::uint64_t, Addr, MaskKey>;
     using ViewKey = std::tuple<std::uint64_t, std::uint64_t, VertexId,
                                VertexId>;
-    using SageKey = std::tuple<std::uint64_t, std::uint64_t, unsigned>;
+    using SageKey = std::tuple<std::uint64_t, std::uint64_t, unsigned,
+                               std::uint64_t>;
     using PartitionKey = std::tuple<std::uint64_t, std::uint64_t,
                                     unsigned, std::uint8_t>;
 

@@ -35,8 +35,8 @@ fillCommon(LayerContext &ctx, const CsrGraph &graph,
     if (net.agg == AggKind::Sage) {
         // GraphSAGE samples up to sageFanout neighbours per vertex;
         // the fraction of edges actually walked shrinks accordingly.
-        ctx.edgeSampleFraction =
-            artifacts.sageEdgeFraction(*ctx.graph, net.sageFanout);
+        ctx.edgeSampleFraction = artifacts.sageEdgeFraction(
+            *ctx.graph, net.sageFanout, net.sageSeed);
     }
 }
 
@@ -54,7 +54,7 @@ fillChipCommon(LayerContext &ctx, const ChipShard &shard,
     if (net.agg == AggKind::Sage) {
         ctx.edgeSampleFraction =
             StreamArtifactCache::instance().sageEdgeFraction(
-                *ctx.graph, net.sageFanout);
+                *ctx.graph, net.sageFanout, net.sageSeed);
     }
 }
 

@@ -11,6 +11,8 @@
 #ifndef SGCN_GCN_SPEC_HH
 #define SGCN_GCN_SPEC_HH
 
+#include <cstdint>
+
 namespace sgcn
 {
 
@@ -55,6 +57,11 @@ struct NetworkSpec
 
     /** GraphSAGE neighbour sample size. */
     unsigned sageFanout = 25;
+
+    /** GraphSAGE sampling seed. 0 keeps the analytic expected
+     *  fraction (the historical behaviour); a nonzero seed draws a
+     *  concrete sample, so distinct seeds model distinct epochs. */
+    std::uint64_t sageSeed = 0;
 
     /** Bytes per topology edge entry (col index + optional weight). */
     unsigned

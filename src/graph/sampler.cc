@@ -1,0 +1,193 @@
+#include "graph/sampler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace sgcn
+{
+
+namespace
+{
+
+/**
+ * Sample @p k distinct indices from [0, d) into @p out using Floyd's
+ * algorithm: O(k) draws regardless of d, and a fixed draw order so
+ * the result is a pure function of the RNG state.
+ */
+void
+sampleDistinct(unsigned d, unsigned k, Rng &rng,
+               std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    if (k >= d) {
+        for (std::uint32_t i = 0; i < d; ++i)
+            out.push_back(i);
+        return;
+    }
+    for (unsigned j = d - k; j < d; ++j) {
+        const auto t =
+            static_cast<std::uint32_t>(rng.uniformInt(j + 1));
+        if (std::find(out.begin(), out.end(), t) != out.end())
+            out.push_back(static_cast<std::uint32_t>(j));
+        else
+            out.push_back(t);
+    }
+}
+
+} // anonymous namespace
+
+std::uint64_t
+deriveRequestSeed(std::uint64_t trace_seed, std::uint64_t request)
+{
+    // splitMix64 over the xor-folded pair: cheap, and adjacent
+    // request ids land in decorrelated streams.
+    std::uint64_t x =
+        trace_seed ^ (0x9e3779b97f4a7c15ULL * (request + 1));
+    return Rng::splitMix64(x);
+}
+
+VertexId
+requestRoot(const CsrGraph &graph, std::uint64_t trace_seed,
+            std::uint64_t request)
+{
+    Rng rng(deriveRequestSeed(trace_seed, request));
+    return static_cast<VertexId>(rng.uniformInt(graph.numVertices()));
+}
+
+std::vector<EdgePair>
+sampleEgoNet(const CsrGraph &graph, std::uint64_t trace_seed,
+             std::uint64_t request, const EgoSampleParams &params)
+{
+    Rng rng(deriveRequestSeed(trace_seed, request));
+    const auto root =
+        static_cast<VertexId>(rng.uniformInt(graph.numVertices()));
+
+    std::vector<EdgePair> edges;
+    std::vector<VertexId> frontier{root};
+    std::vector<VertexId> next;
+    std::vector<VertexId> visited{root};
+    std::vector<std::uint32_t> picks;
+    for (unsigned hop = 0; hop < params.hops; ++hop) {
+        next.clear();
+        // The frontier is kept sorted and deduplicated, so the draw
+        // sequence (and thus the sample) is a pure function of the
+        // request seed.
+        for (VertexId v : frontier) {
+            const auto nbrs = graph.neighbors(v);
+            const auto degree = static_cast<unsigned>(nbrs.size());
+            if (degree == 0)
+                continue;
+            sampleDistinct(degree, params.fanout, rng, picks);
+            for (std::uint32_t pick : picks) {
+                const VertexId u = nbrs[pick];
+                if (u == v)
+                    continue; // the self loop is re-added per vertex
+                edges.push_back({v, u});
+                if (!std::binary_search(visited.begin(),
+                                        visited.end(), u))
+                    next.push_back(u);
+            }
+        }
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+        // Merge the new frontier into the sorted visited set.
+        const std::size_t old = visited.size();
+        visited.insert(visited.end(), next.begin(), next.end());
+        std::inplace_merge(visited.begin(),
+                           visited.begin() +
+                               static_cast<std::ptrdiff_t>(old),
+                           visited.end());
+        frontier = next;
+    }
+    return edges;
+}
+
+BatchSubgraph
+sampleBatchSubgraph(const CsrGraph &graph, std::uint64_t first_request,
+                    unsigned count, const EgoSampleParams &params)
+{
+    SGCN_ASSERT(count > 0, "batch needs at least one request");
+    BatchSubgraph out;
+    std::vector<EdgePair> edges;
+    for (unsigned r = 0; r < count; ++r) {
+        const std::uint64_t request = first_request + r;
+        out.roots.push_back(
+            requestRoot(graph, params.seed, request));
+        std::vector<EdgePair> ego =
+            sampleEgoNet(graph, params.seed, request, params);
+        edges.insert(edges.end(), ego.begin(), ego.end());
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    out.sampledEdges = edges.size();
+
+    // The subgraph vertex set: every endpoint plus every root (a
+    // request on an edge-less vertex still contributes its root, so
+    // a batch can never produce an empty subgraph), ascending, so
+    // the renumbering is monotone and per-row columns stay sorted.
+    std::vector<VertexId> &verts = out.vertices;
+    verts = out.roots;
+    for (const EdgePair &e : edges) {
+        verts.push_back(e.first);
+        verts.push_back(e.second);
+    }
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+
+    const auto localOf = [&verts](VertexId parent) {
+        return static_cast<VertexId>(
+            std::lower_bound(verts.begin(), verts.end(), parent) -
+            verts.begin());
+    };
+
+    // Rows: each vertex's sampled out-edges plus its parent self
+    // loop, weights looked up verbatim in the parent row (both lists
+    // are ascending, so a two-pointer merge finds every weight in
+    // one pass per row).
+    const auto rows = static_cast<VertexId>(verts.size());
+    std::vector<EdgeId> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+    std::vector<VertexId> col_idx;
+    std::vector<float> weights;
+    EdgeId self_loops = 0;
+    std::size_t next_edge = 0;
+    std::vector<VertexId> targets;
+    for (VertexId row = 0; row < rows; ++row) {
+        const VertexId v = verts[row];
+        targets.clear();
+        targets.push_back(v); // self loop, if the parent has one
+        while (next_edge < edges.size() &&
+               edges[next_edge].first == v) {
+            targets.push_back(edges[next_edge].second);
+            ++next_edge;
+        }
+        std::sort(targets.begin(), targets.end());
+        const auto nbrs = graph.neighbors(v);
+        const auto wts = graph.weights(v);
+        std::size_t e = 0;
+        for (VertexId target : targets) {
+            while (e < nbrs.size() && nbrs[e] < target)
+                ++e;
+            if (e >= nbrs.size() || nbrs[e] != target) {
+                // Only the synthesized self loop may be absent from
+                // the parent row; sampled edges came from it.
+                SGCN_ASSERT(target == v,
+                            "sampled edge missing from parent row");
+                continue;
+            }
+            col_idx.push_back(localOf(target));
+            weights.push_back(wts[e]);
+            if (target == v)
+                ++self_loops;
+        }
+        row_ptr[row + 1] = static_cast<EdgeId>(col_idx.size());
+    }
+    out.graph = CsrGraph::fromCsrArrays(rows, std::move(row_ptr),
+                                        std::move(col_idx),
+                                        std::move(weights),
+                                        self_loops);
+    return out;
+}
+
+} // namespace sgcn

@@ -14,11 +14,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "accel/report.hh"
 #include "accel/runner.hh"
 #include "fixtures.hh"
+#include "gcn/sparsity_model.hh"
 #include "graph/generators.hh"
 #include "sim/fault/fault.hh"
 
@@ -54,6 +58,7 @@ expectFaultStatsIdentical(const FaultStats &a, const FaultStats &b)
     EXPECT_EQ(a.failedChips, b.failedChips);
     EXPECT_EQ(a.survivingChips, b.survivingChips);
     EXPECT_EQ(a.repartitions, b.repartitions);
+    EXPECT_EQ(a.recoveredLayers, b.recoveredLayers);
 }
 
 // --------------------------------------------------------------
@@ -288,6 +293,86 @@ TEST_F(FaultRuns, ChipFailRepartitionPreservesWorkAndPaysRecovery)
     EXPECT_EQ(run.faults.survivingChips, opts.chips - 1);
     EXPECT_GE(run.faults.repartitions, 1u);
     EXPECT_GT(run.total.cycles, clean.total.cycles);
+}
+
+TEST_F(FaultRuns, RepartitionRenumbersSurvivorExports)
+{
+    const Dataset cora = testfx::cora();
+    RunOptions faulted = opts;
+    faulted.faults = plan("chip-fail:chip1@layer1");
+    faulted.degradedMode = DegradedMode::Repartition;
+    const RunResult clean = runNetwork(makeSgcn(), cora, net, opts);
+    const RunResult run = runNetwork(makeSgcn(), cora, net, faulted);
+
+    // Clean sharded runs keep the identity numbering over every
+    // configured chip.
+    ASSERT_EQ(clean.shard.chipIds.size(), opts.chips);
+    for (unsigned c = 0; c < opts.chips; ++c)
+        EXPECT_EQ(clean.shard.chipIds[c], c);
+    EXPECT_TRUE(clean.faults.recoveredLayers.empty());
+
+    // After chip 1 dies, per-chip exports index only the survivors,
+    // named by their original ids, and the bottleneck is taken over
+    // the surviving slots (not a dead chip's stale partial sum).
+    EXPECT_EQ(run.shard.chipIds, (std::vector<unsigned>{0, 2, 3}));
+    ASSERT_EQ(run.shard.chipCycles.size(), 3u);
+    EXPECT_EQ(run.shard.bottleneckChipCycles,
+              *std::max_element(run.shard.chipCycles.begin(),
+                                run.shard.chipCycles.end()));
+    // Failure at layer 1 is detected at the boundary of the first
+    // simulated layer at or after it (the first sampled
+    // intermediate), which is the layer that replays.
+    ASSERT_EQ(run.faults.recoveredLayers.size(), 1u);
+    EXPECT_GE(run.faults.recoveredLayers.front(), 1u);
+
+    // Schedule export: the recovered column appears only when some
+    // exported run replayed a layer, labels exactly the replayed
+    // layer's rows, and every row keeps uniform arity.
+    auto arch_layers = sampleLayerIndices(
+        net.layers - 1, opts.sampledIntermediateLayers);
+    for (unsigned &layer : arch_layers)
+        ++layer;
+    const std::string clean_path =
+        "/tmp/sgcn_fault_sched_clean_" + std::to_string(::getpid()) +
+        ".csv";
+    const std::string mixed_path =
+        "/tmp/sgcn_fault_sched_mixed_" + std::to_string(::getpid()) +
+        ".csv";
+    writeSchedulesCsv({clean}, arch_layers, clean_path);
+    writeSchedulesCsv({clean, run}, arch_layers, mixed_path);
+    const auto read_lines = [](const std::string &path) {
+        std::ifstream in(path);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        return lines;
+    };
+    const auto clean_lines = read_lines(clean_path);
+    const auto mixed_lines = read_lines(mixed_path);
+    std::remove(clean_path.c_str());
+    std::remove(mixed_path.c_str());
+
+    ASSERT_FALSE(clean_lines.empty());
+    EXPECT_EQ(clean_lines.front().find(",recovered"),
+              std::string::npos);
+    ASSERT_FALSE(mixed_lines.empty());
+    EXPECT_NE(mixed_lines.front().find(",recovered"),
+              std::string::npos);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    const std::string recovered_prefix =
+        "SGCN,CR," + std::to_string(run.faults.recoveredLayers.front()) +
+        ",";
+    bool saw_recovered_row = false;
+    for (const std::string &line : mixed_lines) {
+        EXPECT_EQ(commas(line), commas(mixed_lines.front()));
+        if (line.find(recovered_prefix) == 0 && line.size() >= 2 &&
+            line.substr(line.size() - 2) == ",1")
+            saw_recovered_row = true;
+    }
+    EXPECT_TRUE(saw_recovered_row);
 }
 
 TEST_F(FaultRuns, FailFastSurfacesATypedChipFailure)

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "accel/personalities.hh"
 #include "accel/report.hh"
@@ -135,6 +138,64 @@ TEST_F(ReportFixture, CsvFileWritten)
     while (std::getline(in, line))
         ++lines;
     EXPECT_EQ(lines, 3); // header + 2 rows
+}
+
+TEST_F(ReportFixture, MixedFaultSweepKeepsUniformRowArity)
+{
+    // A sweep mixing faulted and fault-free configs must emit the
+    // fault columns for every row (zeros for the clean ones), never
+    // ragged rows under one header.
+    const RunResult clean = smallRun();
+    Dataset cora = instantiateDataset(datasetByAbbrev("CR"), 0.08);
+    NetworkSpec net;
+    RunOptions opts;
+    opts.sampledIntermediateLayers = 1;
+    opts.chips = 4;
+    opts.faults =
+        FaultPlan::parse("link-degrade:chip1:0.5").orFatal();
+    const RunResult faulted = runNetwork(makeSgcn(), cora, net, opts);
+    ASSERT_TRUE(faulted.faults.enabled);
+
+    TempFile file(".csv");
+    writeRunsCsv({clean, faulted}, file.path);
+    std::ifstream in(file.path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_NE(lines[0].find(",faults,"), std::string::npos);
+    EXPECT_EQ(commas(lines[1]), commas(lines[0]));
+    EXPECT_EQ(commas(lines[2]), commas(lines[0]));
+    // The clean run's row carries the zero-filled fault suffix.
+    EXPECT_EQ(lines[1], runResultCsvRow(clean) +
+                            faultCsvRowSuffix(clean));
+    EXPECT_NE(lines[1].find(",0,,0,"), std::string::npos);
+}
+
+TEST_F(ReportFixture, FaultFreeSweepCsvStaysByteIdentical)
+{
+    // Without any injected run the CSV keeps its pre-fault shape:
+    // rerunning the sweep writes byte-identical files with no fault
+    // columns at all.
+    const RunResult run = smallRun();
+    TempFile first(".csv");
+    TempFile second(".csv");
+    writeRunsCsv({run, run}, first.path);
+    writeRunsCsv({run, run}, second.path);
+    const auto slurp = [](const std::string &path) {
+        std::ifstream in(path);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    const std::string a = slurp(first.path);
+    EXPECT_EQ(a, slurp(second.path));
+    EXPECT_EQ(a.find("faults"), std::string::npos);
+    EXPECT_EQ(a.find(runResultCsvHeader() + "\n"), 0u);
 }
 
 TEST_F(ReportFixture, StatsFlattenConsistently)

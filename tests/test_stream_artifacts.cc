@@ -232,10 +232,25 @@ TEST(StreamArtifacts, KeySeparation)
     EXPECT_NE(artifacts.degreeOrder(a).get(),
               artifacts.degreeOrder(b).get());
 
-    // SAGE fractions: per (topology, fanout).
+    // SAGE fractions: per (topology, fanout, seed).
     const double fa = artifacts.sageEdgeFraction(a, 8);
     EXPECT_EQ(artifacts.sageEdgeFraction(a, 8), fa);
     EXPECT_NE(artifacts.sageEdgeFraction(a, 2), fa);
+
+    // The sampling seed is part of the key: a seeded draw must not
+    // be served the seed-0 analytic value (or another seed's draw)
+    // from the cache. Equal seeds still share one entry.
+    const double seeded = artifacts.sageEdgeFraction(a, 2, 7);
+    EXPECT_EQ(artifacts.sageEdgeFraction(a, 2, 7), seeded);
+    EXPECT_NE(artifacts.sageEdgeFraction(a, 2, 0), seeded);
+    EXPECT_NE(artifacts.sageEdgeFraction(a, 2, 8), seeded);
+    // A concrete with-replacement draw can only lose distinct
+    // neighbours relative to the analytic bound.
+    EXPECT_LT(seeded, artifacts.sageEdgeFraction(a, 2, 0));
+    // Seed 0 stays the analytic expectation regardless of what the
+    // seeded entries cached.
+    EXPECT_EQ(artifacts.sageEdgeFraction(a, 2, 0),
+              artifacts.sageEdgeFraction(a, 2));
 }
 
 TEST(StreamArtifacts, ReleaseArtifactsClearsBothCaches)

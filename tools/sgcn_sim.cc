@@ -4,6 +4,7 @@
  *
  * Subcommands:
  *   run       simulate accelerators on a dataset, print/export results
+ *   serve     drive a serving trace (open-loop arrivals, batching)
  *   sweep     sweep one knob (cache, engines, layers, slice) over runs
  *   describe  print a personality's Table-III-style configuration
  *   datasets  list the Table II registry and instantiated statistics
@@ -13,6 +14,7 @@
  *   sgcn_sim run --dataset PM --accels SGCN,GCNAX --mode timing
  *   sgcn_sim run --dataset RD --csv out.csv
  *   sgcn_sim run --edge-list mygraph.txt --accels SGCN
+ *   sgcn_sim serve --dataset CR --rate 2000 --requests 256
  *   sgcn_sim sweep --knob cache --dataset PM
  *   sgcn_sim describe --accel SGCN
  *   sgcn_sim generate --dataset DB --out dblp.edges
@@ -26,6 +28,7 @@
 #include "accel/runner.hh"
 #include "gcn/sparsity_model.hh"
 #include "graph/io.hh"
+#include "serve/serve.hh"
 #include "sim/cli.hh"
 #include "sim/table.hh"
 #include "sim/thread_pool.hh"
@@ -115,13 +118,9 @@ datasetFromCli(const Cli &cli)
         datasetByAbbrev(cli.getString("dataset", "CR")), cli.scale());
 }
 
-int
-cmdRun(const Cli &cli)
+std::vector<AccelConfig>
+configsFromCli(const Cli &cli)
 {
-    const Dataset dataset = datasetFromCli(cli);
-    const NetworkSpec net = networkSpec(cli);
-    const RunOptions opts = runOptions(cli);
-
     std::vector<AccelConfig> configs;
     for (const std::string &name :
          splitCommas(cli.getString("accels", "GCNAX,SGCN"))) {
@@ -138,6 +137,16 @@ cmdRun(const Cli &cli)
             config.dram = DramConfig::hbm1();
         configs.push_back(std::move(config));
     }
+    return configs;
+}
+
+int
+cmdRun(const Cli &cli)
+{
+    const Dataset dataset = datasetFromCli(cli);
+    const NetworkSpec net = networkSpec(cli);
+    const RunOptions opts = runOptions(cli);
+    const std::vector<AccelConfig> configs = configsFromCli(cli);
 
     std::printf("%s: %u vertices, %llu edges | %u-layer %s\n",
                 dataset.spec.name, dataset.graph.numVertices(),
@@ -225,6 +234,114 @@ cmdRun(const Cli &cli)
         }
         writeSchedulesCsv(results, arch_layers, sched_csv);
         std::printf("\nwrote %s\n", sched_csv.c_str());
+    }
+    return 0;
+}
+
+ServeOptions
+serveOptions(const Cli &cli)
+{
+    ServeOptions serve;
+    serve.offeredQps = cli.getDouble("rate", serve.offeredQps);
+    serve.requests = static_cast<unsigned>(
+        cli.getInt("requests", serve.requests));
+    serve.maxBatch = static_cast<unsigned>(
+        cli.getInt("batch-max", serve.maxBatch));
+    serve.maxLingerCycles = static_cast<Cycle>(cli.getInt(
+        "linger", static_cast<std::int64_t>(serve.maxLingerCycles)));
+    serve.sample.hops = static_cast<unsigned>(
+        cli.getInt("hops", serve.sample.hops));
+    serve.sample.fanout = static_cast<unsigned>(
+        cli.getInt("fanout", serve.sample.fanout));
+    serve.sample.seed = static_cast<std::uint64_t>(cli.getInt(
+        "serve-seed", static_cast<std::int64_t>(serve.sample.seed)));
+    const std::string arrival = cli.getString("arrival", "poisson");
+    if (arrival == "fixed")
+        serve.poisson = false;
+    else if (arrival != "poisson")
+        fatal("bad --arrival '", arrival, "' (expected poisson|fixed)");
+    return serve;
+}
+
+int
+cmdServe(const Cli &cli)
+{
+    const Dataset dataset = datasetFromCli(cli);
+    NetworkSpec net = networkSpec(cli);
+    // The per-trace seed also keys the cached SAGE edge fractions,
+    // so two serve traces with different seeds never share one.
+    const RunOptions opts = runOptions(cli);
+    const ServeOptions serve = serveOptions(cli);
+    net.sageSeed = serve.sample.seed;
+    const std::vector<AccelConfig> configs = configsFromCli(cli);
+
+    std::printf("%s: %u vertices, %llu edges | %u-layer %s | "
+                "serving %u requests (%s @ %.0f qps, batch<=%u, "
+                "linger %llu cycles, %u-hop fanout %u)\n\n",
+                dataset.spec.name, dataset.graph.numVertices(),
+                static_cast<unsigned long long>(
+                    dataset.graph.numEdges()),
+                net.layers, aggKindName(net.agg), serve.requests,
+                serve.poisson ? "poisson" : "fixed",
+                serve.offeredQps, serve.maxBatch,
+                static_cast<unsigned long long>(
+                    serve.maxLingerCycles),
+                serve.sample.hops, serve.sample.fanout);
+    if (opts.faults.active()) {
+        std::printf("faults: %s (degraded-mode %s, re-seeded per "
+                    "batch)\n\n",
+                    opts.faults.canonical().c_str(),
+                    degradedModeName(opts.degradedMode));
+    }
+
+    Expected<std::vector<RunResult>> maybe_results =
+        tryServeAll(configs, dataset, net, opts, serve);
+    if (!maybe_results.ok()) {
+        std::fprintf(stderr, "sgcn_sim: %s\n",
+                     maybe_results.error().message.c_str());
+        return 1;
+    }
+    const std::vector<RunResult> results =
+        std::move(maybe_results.value());
+
+    Table table("serving trace");
+    table.header({"accel", "p50 us", "p95 us", "p99 us",
+                  "sustained qps", "batches", "mean batch",
+                  "peak"});
+    const double us = kServeClockHz / 1.0e6; // cycles per microsecond
+    for (const auto &run : results) {
+        const ServeStats &s = run.serve;
+        table.row({run.accelName,
+                   Table::num(static_cast<double>(s.p50Cycles) / us, 1),
+                   Table::num(static_cast<double>(s.p95Cycles) / us, 1),
+                   Table::num(static_cast<double>(s.p99Cycles) / us, 1),
+                   Table::num(s.sustainedQps, 0),
+                   std::to_string(s.batches),
+                   Table::num(s.meanOccupancy, 2),
+                   std::to_string(s.peakOccupancy)});
+    }
+    table.print();
+
+    std::printf("\n");
+    for (const auto &run : results)
+        std::printf("%s\n", serveSummaryLine(run).c_str());
+    if (opts.faults.active()) {
+        std::printf("\n");
+        for (const auto &run : results)
+            std::printf("%s\n", faultSummaryLine(run).c_str());
+    }
+
+    if (cli.has("stats")) {
+        for (const auto &run : results) {
+            std::printf("\n[%s/%s]\n", run.accelName.c_str(),
+                        run.datasetAbbrev.c_str());
+            std::fputs(runResultStats(run).dump("  ").c_str(), stdout);
+        }
+    }
+    const std::string csv = cli.getString("csv", "");
+    if (!csv.empty()) {
+        writeRunsCsv(results, csv);
+        std::printf("\nwrote %s\n", csv.c_str());
     }
     return 0;
 }
@@ -365,7 +482,7 @@ void
 usage()
 {
     std::fputs(
-        "usage: sgcn_sim <run|sweep|describe|datasets|generate> "
+        "usage: sgcn_sim <run|serve|sweep|describe|datasets|generate> "
         "[flags]\n"
         "  run       --dataset CR|...|synth:<N>[:deg<D>] or "
         "--edge-list FILE; --accels A,B; --mode fast|timing;\n"
@@ -391,6 +508,13 @@ usage()
         "(reaction to chip-fail)\n"
         "            --export-schedule FILE (per-layer phase spans "
         "and tile windows as CSV)\n"
+        "  serve     run-shaped flags plus --rate QPS --requests N "
+        "--batch-max N --linger CYC\n"
+        "            --arrival poisson|fixed --hops N --fanout N "
+        "--serve-seed N (see README\n"
+        "            \"Serving traces\": open-loop trace over "
+        "per-request ego-network batches;\n"
+        "            --faults plans replay as tail-latency tests)\n"
         "  sweep     --knob cache|engines|layers|slice --dataset ...\n"
         "  describe  --accel SGCN|GCNAX|HyGCN|AWB-GCN|EnGN|I-GCN\n"
         "  datasets  [--scale X]\n"
@@ -448,6 +572,17 @@ main(int argc, char **argv)
         if (int rc = rejectUnknownFlags(cli, command, known))
             return rc;
         return cmdRun(cli);
+    }
+    if (command == "serve") {
+        for (const char *extra :
+             {"accels", "cache-kb", "engines", "dram", "csv", "stats",
+              "rate", "requests", "batch-max", "linger", "arrival",
+              "hops", "fanout", "serve-seed"}) {
+            known.push_back(extra);
+        }
+        if (int rc = rejectUnknownFlags(cli, command, known))
+            return rc;
+        return cmdServe(cli);
     }
     if (command == "sweep") {
         known.push_back("knob");
